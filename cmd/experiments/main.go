@@ -1,0 +1,94 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (EDBT 2008, §6.2) and prints them as plain-text tables.
+//
+// Usage:
+//
+//	experiments [-exp all|params|mapping|fig4|fig5|fig6|fig7|storage|
+//	             ablation-maintenance|ablation-routing|ablation-walks]
+//	            [-quick] [-seed N]
+//
+// The default full configuration mirrors Table 3 (domains up to 2000
+// peers, networks up to 5000, 200 queries); -quick runs a down-scaled
+// sweep for smoke testing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"p2psum"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, params, mapping, fig4, fig5, fig6, fig7, storage, ablation-maintenance, ablation-routing, ablation-walks)")
+	quick := flag.Bool("quick", false, "run the down-scaled smoke configuration")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	cfg := p2psum.DefaultExperimentConfig()
+	if *quick {
+		cfg = p2psum.QuickExperimentConfig()
+	}
+	cfg.Seed = *seed
+
+	type runner struct {
+		name string
+		run  func() error
+	}
+	table := func(f func(p2psum.ExperimentConfig) (*p2psum.ResultTable, error)) func() error {
+		return func() error {
+			start := time.Now()
+			t, err := f(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+			return nil
+		}
+	}
+	runners := []runner{
+		{"params", func() error { fmt.Println(p2psum.SimulationParameters(cfg)); return nil }},
+		{"mapping", func() error {
+			out, err := p2psum.RunMappingWalkthrough()
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+			return nil
+		}},
+		{"fig4", table(p2psum.RunFigure4)},
+		{"fig5", table(p2psum.RunFigure5)},
+		{"fig6", table(p2psum.RunFigure6)},
+		{"fig7", table(p2psum.RunFigure7)},
+		{"storage", table(p2psum.RunStorage)},
+		{"ablation-maintenance", table(p2psum.RunAblationMaintenance)},
+		{"ablation-routing", table(p2psum.RunAblationRoutingModes)},
+		{"ablation-walks", table(p2psum.RunAblationWalks)},
+		{"ablation-ttl", table(p2psum.RunAblationConstructionTTL)},
+		{"ablation-unavailable", table(p2psum.RunAblationUnavailable)},
+		{"ablation-arity", table(p2psum.RunAblationArity)},
+		{"ablation-locality", table(p2psum.RunAblationLocality)},
+		{"coverage", table(p2psum.RunCoverage)},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := false
+	for _, r := range runners {
+		if want != "all" && want != r.name {
+			continue
+		}
+		ran = true
+		if err := r.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

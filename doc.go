@@ -1,0 +1,35 @@
+// Package p2psum is a Go implementation of "Summary Management in P2P
+// Systems" (Hayek, Raschia, Valduriez, Mouaddib — EDBT 2008).
+//
+// The library combines two building blocks:
+//
+//   - SaintEtiQ-style database summarization: relational tables are
+//     rewritten, through a fuzzy linguistic Background Knowledge (BK), into
+//     compact multidimensional summaries arranged in a hierarchy. Summaries
+//     can be queried directly — yielding approximate answers such as
+//     "female anorexia patients with underweight or normal BMI are young" —
+//     without touching the original records.
+//
+//   - Summary management for super-peer P2P networks: peers in a domain
+//     (a super-peer and its clients) merge their local summaries into a
+//     global summary that doubles as a semantic index: it localizes the
+//     peers relevant to a query. Domains are constructed with a bounded
+//     broadcast, maintained with push notifications and ring
+//     reconciliations gated by a freshness threshold α, and survive churn.
+//
+// Three layers of API are exposed:
+//
+//   - Summarization: NewSummarizer / Summarize build hierarchies from
+//     relations; Reformulate, Localize and AskApproximate query them.
+//
+//   - Simulation: NewSimulation builds a complete super-peer network on a
+//     power-law overlay, runs the §4 management protocols under churn, and
+//     routes queries with the SQ router and the baselines of the paper.
+//
+//   - Experiments: RunFigure4..RunFigure7, RunStorage and the ablations
+//     regenerate every table and figure of the paper's evaluation.
+//
+// Everything is deterministic given a seed, uses only the standard
+// library, and is safe for single-goroutine use (the simulator is a
+// sequential discrete-event engine).
+package p2psum

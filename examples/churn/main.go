@@ -1,0 +1,75 @@
+// Churn demonstrates the peer-dynamicity machinery of §4.3 step by step:
+// graceful departures push freshness updates, silent failures are detected
+// lazily, rejoining peers are flagged for the next pull, and a departing
+// super-peer releases its partners, who relocate with selective walks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2psum"
+)
+
+func main() {
+	sim, err := p2psum.NewSimulation(p2psum.SimOptions{
+		Peers:        120,
+		SummaryPeers: 2,
+		Alpha:        0.4,
+		Seed:         23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.Construct(); err != nil {
+		log.Fatal(err)
+	}
+	sp0 := sim.SummaryPeerIDs()[0]
+	sp1 := sim.SummaryPeerIDs()[1]
+	fmt.Printf("two domains: sp=%d (%d members), sp=%d (%d members)\n\n",
+		sp0, len(sim.DomainMembers(sp0)), sp1, len(sim.DomainMembers(sp1)))
+
+	members := sim.DomainMembers(sp0)
+	alice, bob := members[1], members[2]
+
+	// 1. Graceful departure: alice notifies her super-peer (push v=1).
+	fmt.Printf("1. peer %d leaves gracefully -> push marks it stale\n", alice)
+	sim.Leave(alice, true)
+	fmt.Printf("   domain staleness: %.1f%%\n\n", 100*sim.StaleFraction(sp0))
+
+	// 2. Silent failure: bob crashes; nothing happens until someone
+	// messages him or a reconciliation rebuilds the summary without him.
+	fmt.Printf("2. peer %d fails silently -> undetected until the next pull\n", bob)
+	sim.Leave(bob, false)
+	fmt.Printf("   domain staleness still: %.1f%%\n\n", 100*sim.StaleFraction(sp0))
+
+	// 3. Alice rejoins through a neighbor: her entry returns flagged for
+	// the next reconciliation (the paper's v=1 on join).
+	fmt.Printf("3. peer %d rejoins -> flagged for the next pull\n", alice)
+	sim.Join(alice)
+	fmt.Printf("   back in domain %d, staleness %.1f%%\n\n", sim.DomainOf(alice), 100*sim.StaleFraction(sp0))
+
+	// 4. Enough modifications cross the threshold: ring reconciliation.
+	fmt.Println("4. heavy updates push staleness over alpha -> ring reconciliation")
+	for _, m := range sim.DomainMembers(sp0) {
+		if m != sp0 {
+			sim.MarkModified(m)
+		}
+	}
+	fmt.Printf("   reconciliations: %d; staleness now %.1f%%; failed peer dropped: %v\n\n",
+		sim.Reconciliations(), 100*sim.StaleFraction(sp0), sim.DomainOf(bob) < 0)
+
+	// 5. Super-peer departure: release messages send partners walking to
+	// the other domain.
+	fmt.Printf("5. super-peer %d leaves -> release + selective walks (§4.1 find)\n", sp0)
+	before := len(sim.DomainMembers(sp1))
+	sim.Leave(sp0, true)
+	fmt.Printf("   domain of sp=%d grew from %d to %d members\n",
+		sp1, before, len(sim.DomainMembers(sp1)))
+	fmt.Printf("   total protocol messages: %d\n", sim.TotalMessages())
+
+	fmt.Println("\nmessage breakdown:")
+	for typ, n := range sim.MessageCounts() {
+		fmt.Printf("  %-10s %6d\n", typ, n)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2psum/internal/p2p"
+)
+
+// TestFailureInjectionLiveness hammers a domain with random concurrent
+// failures, rejoins and modification pushes and asserts the liveness
+// properties the paper's protocols must keep: the engine always quiesces
+// (no deadlock and no livelock), the cooperation list tracks reality after
+// reconciliations, and the stale fraction is pulled back under α plus
+// churn headroom.
+func TestFailureInjectionLiveness(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.3
+	sys, e := newTestSystem(t, 120, 99, cfg)
+	sys.ElectSummaryPeers(2)
+	if err := sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+
+	clients := make([]p2p.NodeID, 0, 120)
+	isSP := make(map[p2p.NodeID]bool)
+	for _, sp := range sys.SummaryPeers() {
+		isSP[sp] = true
+	}
+	for i := 0; i < 120; i++ {
+		if !isSP[p2p.NodeID(i)] {
+			clients = append(clients, p2p.NodeID(i))
+		}
+	}
+
+	for round := 0; round < 400; round++ {
+		id := clients[rng.Intn(len(clients))]
+		switch rng.Intn(4) {
+		case 0:
+			sys.Leave(id, rng.Intn(2) == 0) // half graceful, half silent
+		case 1:
+			sys.Join(id)
+		default:
+			sys.MarkModified(id)
+		}
+		// The engine must always drain; a stuck reconciliation ring or a
+		// find-walk loop would hang here.
+		e.Run()
+	}
+
+	// Bring everyone back and force a final reconciliation.
+	for _, id := range clients {
+		sys.Join(id)
+	}
+	e.Run()
+	for _, id := range clients {
+		sys.MarkModified(id)
+	}
+	e.Run()
+
+	if sys.Stats().Reconciliations == 0 {
+		t.Fatal("no reconciliation under churn")
+	}
+	for _, sp := range sys.SummaryPeers() {
+		r, err := sys.Report(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Reconciling {
+			t.Errorf("domain %d stuck reconciling", sp)
+		}
+		if r.StaleFraction > cfg.Alpha+0.15 {
+			t.Errorf("domain %d staleness %.2f far above alpha", sp, r.StaleFraction)
+		}
+		// Every CL entry refers to a live or recently-departed peer; no
+		// negative ids, no summary peers.
+		cl := sys.Peer(sp).CooperationList()
+		for _, partner := range cl.Partners() {
+			if partner < 0 || int(partner) >= sys.Network().Len() {
+				t.Errorf("CL of %d contains bogus id %d", sp, partner)
+			}
+			if isSP[partner] {
+				t.Errorf("CL of %d contains a summary peer", sp)
+			}
+		}
+	}
+	// All online clients are covered again.
+	if cov := sys.Coverage(); cov < 0.95 {
+		t.Errorf("coverage after recovery = %g", cov)
+	}
+}
+
+// TestReportAndDescribe checks the monitoring surface.
+func TestReportAndDescribe(t *testing.T) {
+	sys, _ := newTestSystem(t, 50, 100, DefaultConfig())
+	sys.ElectSummaryPeers(2)
+	if err := sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Report(p2p.NodeID(49)); err == nil {
+		t.Error("report on a client accepted")
+	}
+	reports := sys.ReportAll()
+	if len(reports) != 2 {
+		t.Fatalf("ReportAll = %d entries", len(reports))
+	}
+	for _, r := range reports {
+		if r.OnlineMembers == 0 || r.Partners == 0 {
+			t.Errorf("empty report: %s", r)
+		}
+		if r.String() == "" {
+			t.Error("report renders empty")
+		}
+	}
+	if sys.Describe() == "" {
+		t.Error("Describe empty")
+	}
+}

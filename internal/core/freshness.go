@@ -1,0 +1,171 @@
+// Package core implements the paper's primary contribution: summary
+// management in super-peer domains (§4) — domain construction with the
+// sumpeer/localsum/drop/find protocol, cooperation lists with freshness
+// values, push-based data-modification notification, pull-based ring
+// reconciliation gated by the threshold α, and peer-dynamicity handling
+// (join, graceful leave, silent failure, summary-peer release).
+//
+// The package runs at two levels. At the protocol level (Config.DataLevel
+// false) summaries are opaque and only the membership/freshness machinery is
+// exercised — this is what the paper's own SimJava evaluation does, and what
+// the Figure 4–6 experiments use. At the data level (DataLevel true) the
+// localsum and reconciliation messages carry real SaintEtiQ hierarchies, so
+// a domain's global summary can be queried with internal/query — this is
+// what the examples and integration tests exercise.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"p2psum/internal/p2p"
+)
+
+// Freshness is the cooperation-list value v of §4.1.
+type Freshness uint8
+
+// Freshness values.
+const (
+	// Fresh (0): descriptions are fresh relative to the original data.
+	Fresh Freshness = 0
+	// Stale (1): the descriptions need to be refreshed.
+	Stale Freshness = 1
+	// Unavailable (2): the original data is not available (two-bit mode
+	// only; §4.3 folds this into Stale in the one-bit mode the paper
+	// finally adopts).
+	Unavailable Freshness = 2
+)
+
+// String names the freshness value.
+func (f Freshness) String() string {
+	switch f {
+	case Fresh:
+		return "fresh"
+	case Stale:
+		return "stale"
+	case Unavailable:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("Freshness(%d)", uint8(f))
+	}
+}
+
+// Mode selects the cooperation-list encoding.
+type Mode int
+
+// Cooperation-list modes.
+const (
+	// OneBit is the mode the paper adopts (§4.3): 0 = fresh, 1 = stale or
+	// unavailable.
+	OneBit Mode = iota
+	// TwoBit is the richer §4.1 encoding with the distinct Unavailable
+	// value.
+	TwoBit
+)
+
+// CooperationList is the per-global-summary partner table (§4.1): one
+// freshness value per partner peer.
+type CooperationList struct {
+	mode    Mode
+	entries map[p2p.NodeID]Freshness
+}
+
+// NewCooperationList creates an empty list in the given mode.
+func NewCooperationList(mode Mode) *CooperationList {
+	return &CooperationList{mode: mode, entries: make(map[p2p.NodeID]Freshness)}
+}
+
+// Mode returns the list's encoding mode.
+func (cl *CooperationList) Mode() Mode { return cl.mode }
+
+// Len returns the number of partners.
+func (cl *CooperationList) Len() int { return len(cl.entries) }
+
+// Has reports whether the peer is a partner.
+func (cl *CooperationList) Has(p p2p.NodeID) bool {
+	_, ok := cl.entries[p]
+	return ok
+}
+
+// Get returns the peer's freshness value.
+func (cl *CooperationList) Get(p p2p.NodeID) (Freshness, bool) {
+	v, ok := cl.entries[p]
+	return v, ok
+}
+
+// Set inserts or updates a partner's freshness value. In one-bit mode an
+// Unavailable write is folded into Stale (§4.3).
+func (cl *CooperationList) Set(p p2p.NodeID, v Freshness) {
+	if cl.mode == OneBit && v == Unavailable {
+		v = Stale
+	}
+	cl.entries[p] = v
+}
+
+// Remove drops a partner (the drop message of §4.1).
+func (cl *CooperationList) Remove(p p2p.NodeID) { delete(cl.entries, p) }
+
+// Partners returns the partner ids in ascending order (the canonical ring
+// order used by reconciliation).
+func (cl *CooperationList) Partners() []p2p.NodeID {
+	out := make([]p2p.NodeID, 0, len(cl.entries))
+	for p := range cl.entries {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FreshPeers returns the partners with v = 0 (the paper's Pfresh, §6.1.2).
+func (cl *CooperationList) FreshPeers() []p2p.NodeID {
+	return cl.withValue(func(v Freshness) bool { return v == Fresh })
+}
+
+// StalePeers returns the partners with v >= 1 (the paper's Pold).
+func (cl *CooperationList) StalePeers() []p2p.NodeID {
+	return cl.withValue(func(v Freshness) bool { return v != Fresh })
+}
+
+func (cl *CooperationList) withValue(want func(Freshness) bool) []p2p.NodeID {
+	var out []p2p.NodeID
+	for p, v := range cl.entries {
+		if want(v) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StaleFraction evaluates the reconciliation trigger Σv / |CL| of §6.1.1.
+// In two-bit mode an Unavailable entry literally counts 2, as the paper's
+// formula sums the raw values; an empty list is entirely fresh.
+func (cl *CooperationList) StaleFraction() float64 {
+	if len(cl.entries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range cl.entries {
+		sum += float64(v)
+	}
+	return sum / float64(len(cl.entries))
+}
+
+// ResetAll sets every entry to Fresh (end of reconciliation, §4.2.2).
+func (cl *CooperationList) ResetAll() {
+	for p := range cl.entries {
+		cl.entries[p] = Fresh
+	}
+}
+
+// String renders "CL{3: 1=fresh 2=stale 5=fresh}".
+func (cl *CooperationList) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CL{%d:", len(cl.entries))
+	for _, p := range cl.Partners() {
+		fmt.Fprintf(&sb, " %d=%s", p, cl.entries[p])
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"p2psum/internal/p2p"
+)
+
+// DomainReport is a point-in-time snapshot of one domain's health, used by
+// monitoring tools (cmd/p2psim) and tests.
+type DomainReport struct {
+	SummaryPeer   p2p.NodeID
+	Partners      int     // cooperation-list size
+	OnlineMembers int     // currently connected members (SP included)
+	StaleFraction float64 // Σv/|CL|
+	Reconciling   bool
+	// Data-level fields (zero at protocol level).
+	SummaryNodes  int
+	SummaryLeaves int
+	SummaryWeight float64
+}
+
+// String renders one report line.
+func (r DomainReport) String() string {
+	s := fmt.Sprintf("domain sp=%d partners=%d online=%d stale=%.1f%%",
+		r.SummaryPeer, r.Partners, r.OnlineMembers, 100*r.StaleFraction)
+	if r.Reconciling {
+		s += " reconciling"
+	}
+	if r.SummaryNodes > 0 {
+		s += fmt.Sprintf(" summary=%dn/%dl w=%.0f", r.SummaryNodes, r.SummaryLeaves, r.SummaryWeight)
+	}
+	return s
+}
+
+// Report snapshots one domain.
+func (s *System) Report(sp p2p.NodeID) (DomainReport, error) {
+	p := s.peers[sp]
+	if p.role != RoleSummaryPeer {
+		return DomainReport{}, fmt.Errorf("core: node %d is not a summary peer", sp)
+	}
+	r := DomainReport{
+		SummaryPeer:   sp,
+		Partners:      p.cl.Len(),
+		OnlineMembers: len(s.DomainMembers(sp)),
+		StaleFraction: p.cl.StaleFraction(),
+		Reconciling:   p.reconciling,
+	}
+	if p.gs != nil {
+		r.SummaryNodes = p.gs.NodeCount()
+		r.SummaryLeaves = p.gs.LeafCount()
+		r.SummaryWeight = p.gs.Root().Count()
+	}
+	return r, nil
+}
+
+// ReportAll snapshots every domain, ordered by summary-peer id.
+func (s *System) ReportAll() []DomainReport {
+	out := make([]DomainReport, 0, len(s.sps))
+	for _, sp := range s.sps {
+		if r, err := s.Report(sp); err == nil {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SummaryPeer < out[j].SummaryPeer })
+	return out
+}
+
+// Describe renders a multi-line system overview.
+func (s *System) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "system: %d peers (%d online), %d domains, coverage %.0f%%, %d reconciliations\n",
+		s.net.Len(), s.net.OnlineCount(), len(s.sps), 100*s.Coverage(), s.stats.Reconciliations)
+	for _, r := range s.ReportAll() {
+		sb.WriteString("  " + r.String() + "\n")
+	}
+	return sb.String()
+}

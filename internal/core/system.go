@@ -1,0 +1,725 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"p2psum/internal/bk"
+	"p2psum/internal/p2p"
+	"p2psum/internal/saintetiq"
+)
+
+// Message type names (the units of every message-count figure).
+const (
+	MsgSumpeer   = "sumpeer"   // domain construction broadcast (§4.1)
+	MsgLocalsum  = "localsum"  // partner ships its local summary (§4.1)
+	MsgDrop      = "drop"      // partner leaves an old domain (§4.1)
+	MsgFind      = "find"      // selective walk to locate a summary peer (§4.1)
+	MsgPush      = "push"      // freshness notification (§4.2.1)
+	MsgReconcile = "reconcile" // ring reconciliation (§4.2.2)
+	MsgRelease   = "release"   // summary-peer departure notice (§4.3)
+)
+
+// Role distinguishes clients from summary peers.
+type Role int
+
+// Roles.
+const (
+	RoleClient Role = iota
+	RoleSummaryPeer
+)
+
+// Config tunes the summary-management system.
+type Config struct {
+	// Alpha is the freshness threshold α: reconciliation triggers when
+	// Σv/|CL| >= Alpha (§6.1.1). Typical range 0.1–0.8 (Table 3).
+	Alpha float64
+	// ConstructionTTL bounds the sumpeer broadcast (the paper suggests 2).
+	ConstructionTTL int
+	// FindBudget bounds the selective walk of the find protocol.
+	FindBudget int
+	// Mode selects one-bit (paper's final choice) or two-bit freshness.
+	Mode Mode
+	// KeepUnavailable selects the §4.3 "first alternative" in two-bit
+	// mode: descriptions of departed peers are kept and queried instead of
+	// accelerating reconciliation.
+	KeepUnavailable bool
+	// MergeOnJoin immediately merges a joining peer's local summary into
+	// the global summary instead of deferring to the next reconciliation
+	// (the paper defers, setting v=1; this switch is an ablation).
+	MergeOnJoin bool
+	// DataLevel makes localsum/reconciliation carry real hierarchies.
+	DataLevel bool
+	// BK is the common background knowledge (required when DataLevel).
+	BK *bk.BK
+	// TreeCfg configures merged hierarchies.
+	TreeCfg saintetiq.Config
+}
+
+// DefaultConfig returns the paper's settings: α=0.3, TTL=2, one-bit mode.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:           0.3,
+		ConstructionTTL: 2,
+		FindBudget:      32,
+		Mode:            OneBit,
+		TreeCfg:         saintetiq.DefaultConfig(),
+	}
+}
+
+// Peer is the per-node protocol state.
+type Peer struct {
+	sys  *System
+	id   p2p.NodeID
+	role Role
+
+	// Client state.
+	sp         p2p.NodeID // current summary peer (-1 when none)
+	spHops     int        // distance to it, in hops
+	local      *saintetiq.Tree
+	seenRounds map[sumpeerKey]bool
+
+	// Summary-peer state.
+	gs          *saintetiq.Tree
+	cl          *CooperationList
+	reconciling bool
+	knownSPs    []p2p.NodeID
+}
+
+// ID returns the peer's node id.
+func (p *Peer) ID() p2p.NodeID { return p.id }
+
+// Role returns the peer's role.
+func (p *Peer) Role() Role { return p.role }
+
+// SummaryPeer returns the peer's current summary peer (-1 when none; a
+// summary peer is its own).
+func (p *Peer) SummaryPeer() p2p.NodeID {
+	if p.role == RoleSummaryPeer {
+		return p.id
+	}
+	return p.sp
+}
+
+// IsPartner reports whether the peer currently belongs to a domain.
+func (p *Peer) IsPartner() bool { return p.role == RoleSummaryPeer || p.sp >= 0 }
+
+// LocalTree returns the peer's local summary (nil at protocol level).
+func (p *Peer) LocalTree() *saintetiq.Tree { return p.local }
+
+// GlobalSummary returns the summary peer's current global summary.
+func (p *Peer) GlobalSummary() *saintetiq.Tree { return p.gs }
+
+// CooperationList returns the summary peer's partner table (nil for
+// clients).
+func (p *Peer) CooperationList() *CooperationList { return p.cl }
+
+type sumpeerKey struct {
+	sp    p2p.NodeID
+	round int
+}
+
+// Payloads.
+type sumpeerPayload struct {
+	SP    p2p.NodeID
+	Round int
+	Hops  int
+}
+
+type localsumPayload struct {
+	Tree   *saintetiq.Tree
+	Rejoin bool
+}
+
+// SummaryNodeBytes is the paper's §6.1.1 estimate of one summary's wire
+// size ("k = 512 bytes gives a rough estimation of the space required for
+// each summary").
+const SummaryNodeBytes = 512
+
+// WireSize charges a localsum message for the local summary it carries.
+func (p localsumPayload) WireSize() int {
+	if p.Tree == nil {
+		return 0
+	}
+	return SummaryNodeBytes * p.Tree.NodeCount()
+}
+
+type pushPayload struct {
+	V Freshness
+}
+
+type reconcilePayload struct {
+	SP        p2p.NodeID
+	NewGS     *saintetiq.Tree
+	Remaining []p2p.NodeID
+	Merged    []p2p.NodeID
+}
+
+// WireSize charges a reconciliation token for the in-flight new global
+// summary plus the ring bookkeeping.
+func (p reconcilePayload) WireSize() int {
+	size := 8 * (len(p.Remaining) + len(p.Merged))
+	if p.NewGS != nil {
+		size += SummaryNodeBytes * p.NewGS.NodeCount()
+	}
+	return size
+}
+
+// Stats aggregates protocol-level events.
+type Stats struct {
+	Reconciliations int
+	Pushes          int
+	Joins           int
+	GracefulLeaves  int
+	Failures        int
+	SPDepartures    int
+	FindWalks       int
+}
+
+// System drives the summary-management protocol over a p2p network.
+type System struct {
+	cfg   Config
+	net   *p2p.Network
+	peers []*Peer
+	sps   []p2p.NodeID
+	round int
+	built bool
+	stats Stats
+	// OnReconcile, if set, observes every completed reconciliation with
+	// the set of merged partners (experiments hook this).
+	OnReconcile func(sp p2p.NodeID, merged []p2p.NodeID)
+}
+
+// NewSystem wires a system onto the network. Every node starts as a client.
+func NewSystem(net *p2p.Network, cfg Config) (*System, error) {
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("core: alpha %g out of (0,1]", cfg.Alpha)
+	}
+	if cfg.ConstructionTTL < 1 {
+		return nil, errors.New("core: construction TTL must be >= 1")
+	}
+	if cfg.FindBudget < 1 {
+		return nil, errors.New("core: find budget must be >= 1")
+	}
+	if cfg.DataLevel && cfg.BK == nil {
+		return nil, errors.New("core: data level requires a background knowledge")
+	}
+	s := &System{cfg: cfg, net: net}
+	s.peers = make([]*Peer, net.Len())
+	for i := range s.peers {
+		p := &Peer{sys: s, id: p2p.NodeID(i), sp: -1, seenRounds: make(map[sumpeerKey]bool)}
+		s.peers[i] = p
+		net.SetHandler(p.id, p.handle)
+	}
+	net.Drop = s.onDrop
+	return s, nil
+}
+
+// Network returns the underlying overlay.
+func (s *System) Network() *p2p.Network { return s.net }
+
+// Config returns the active configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns the protocol event counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Peer returns the protocol state of a node.
+func (s *System) Peer(id p2p.NodeID) *Peer { return s.peers[id] }
+
+// SummaryPeers returns the elected summary peers.
+func (s *System) SummaryPeers() []p2p.NodeID { return s.sps }
+
+// SetLocalTree installs a peer's local summary (data level).
+func (s *System) SetLocalTree(id p2p.NodeID, t *saintetiq.Tree) { s.peers[id].local = t }
+
+// ElectSummaryPeers picks the k highest-degree nodes as summary peers,
+// exploiting peer heterogeneity as §3.1 prescribes for hybrid
+// architectures. Ties break on the lower id.
+func (s *System) ElectSummaryPeers(k int) []p2p.NodeID {
+	if k < 1 {
+		k = 1
+	}
+	if k > s.net.Len() {
+		k = s.net.Len()
+	}
+	ids := make([]p2p.NodeID, s.net.Len())
+	for i := range ids {
+		ids[i] = p2p.NodeID(i)
+	}
+	g := s.net.Graph()
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.Degree(int(ids[i])), g.Degree(int(ids[j]))
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	s.AssignSummaryPeers(ids[:k])
+	return s.sps
+}
+
+// AssignSummaryPeers designates the given nodes as summary peers and wires
+// the long-range links between them ("the summary peer SP sends the request
+// to the set of summary peers it knows", §5.2.2).
+func (s *System) AssignSummaryPeers(ids []p2p.NodeID) {
+	s.sps = append([]p2p.NodeID(nil), ids...)
+	sort.Slice(s.sps, func(i, j int) bool { return s.sps[i] < s.sps[j] })
+	for _, id := range s.sps {
+		p := s.peers[id]
+		p.role = RoleSummaryPeer
+		p.sp = -1
+		p.cl = NewCooperationList(s.cfg.Mode)
+		p.gs = s.newTree()
+		var others []p2p.NodeID
+		for _, o := range s.sps {
+			if o != id {
+				others = append(others, o)
+			}
+		}
+		p.knownSPs = others
+	}
+}
+
+func (s *System) newTree() *saintetiq.Tree {
+	if !s.cfg.DataLevel {
+		return nil
+	}
+	return saintetiq.New(s.cfg.BK, s.cfg.TreeCfg)
+}
+
+// Construct runs the §4.1 domain construction: every summary peer
+// broadcasts a sumpeer message with the configured TTL, peers adopt the
+// closest summary peer and ship their local summaries, and stragglers that
+// no broadcast reached locate a domain with a selective walk. The engine is
+// run to quiescence.
+func (s *System) Construct() error {
+	if len(s.sps) == 0 {
+		return errors.New("core: no summary peers assigned")
+	}
+	s.round++
+	for _, id := range s.sps {
+		s.broadcastSumpeer(id)
+	}
+	s.net.Engine().Run()
+	// Stragglers: peers outside every broadcast radius use find.
+	for _, p := range s.peers {
+		if p.role == RoleClient && p.sp < 0 && s.net.Online(p.id) {
+			s.findDomain(p)
+		}
+	}
+	s.net.Engine().Run()
+	s.built = true
+	return nil
+}
+
+// broadcastSumpeer floods the announcement from the summary peer.
+func (s *System) broadcastSumpeer(spID p2p.NodeID) {
+	sp := s.peers[spID]
+	sp.seenRounds[sumpeerKey{spID, s.round}] = true
+	for _, nb := range s.net.Neighbors(spID) {
+		s.net.SendNew(MsgSumpeer, spID, nb, s.cfg.ConstructionTTL-1,
+			sumpeerPayload{SP: spID, Round: s.round, Hops: 1})
+	}
+}
+
+// findDomain runs the selective walk of the find protocol and adopts the
+// summary peer of the first partner reached.
+func (s *System) findDomain(p *Peer) {
+	s.stats.FindWalks++
+	res := s.net.SelectiveWalk(MsgFind, p.id, s.cfg.FindBudget, func(id p2p.NodeID) bool {
+		if id == p.id {
+			return false
+		}
+		o := s.peers[id]
+		if o.role == RoleSummaryPeer {
+			return true
+		}
+		return o.sp >= 0 && s.net.Online(o.sp)
+	})
+	if res.Found < 0 {
+		return
+	}
+	target := s.peers[res.Found]
+	spID := target.id
+	if target.role == RoleClient {
+		spID = target.sp
+	}
+	p.adopt(spID, s.hopsTo(p.id, spID))
+}
+
+// hopsTo estimates the hop distance between two nodes (used for the
+// closer-summary-peer comparison; the paper notes latency or any other
+// metric works).
+func (s *System) hopsTo(a, b p2p.NodeID) int {
+	dist := s.net.Graph().BFSWithin(int(a), 6)
+	if d, ok := dist[int(b)]; ok {
+		return d
+	}
+	return 7
+}
+
+// adopt makes p a partner of spID, shipping its local summary.
+func (p *Peer) adopt(spID p2p.NodeID, hops int) {
+	p.sp = spID
+	p.spHops = hops
+	payload := localsumPayload{Rejoin: p.sys.built}
+	if p.sys.cfg.DataLevel && p.local != nil {
+		payload.Tree = p.local.Clone()
+	}
+	p.sys.net.SendNew(MsgLocalsum, p.id, spID, 0, payload)
+}
+
+// handle dispatches incoming protocol messages.
+func (p *Peer) handle(msg *p2p.Message) {
+	switch msg.Type {
+	case MsgSumpeer:
+		p.onSumpeer(msg)
+	case MsgLocalsum:
+		p.onLocalsum(msg)
+	case MsgDrop:
+		if p.cl != nil {
+			p.cl.Remove(msg.From)
+		}
+	case MsgPush:
+		p.onPush(msg)
+	case MsgReconcile:
+		p.onReconcile(msg)
+	case MsgRelease:
+		p.onRelease(msg)
+	}
+}
+
+// onSumpeer implements the §4.1 construction rules at a receiving peer.
+func (p *Peer) onSumpeer(msg *p2p.Message) {
+	pl := msg.Payload.(sumpeerPayload)
+	key := sumpeerKey{pl.SP, pl.Round}
+	if p.seenRounds[key] {
+		return // duplicate broadcast copy
+	}
+	p.seenRounds[key] = true
+
+	if p.role == RoleClient {
+		switch {
+		case p.sp < 0:
+			// First sumpeer message: become a partner.
+			p.adopt(pl.SP, pl.Hops)
+		case p.sp != pl.SP && pl.Hops < p.spHops:
+			// A strictly closer summary peer: drop the old partnership.
+			p.sys.net.SendNew(MsgDrop, p.id, p.sp, 0, nil)
+			p.adopt(pl.SP, pl.Hops)
+		}
+	}
+
+	// Forward the broadcast while TTL remains.
+	if msg.TTL > 0 {
+		fwd := sumpeerPayload{SP: pl.SP, Round: pl.Round, Hops: pl.Hops + 1}
+		for _, nb := range p.sys.net.Neighbors(p.id) {
+			if nb != msg.From {
+				p.sys.net.SendNew(MsgSumpeer, p.id, nb, msg.TTL-1, fwd)
+			}
+		}
+	}
+}
+
+// onLocalsum registers (or refreshes) a partner at the summary peer.
+func (p *Peer) onLocalsum(msg *p2p.Message) {
+	if p.role != RoleSummaryPeer {
+		return
+	}
+	pl := msg.Payload.(localsumPayload)
+	if !pl.Rejoin || p.sys.cfg.MergeOnJoin {
+		// Construction-time localsum (or the merge-on-join ablation):
+		// merge immediately, descriptions are fresh.
+		if p.sys.cfg.DataLevel && pl.Tree != nil {
+			if err := p.gs.Merge(pl.Tree); err != nil {
+				// Incompatible vocabulary: register the partner anyway but
+				// flag it for the next pull.
+				p.cl.Set(msg.From, Stale)
+				return
+			}
+		}
+		p.cl.Set(msg.From, Fresh)
+		return
+	}
+	// Later join (§4.3): record the partner but defer the merge to the
+	// next reconciliation; value 1 marks the need to pull it.
+	p.cl.Set(msg.From, Stale)
+	p.maybeReconcile()
+}
+
+// onPush updates the pushing partner's freshness value and checks the
+// reconciliation trigger.
+func (p *Peer) onPush(msg *p2p.Message) {
+	if p.role != RoleSummaryPeer || !p.cl.Has(msg.From) {
+		return
+	}
+	pl := msg.Payload.(pushPayload)
+	v := pl.V
+	if p.sys.cfg.Mode == TwoBit && v == Unavailable && p.sys.cfg.KeepUnavailable {
+		// First alternative of §4.3: keep the descriptions and keep using
+		// them for approximate answering; do not accelerate reconciliation.
+		p.cl.Set(msg.From, Unavailable)
+		return
+	}
+	p.cl.Set(msg.From, v)
+	p.maybeReconcile()
+}
+
+// maybeReconcile starts a ring reconciliation when Σv/|CL| >= α (§4.2.2).
+func (p *Peer) maybeReconcile() {
+	if p.role != RoleSummaryPeer || p.reconciling {
+		return
+	}
+	if p.cl.Len() == 0 || p.cl.StaleFraction() < p.sys.cfg.Alpha {
+		return
+	}
+	p.reconciling = true
+	remaining := p.onlinePartners()
+	pl := reconcilePayload{SP: p.id, NewGS: p.sys.newTree()}
+	p.forwardReconcile(pl, remaining)
+}
+
+// onlinePartners returns the CL partners currently online, in ring order.
+func (p *Peer) onlinePartners() []p2p.NodeID {
+	var out []p2p.NodeID
+	for _, id := range p.cl.Partners() {
+		if p.sys.net.Online(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// forwardReconcile sends the reconciliation token to the next online
+// partner, or back to the summary peer when the ring is exhausted.
+func (p *Peer) forwardReconcile(pl reconcilePayload, remaining []p2p.NodeID) {
+	for len(remaining) > 0 {
+		next := remaining[0]
+		rest := remaining[1:]
+		if p.sys.net.Online(next) {
+			pl.Remaining = rest
+			p.sys.net.SendNew(MsgReconcile, p.id, next, 0, pl)
+			return
+		}
+		remaining = rest
+	}
+	// Ring exhausted: hand the new version to the summary peer.
+	pl.Remaining = nil
+	if p.id == pl.SP {
+		// Degenerate ring (no online partner): complete synchronously.
+		p.completeReconcile(pl)
+		return
+	}
+	p.sys.net.SendNew(MsgReconcile, p.id, pl.SP, 0, pl)
+}
+
+// onReconcile is executed by each partner on the ring, and by the summary
+// peer when the token returns.
+func (p *Peer) onReconcile(msg *p2p.Message) {
+	pl := msg.Payload.(reconcilePayload)
+	if p.role == RoleSummaryPeer && p.id == pl.SP {
+		p.completeReconcile(pl)
+		return
+	}
+	// Partner: merge the current local summary into the new version, then
+	// pass the token on (§4.2.2 distributes the merge work over partners).
+	if p.sys.cfg.DataLevel && pl.NewGS != nil && p.local != nil {
+		if err := pl.NewGS.Merge(p.local); err != nil {
+			// Incompatible local summary: skip its contribution.
+			_ = err
+		}
+	}
+	pl.Merged = append(pl.Merged, p.id)
+	p.forwardReconcile(pl, pl.Remaining)
+}
+
+// completeReconcile installs the rebuilt global summary (one update
+// operation, keeping availability high) and resets the freshness values.
+func (p *Peer) completeReconcile(pl reconcilePayload) {
+	if p.sys.cfg.DataLevel {
+		newGS := pl.NewGS
+		if newGS == nil {
+			newGS = p.sys.newTree()
+		}
+		if p.local != nil {
+			// The summary peer's own data belongs to the domain too.
+			if err := newGS.Merge(p.local); err != nil {
+				_ = err
+			}
+		}
+		p.gs = newGS
+	}
+	merged := make(map[p2p.NodeID]bool, len(pl.Merged))
+	for _, id := range pl.Merged {
+		merged[id] = true
+	}
+	// Partners that did not participate because they are gone are omitted
+	// from the new version: their descriptions are gone, so their entries
+	// leave the cooperation list (§4.3 second alternative). Online
+	// partners that joined while the ring was in flight stay flagged for
+	// the next pull.
+	for _, id := range p.cl.Partners() {
+		switch {
+		case merged[id]:
+			p.cl.Set(id, Fresh)
+		case p.sys.net.Online(id):
+			p.cl.Set(id, Stale)
+		default:
+			p.cl.Remove(id)
+		}
+	}
+	p.reconciling = false
+	p.sys.stats.Reconciliations++
+	if p.sys.OnReconcile != nil {
+		p.sys.OnReconcile(p.id, pl.Merged)
+	}
+}
+
+// onRelease reacts to a departing summary peer: find a new domain (§4.3).
+func (p *Peer) onRelease(msg *p2p.Message) {
+	if p.sp == msg.From {
+		p.sp = -1
+		p.sys.findDomain(p)
+	}
+}
+
+// MarkModified signals that the peer's local summary changed enough to
+// invalidate its merged description (§4.2.1): a push with v = 1 travels to
+// the summary peer.
+func (s *System) MarkModified(id p2p.NodeID) {
+	p := s.peers[id]
+	if !s.net.Online(id) {
+		return
+	}
+	sp := p.SummaryPeer()
+	if sp < 0 {
+		return
+	}
+	s.stats.Pushes++
+	if p.role == RoleSummaryPeer {
+		// A summary peer's own modification feeds its own list.
+		if p.cl.Has(p.id) {
+			p.cl.Set(p.id, Stale)
+			p.maybeReconcile()
+		}
+		return
+	}
+	s.net.SendNew(MsgPush, id, sp, 0, pushPayload{V: Stale})
+}
+
+// Leave disconnects a peer. A graceful client pushes its departure first
+// (v=2 in two-bit mode, folded to 1 in one-bit); a graceful summary peer
+// releases its partners. A non-graceful leave is a silent failure (§4.3).
+func (s *System) Leave(id p2p.NodeID, graceful bool) {
+	p := s.peers[id]
+	if !s.net.Online(id) {
+		return
+	}
+	if graceful {
+		if p.role == RoleSummaryPeer {
+			s.stats.SPDepartures++
+			for _, partner := range p.cl.Partners() {
+				s.net.SendNew(MsgRelease, id, partner, 0, nil)
+			}
+		} else if p.sp >= 0 {
+			s.stats.GracefulLeaves++
+			s.net.SendNew(MsgPush, id, p.sp, 0, pushPayload{V: Unavailable})
+		}
+	} else {
+		s.stats.Failures++
+	}
+	s.net.SetOnline(id, false)
+	if p.role == RoleClient {
+		p.sp = -1
+	}
+}
+
+// Join reconnects a peer (§4.3): it contacts its neighbors; if one of them
+// is a partner, it adopts that neighbor's summary peer (freshness 1 —
+// "the need of pulling peer p to get new data descriptions"); otherwise it
+// walks.
+func (s *System) Join(id p2p.NodeID) {
+	p := s.peers[id]
+	if s.net.Online(id) {
+		return
+	}
+	s.net.SetOnline(id, true)
+	s.stats.Joins++
+	if p.role == RoleSummaryPeer {
+		return // returning summary peers resume their role
+	}
+	p.sp = -1
+	for _, nb := range s.net.Neighbors(id) {
+		o := s.peers[nb]
+		if o.role == RoleSummaryPeer {
+			p.adopt(nb, 1)
+			return
+		}
+		if o.sp >= 0 && s.net.Online(o.sp) {
+			p.adopt(o.sp, o.spHops+1)
+			return
+		}
+	}
+	s.findDomain(p)
+}
+
+// onDrop reacts to messages lost to offline receivers, implementing the
+// failure-detection paths of §4.3.
+func (s *System) onDrop(msg *p2p.Message) {
+	switch msg.Type {
+	case MsgPush, MsgLocalsum:
+		// The partner detects its summary peer's failure and searches for
+		// a new one.
+		p := s.peers[msg.From]
+		if p.role == RoleClient && s.net.Online(p.id) && p.sp == msg.To {
+			p.sp = -1
+			s.findDomain(p)
+		}
+	case MsgReconcile:
+		// The ring token hit a peer that disconnected in flight: the
+		// sender skips it and forwards to the rest of the ring.
+		pl := msg.Payload.(reconcilePayload)
+		sender := s.peers[msg.From]
+		sender.forwardReconcile(pl, pl.Remaining)
+	}
+}
+
+// DomainOf returns the summary peer governing a node, or -1.
+func (s *System) DomainOf(id p2p.NodeID) p2p.NodeID { return s.peers[id].SummaryPeer() }
+
+// DomainMembers returns the online partners of a summary peer (§3.1: "a
+// domain is the set of a superpeer and its clients"), including itself.
+func (s *System) DomainMembers(sp p2p.NodeID) []p2p.NodeID {
+	p := s.peers[sp]
+	if p.role != RoleSummaryPeer {
+		return nil
+	}
+	out := []p2p.NodeID{sp}
+	for _, id := range p.cl.Partners() {
+		if s.net.Online(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Coverage returns the fraction of online clients that currently belong to
+// a domain (the paper's summary Coverage, Definition 4 context).
+func (s *System) Coverage() float64 {
+	online, covered := 0, 0
+	for _, p := range s.peers {
+		if !s.net.Online(p.id) {
+			continue
+		}
+		online++
+		if p.IsPartner() {
+			covered++
+		}
+	}
+	if online == 0 {
+		return 0
+	}
+	return float64(covered) / float64(online)
+}

@@ -1,0 +1,278 @@
+// Package costmodel implements the analytic cost model of paper §6.1: the
+// summary update cost (equation 1), the storage model, the intra-domain and
+// inter-domain query costs (Cd, Cf) and the total query cost (equation 2),
+// plus the closed forms of the centralized-index and pure-flooding
+// baselines used in Figure 7. The simulation experiments cross-validate
+// their measurements against these forms.
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// UpdateParams feeds the §6.1.1 update-cost model.
+type UpdateParams struct {
+	// LifetimeSec is L, the average local-summary lifetime in seconds.
+	LifetimeSec float64
+	// ReconciliationFreq is Frec, reconciliations per node per second.
+	ReconciliationFreq float64
+}
+
+// UpdateCost returns Cup = 1/L + Frec messages per node per second
+// (equation 1).
+func UpdateCost(p UpdateParams) (float64, error) {
+	if p.LifetimeSec <= 0 {
+		return 0, errors.New("costmodel: lifetime must be positive")
+	}
+	if p.ReconciliationFreq < 0 {
+		return 0, errors.New("costmodel: reconciliation frequency must be >= 0")
+	}
+	return 1/p.LifetimeSec + p.ReconciliationFreq, nil
+}
+
+// ReconciliationFreqForAlpha estimates Frec per node per second for a
+// domain where each partner's description expires after L seconds on
+// average: the stale fraction grows at rate ~1/L per entry, crossing the
+// threshold α after α·L seconds, and one reconciliation costs |CL|+1
+// messages spread over |CL| nodes.
+func ReconciliationFreqForAlpha(alpha, lifetimeSec float64, domainSize int) (float64, error) {
+	if alpha <= 0 || alpha > 1 {
+		return 0, fmt.Errorf("costmodel: alpha %g out of (0,1]", alpha)
+	}
+	if lifetimeSec <= 0 {
+		return 0, errors.New("costmodel: lifetime must be positive")
+	}
+	if domainSize < 1 {
+		return 0, errors.New("costmodel: domain size must be >= 1")
+	}
+	period := alpha * lifetimeSec // time to accumulate an α-fraction of stale bits
+	msgsPerRec := float64(domainSize + 1)
+	return msgsPerRec / period / float64(domainSize), nil
+}
+
+// StorageParams feeds the §6.1.1 storage model.
+type StorageParams struct {
+	// SummaryBytes is k, the average size of one summary node (the paper
+	// estimates 512 bytes from real tests).
+	SummaryBytes float64
+	// Arity is B, the average branching factor of the hierarchy.
+	Arity float64
+	// Depth is d, the average depth.
+	Depth int
+}
+
+// PaperStorage returns the paper's constants (k = 512 bytes).
+func PaperStorage(arity float64, depth int) StorageParams {
+	return StorageParams{SummaryBytes: 512, Arity: arity, Depth: depth}
+}
+
+// StorageCost returns Cm = k · (B^{d+1} − 1)/(B − 1) bytes: the space of a
+// B-ary summary hierarchy of depth d.
+func StorageCost(p StorageParams) (float64, error) {
+	if p.SummaryBytes <= 0 {
+		return 0, errors.New("costmodel: summary size must be positive")
+	}
+	if p.Arity <= 1 {
+		return 0, errors.New("costmodel: arity must exceed 1")
+	}
+	if p.Depth < 0 {
+		return 0, errors.New("costmodel: depth must be >= 0")
+	}
+	nodes := (math.Pow(p.Arity, float64(p.Depth+1)) - 1) / (p.Arity - 1)
+	return p.SummaryBytes * nodes, nil
+}
+
+// QueryParams feeds the §6.1.2 query-cost model.
+type QueryParams struct {
+	// RelevantPeers is |PQ|, the relevant peers per domain.
+	RelevantPeers float64
+	// FalsePositiveRate is FP, the fraction of false positives in PQ.
+	FalsePositiveRate float64
+	// AvgDegree is k, the overlay's average degree (the paper cites 3.5,
+	// Gnutella-like).
+	AvgDegree float64
+	// TTL bounds inter-domain flooding.
+	TTL int
+	// RequiredResults is Ct, the number of results the user requires.
+	RequiredResults float64
+}
+
+// Validate checks the parameters.
+func (p QueryParams) Validate() error {
+	if p.RelevantPeers < 0 {
+		return errors.New("costmodel: relevant peers must be >= 0")
+	}
+	if p.FalsePositiveRate < 0 || p.FalsePositiveRate >= 1 {
+		return errors.New("costmodel: false-positive rate must be in [0,1)")
+	}
+	if p.AvgDegree <= 0 {
+		return errors.New("costmodel: average degree must be positive")
+	}
+	if p.TTL < 0 {
+		return errors.New("costmodel: TTL must be >= 0")
+	}
+	if p.RequiredResults < 0 {
+		return errors.New("costmodel: required results must be >= 0")
+	}
+	return nil
+}
+
+// DomainQueryCost returns Cd = 1 + |PQ| + (1−FP)·|PQ| messages: the query
+// to the summary peer, the fan-out to the relevant peers, and the hits
+// coming back.
+func DomainQueryCost(p QueryParams) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return 1 + p.RelevantPeers + (1-p.FalsePositiveRate)*p.RelevantPeers, nil
+}
+
+// FloodingStageCost returns Cf = ((1−FP)·|PQ| + 2) · Σ_{i=1..TTL} k^i:
+// the responders, the originator and the summary peer each flood with the
+// given TTL.
+func FloodingStageCost(p QueryParams) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var reach float64
+	for i := 1; i <= p.TTL; i++ {
+		reach += math.Pow(p.AvgDegree, float64(i))
+	}
+	return ((1-p.FalsePositiveRate)*p.RelevantPeers + 2) * reach, nil
+}
+
+// TotalQueryCost returns equation 2:
+//
+//	CQ = Cd · Ct/((1−FP)·|PQ|) + Cf · (1 − Ct/((1−FP)·|PQ|))
+//
+// where Ct/((1−FP)·|PQ|) is the number of domains to visit. When one
+// domain suffices no flooding happens.
+func TotalQueryCost(p QueryParams) (float64, error) {
+	cd, err := DomainQueryCost(p)
+	if err != nil {
+		return 0, err
+	}
+	cf, err := FloodingStageCost(p)
+	if err != nil {
+		return 0, err
+	}
+	hits := (1 - p.FalsePositiveRate) * p.RelevantPeers
+	if hits <= 0 {
+		return cd, nil
+	}
+	domains := p.RequiredResults / hits
+	if domains <= 1 {
+		return cd, nil
+	}
+	return cd*domains + cf*(domains-1), nil
+}
+
+// PaperSQQueryCost reproduces the Figure 7 instantiation: the query hit is
+// 10% of n peers, each domain provides 10% of the relevant peers (1% of the
+// network), so CQ = 10·Cd + 9·Cf. The inter-domain flooding stage uses a
+// deliberately small TTL ("with a limited value of TTL", §5.2.2); the paper
+// does not pin the value, and interTTL = 1 reproduces the reported ~3.5x
+// savings factor over pure flooding at n = 2000.
+func PaperSQQueryCost(n int, fp float64, avgDegree float64, interTTL int) (float64, error) {
+	perDomain := 0.01 * float64(n) // answers found per domain
+	p := QueryParams{
+		RelevantPeers:     perDomain / (1 - fp), // |PQ| per domain
+		FalsePositiveRate: fp,
+		AvgDegree:         avgDegree,
+		TTL:               interTTL,
+		RequiredResults:   0.10 * float64(n),
+	}
+	cd, err := DomainQueryCost(p)
+	if err != nil {
+		return 0, err
+	}
+	cf, err := FloodingStageCost(p)
+	if err != nil {
+		return 0, err
+	}
+	return 10*cd + 9*cf, nil
+}
+
+// CentralizedQueryCost returns the §6.2.3 centralized-index cost with a
+// complete, consistent index: CQ = 1 + 2·(hitFraction·n) — one message to
+// the index, one to every relevant peer, one response from each.
+func CentralizedQueryCost(n int, hitFraction float64) (float64, error) {
+	if n < 0 {
+		return 0, errors.New("costmodel: n must be >= 0")
+	}
+	if hitFraction < 0 || hitFraction > 1 {
+		return 0, errors.New("costmodel: hit fraction must be in [0,1]")
+	}
+	return 1 + 2*hitFraction*float64(n), nil
+}
+
+// MeanFieldFloodingCost estimates TTL-bounded flooding on a degree-regular
+// random graph: every reached peer forwards to its other k−1 neighbors, so
+// transmissions approach Σ_{i=1..TTL} k·(k−1)^{i−1}, capped by the edge
+// budget; hits respond. On power-law graphs this badly underestimates the
+// reach (hubs explode the branching); use PowerLawFloodingCost there.
+func MeanFieldFloodingCost(n int, hitFraction, avgDegree float64, ttl int) (float64, error) {
+	if err := checkFloodArgs(n, hitFraction, avgDegree, ttl); err != nil {
+		return 0, err
+	}
+	var msgs, reached float64
+	frontier := 1.0
+	for i := 1; i <= ttl; i++ {
+		branch := avgDegree
+		if i > 1 {
+			branch = avgDegree - 1
+		}
+		frontier *= branch
+		msgs += frontier
+		reached += frontier
+	}
+	if reached > float64(n) {
+		// The flood saturates the network: transmissions bounded by ~2E.
+		msgs = avgDegree * float64(n)
+		reached = float64(n)
+	}
+	responses := hitFraction * math.Min(reached, float64(n))
+	return msgs + responses, nil
+}
+
+// DefaultFloodReach is the fraction of a power-law (BA, m=2) overlay a
+// TTL=3 Gnutella flood reaches through the hubs; the Figure 7 simulation
+// cross-checks this calibration.
+const DefaultFloodReach = 0.75
+
+// PowerLawFloodingCost estimates the paper's pure-flooding baseline on a
+// power-law overlay (§6.2.3, TTL = 3): the hub structure makes a TTL=3
+// flood reach the reachFraction of the network, every reached peer
+// transmits to its other neighbors (duplicates hit the wire), and the
+// matching peers respond. Transmissions ≈ reach·n·(k−1); the cost is
+// linear in n, which is exactly the Figure 7 flooding curve.
+func PowerLawFloodingCost(n int, hitFraction, avgDegree, reachFraction float64, ttl int) (float64, error) {
+	if err := checkFloodArgs(n, hitFraction, avgDegree, ttl); err != nil {
+		return 0, err
+	}
+	if reachFraction <= 0 || reachFraction > 1 {
+		return 0, errors.New("costmodel: reach fraction must be in (0,1]")
+	}
+	reached := reachFraction * float64(n)
+	msgs := reached * (avgDegree - 1)
+	responses := hitFraction * reached
+	return msgs + responses, nil
+}
+
+func checkFloodArgs(n int, hitFraction, avgDegree float64, ttl int) error {
+	if n <= 0 {
+		return errors.New("costmodel: n must be positive")
+	}
+	if hitFraction < 0 || hitFraction > 1 {
+		return errors.New("costmodel: hit fraction must be in [0,1]")
+	}
+	if avgDegree <= 1 {
+		return errors.New("costmodel: average degree must exceed 1")
+	}
+	if ttl < 0 {
+		return errors.New("costmodel: TTL must be >= 0")
+	}
+	return nil
+}

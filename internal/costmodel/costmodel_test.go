@@ -1,0 +1,283 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestUpdateCost(t *testing.T) {
+	// L = 3 h, no reconciliation: 1/10800 messages per node per second.
+	c, err := UpdateCost(UpdateParams{LifetimeSec: 10800})
+	if err != nil || !almost(c, 1.0/10800, 1e-12) {
+		t.Errorf("UpdateCost = %g (%v)", c, err)
+	}
+	c, err = UpdateCost(UpdateParams{LifetimeSec: 3600, ReconciliationFreq: 0.001})
+	if err != nil || !almost(c, 1.0/3600+0.001, 1e-12) {
+		t.Errorf("UpdateCost = %g (%v)", c, err)
+	}
+	if _, err := UpdateCost(UpdateParams{LifetimeSec: 0}); err == nil {
+		t.Error("zero lifetime accepted")
+	}
+	if _, err := UpdateCost(UpdateParams{LifetimeSec: 1, ReconciliationFreq: -1}); err == nil {
+		t.Error("negative Frec accepted")
+	}
+}
+
+func TestReconciliationFreqForAlpha(t *testing.T) {
+	// Smaller alpha -> more frequent reconciliation.
+	lo, err := ReconciliationFreqForAlpha(0.8, 3600, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := ReconciliationFreqForAlpha(0.3, 3600, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Errorf("Frec(0.3)=%g should exceed Frec(0.8)=%g", hi, lo)
+	}
+	// Per-node frequency is nearly independent of domain size (the ring
+	// message count scales with the domain).
+	small, _ := ReconciliationFreqForAlpha(0.3, 3600, 100)
+	large, _ := ReconciliationFreqForAlpha(0.3, 3600, 2000)
+	if ratio := small / large; ratio < 0.9 || ratio > 1.2 {
+		t.Errorf("per-node Frec varies too much with domain size: %g vs %g", small, large)
+	}
+	for _, bad := range []struct {
+		a, l float64
+		d    int
+	}{{0, 1, 1}, {1.5, 1, 1}, {0.3, 0, 1}, {0.3, 1, 0}} {
+		if _, err := ReconciliationFreqForAlpha(bad.a, bad.l, bad.d); err == nil {
+			t.Errorf("bad params accepted: %+v", bad)
+		}
+	}
+}
+
+func TestStorageCost(t *testing.T) {
+	// B=2, d=2: (2^3-1)/(2-1) = 7 nodes, 512 bytes each.
+	c, err := StorageCost(PaperStorage(2, 2))
+	if err != nil || !almost(c, 7*512, 1e-9) {
+		t.Errorf("StorageCost = %g (%v), want 3584", c, err)
+	}
+	// Deeper hierarchies cost more.
+	shallow, _ := StorageCost(PaperStorage(3, 2))
+	deep, _ := StorageCost(PaperStorage(3, 4))
+	if deep <= shallow {
+		t.Error("deeper hierarchy not costlier")
+	}
+	for _, bad := range []StorageParams{
+		{SummaryBytes: 0, Arity: 2, Depth: 1},
+		{SummaryBytes: 512, Arity: 1, Depth: 1},
+		{SummaryBytes: 512, Arity: 2, Depth: -1},
+	} {
+		if _, err := StorageCost(bad); err == nil {
+			t.Errorf("bad storage params accepted: %+v", bad)
+		}
+	}
+}
+
+func TestDomainQueryCost(t *testing.T) {
+	// |PQ|=20, FP=0: 1 + 20 + 20 = 41.
+	c, err := DomainQueryCost(QueryParams{RelevantPeers: 20, AvgDegree: 3.5, TTL: 3})
+	if err != nil || !almost(c, 41, 1e-9) {
+		t.Errorf("Cd = %g (%v), want 41", c, err)
+	}
+	// FP=0.5 halves the responses: 1 + 20 + 10 = 31.
+	c, err = DomainQueryCost(QueryParams{RelevantPeers: 20, FalsePositiveRate: 0.5, AvgDegree: 3.5, TTL: 3})
+	if err != nil || !almost(c, 31, 1e-9) {
+		t.Errorf("Cd = %g (%v), want 31", c, err)
+	}
+}
+
+func TestFloodingStageCost(t *testing.T) {
+	// (hits+2) * (k + k^2 + k^3); hits=10, k=3.5, TTL=3.
+	p := QueryParams{RelevantPeers: 10, AvgDegree: 3.5, TTL: 3}
+	want := (10.0 + 2) * (3.5 + 3.5*3.5 + 3.5*3.5*3.5)
+	c, err := FloodingStageCost(p)
+	if err != nil || !almost(c, want, 1e-9) {
+		t.Errorf("Cf = %g (%v), want %g", c, err, want)
+	}
+	// TTL 0: no flooding.
+	p.TTL = 0
+	if c, _ := FloodingStageCost(p); c != 0 {
+		t.Errorf("Cf with TTL=0 = %g", c)
+	}
+}
+
+func TestTotalQueryCost(t *testing.T) {
+	// One domain suffices: Ct == (1-FP)|PQ| -> CQ = Cd.
+	p := QueryParams{RelevantPeers: 50, AvgDegree: 3.5, TTL: 3, RequiredResults: 50}
+	cd, _ := DomainQueryCost(p)
+	c, err := TotalQueryCost(p)
+	if err != nil || !almost(c, cd, 1e-9) {
+		t.Errorf("one-domain CQ = %g, want Cd = %g", c, cd)
+	}
+	// Ct = 2x hits: two domains, one flooding stage.
+	p.RequiredResults = 100
+	cf, _ := FloodingStageCost(p)
+	c, _ = TotalQueryCost(p)
+	if !almost(c, 2*cd+cf, 1e-6) {
+		t.Errorf("two-domain CQ = %g, want %g", c, 2*cd+cf)
+	}
+	// No hits at all: degenerate, just Cd.
+	p2 := QueryParams{RelevantPeers: 0, AvgDegree: 3.5, TTL: 3, RequiredResults: 10}
+	if c, err := TotalQueryCost(p2); err != nil || !almost(c, 1, 1e-9) {
+		t.Errorf("zero-hit CQ = %g (%v)", c, err)
+	}
+}
+
+func TestQueryParamsValidate(t *testing.T) {
+	bad := []QueryParams{
+		{RelevantPeers: -1, AvgDegree: 3, TTL: 1},
+		{RelevantPeers: 1, FalsePositiveRate: 1, AvgDegree: 3, TTL: 1},
+		{RelevantPeers: 1, AvgDegree: 0, TTL: 1},
+		{RelevantPeers: 1, AvgDegree: 3, TTL: -1},
+		{RelevantPeers: 1, AvgDegree: 3, TTL: 1, RequiredResults: -2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestPaperSQQueryCost(t *testing.T) {
+	// The Figure 7 shape: SQ cost grows linearly-ish with n, sits far
+	// below flooding and above the centralized index, and the savings
+	// factor at n=2000 is near the paper's reported 3.5x.
+	sq2000, err := PaperSQQueryCost(2000, 0.11, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flood2000, err := PowerLawFloodingCost(2000, 0.10, 4, DefaultFloodReach, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq2000 >= flood2000 {
+		t.Errorf("SQ (%g) not cheaper than flooding (%g) at n=2000", sq2000, flood2000)
+	}
+	if ratio := flood2000 / sq2000; ratio < 2 || ratio > 6 {
+		t.Errorf("savings factor = %g, paper reports ~3.5", ratio)
+	}
+	central2000, err := CentralizedQueryCost(2000, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if central2000 >= sq2000 {
+		t.Errorf("centralized (%g) not cheaper than SQ (%g)", central2000, sq2000)
+	}
+}
+
+func TestCentralizedQueryCost(t *testing.T) {
+	c, err := CentralizedQueryCost(1000, 0.10)
+	if err != nil || !almost(c, 1+2*100, 1e-9) {
+		t.Errorf("centralized = %g (%v), want 201", c, err)
+	}
+	if _, err := CentralizedQueryCost(-1, 0.1); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := CentralizedQueryCost(10, 2); err == nil {
+		t.Error("hit fraction > 1 accepted")
+	}
+}
+
+func TestMeanFieldFloodingCost(t *testing.T) {
+	// Small TTL on a large graph: k + k(k-1) + k(k-1)^2 transmissions.
+	c, err := MeanFieldFloodingCost(100000, 0, 4, 3)
+	want := 4.0 + 4*3 + 4*3*3
+	if err != nil || !almost(c, want, 1e-9) {
+		t.Errorf("flooding = %g (%v), want %g", c, err, want)
+	}
+	// Saturation: reached capped at n.
+	c, err = MeanFieldFloodingCost(50, 0.1, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > 4*50+0.1*50+1 {
+		t.Errorf("saturated flooding cost = %g exceeds edge bound", c)
+	}
+	for _, bad := range []struct {
+		n   int
+		h   float64
+		k   float64
+		ttl int
+	}{{0, 0.1, 4, 3}, {10, -1, 4, 3}, {10, 0.1, 1, 3}, {10, 0.1, 4, -1}} {
+		if _, err := MeanFieldFloodingCost(bad.n, bad.h, bad.k, bad.ttl); err == nil {
+			t.Errorf("bad flooding params accepted: %+v", bad)
+		}
+	}
+}
+
+func TestPowerLawFloodingCost(t *testing.T) {
+	// reach*n*(k-1) + hit*reach*n.
+	c, err := PowerLawFloodingCost(1000, 0.10, 4, 0.75, 3)
+	want := 0.75*1000*3 + 0.10*0.75*1000
+	if err != nil || !almost(c, want, 1e-9) {
+		t.Errorf("power-law flooding = %g (%v), want %g", c, err, want)
+	}
+	if _, err := PowerLawFloodingCost(1000, 0.1, 4, 0, 3); err == nil {
+		t.Error("zero reach accepted")
+	}
+	if _, err := PowerLawFloodingCost(1000, 0.1, 4, 1.5, 3); err == nil {
+		t.Error("reach > 1 accepted")
+	}
+	if _, err := PowerLawFloodingCost(-3, 0.1, 4, 0.5, 3); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+// TestFigure7Crossover verifies the headline comparison across the paper's
+// full network range: centralized < SQ < flooding for every n >= 500, and
+// the SQ savings factor grows with n (the paper reports 3.5x at n=2000).
+func TestFigure7Crossover(t *testing.T) {
+	prevRatio := 0.0
+	for _, n := range []int{500, 1000, 2000, 3000, 5000} {
+		sq, err := PaperSQQueryCost(n, 0.11, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, err := PowerLawFloodingCost(n, 0.10, 4, DefaultFloodReach, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ce, err := CentralizedQueryCost(n, 0.10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(ce < sq && sq < fl) {
+			t.Errorf("n=%d: ordering violated: central=%g sq=%g flood=%g", n, ce, sq, fl)
+		}
+		ratio := fl / sq
+		if ratio < prevRatio-0.5 {
+			t.Errorf("n=%d: savings ratio %g shrank from %g", n, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+// Property: all cost functions return non-negative finite values on valid
+// inputs.
+func TestQuickCostsFinite(t *testing.T) {
+	f := func(pqRaw, fpRaw, ctRaw uint16) bool {
+		p := QueryParams{
+			RelevantPeers:     float64(pqRaw % 1000),
+			FalsePositiveRate: float64(fpRaw%90) / 100,
+			AvgDegree:         3.5,
+			TTL:               3,
+			RequiredResults:   float64(ctRaw % 2000),
+		}
+		for _, fn := range []func(QueryParams) (float64, error){DomainQueryCost, FloodingStageCost, TotalQueryCost} {
+			c, err := fn(p)
+			if err != nil || c < 0 || math.IsInf(c, 0) || math.IsNaN(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

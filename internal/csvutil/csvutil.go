@@ -1,0 +1,153 @@
+// Package csvutil loads arbitrary CSV files into relations with inferred
+// schemas and parses the compact predicate syntax of the sumql tool
+// ("sex=female;bmi<19;disease=anorexia|malaria"). It exists so the CLI
+// glue is unit-testable.
+package csvutil
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"p2psum/internal/data"
+	"p2psum/internal/query"
+)
+
+// Load reads a CSV whose first column is a record id, infers each
+// remaining column's kind (numeric when every value parses as a float) and
+// returns the populated relation.
+func Load(name string, r io.Reader) (*data.Relation, error) {
+	all, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvutil: %w", err)
+	}
+	if len(all) < 2 {
+		return nil, fmt.Errorf("csvutil: need a header and at least one row")
+	}
+	header, rows := all[0], all[1:]
+	if len(header) < 2 {
+		return nil, fmt.Errorf("csvutil: need an id column plus at least one attribute")
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("csvutil: ragged row %v", row)
+		}
+	}
+	attrs := make([]data.Attribute, len(header)-1)
+	for c := 1; c < len(header); c++ {
+		kind := data.Numeric
+		for _, row := range rows {
+			if _, err := strconv.ParseFloat(row[c], 64); err != nil {
+				kind = data.Categorical
+				break
+			}
+		}
+		attrs[c-1] = data.Attribute{Name: header[c], Kind: kind}
+	}
+	schema, err := data.NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("csvutil: %w", err)
+	}
+	rel := data.NewRelation(name, schema)
+	for _, row := range rows {
+		rec := data.Record{ID: row[0], Values: make([]data.Value, schema.Len())}
+		for i := 0; i < schema.Len(); i++ {
+			if schema.Attr(i).Kind == data.Numeric {
+				x, err := strconv.ParseFloat(row[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("csvutil: row %s, column %s: %w", row[0], schema.Attr(i).Name, err)
+				}
+				rec.Values[i] = data.NumValue(x)
+			} else {
+				rec.Values[i] = data.StrValue(row[i+1])
+			}
+		}
+		if err := rel.Insert(rec); err != nil {
+			return nil, fmt.Errorf("csvutil: %w", err)
+		}
+	}
+	return rel, nil
+}
+
+// opTokens pairs textual operators with predicate ops; two-character
+// tokens first so "<=" wins over "<".
+var opTokens = []struct {
+	tok string
+	op  query.Op
+}{
+	{"<=", query.Le}, {">=", query.Ge}, {"<", query.Lt}, {">", query.Gt}, {"=", query.Eq},
+}
+
+// ParsePredicates parses a semicolon-separated predicate list against the
+// relation's schema. Numeric attributes accept =, <, <=, >, >=;
+// categorical attributes accept = with |-separated value lists.
+func ParsePredicates(rel *data.Relation, s string) ([]query.Predicate, error) {
+	var out []query.Predicate
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := parseOne(rel, part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("csvutil: no predicates in %q", s)
+	}
+	return out, nil
+}
+
+func parseOne(rel *data.Relation, part string) (query.Predicate, error) {
+	opIdx, opLen := -1, 0
+	var op query.Op
+	for _, cand := range opTokens {
+		if idx := strings.Index(part, cand.tok); idx >= 0 && (opIdx < 0 || idx < opIdx) {
+			opIdx, opLen, op = idx, len(cand.tok), cand.op
+		}
+	}
+	if opIdx <= 0 {
+		return query.Predicate{}, fmt.Errorf("csvutil: predicate %q has no operator", part)
+	}
+	attr := strings.TrimSpace(part[:opIdx])
+	valStr := strings.TrimSpace(part[opIdx+opLen:])
+	if valStr == "" {
+		return query.Predicate{}, fmt.Errorf("csvutil: predicate %q has no operand", part)
+	}
+	i := rel.Schema().Index(attr)
+	if i < 0 {
+		return query.Predicate{}, fmt.Errorf("csvutil: unknown attribute %q", attr)
+	}
+	p := query.Predicate{Attr: attr, Op: op}
+	if rel.Schema().Attr(i).Kind == data.Numeric {
+		x, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return query.Predicate{}, fmt.Errorf("csvutil: predicate %q: %w", part, err)
+		}
+		p.Num = x
+		return p, nil
+	}
+	if op != query.Eq {
+		return query.Predicate{}, fmt.Errorf("csvutil: categorical attribute %q supports only =", attr)
+	}
+	p.Strs = strings.Split(valStr, "|")
+	if len(p.Strs) > 1 {
+		p.Op = query.In
+	}
+	return p, nil
+}
+
+// SplitSelect parses a comma-separated attribute list, trimming blanks.
+func SplitSelect(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

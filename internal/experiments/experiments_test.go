@@ -1,0 +1,382 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"p2psum/internal/core"
+	"p2psum/internal/costmodel"
+	"p2psum/internal/routing"
+	"p2psum/internal/stats"
+)
+
+func TestParamsTable(t *testing.T) {
+	out := ParamsTable(Default())
+	for _, want := range []string{"mean=3h", "median=1h", "200", "10%", "20 min"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMappingWalkthrough(t *testing.T) {
+	out, err := MappingWalkthrough()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "Table 2", "anorexia", "0.30/adult", "count=2.00", "count=0.70"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("walkthrough misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func yRange(s *stats.Series) (lo, hi float64) {
+	lo, hi = 1e18, -1e18
+	for _, p := range s.Points {
+		if p.Y < lo {
+			lo = p.Y
+		}
+		if p.Y > hi {
+			hi = p.Y
+		}
+	}
+	return
+}
+
+func TestFigure4Shape(t *testing.T) {
+	cfg := Quick()
+	tbl, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != len(cfg.Alphas) {
+		t.Fatalf("got %d series, want %d", len(tbl.Series), len(cfg.Alphas))
+	}
+	// Stale-answer percentages live in [0, 100] and a larger alpha
+	// tolerates more staleness on average.
+	var means []float64
+	for _, s := range tbl.Series {
+		if len(s.Points) != len(cfg.DomainSizes) {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Points))
+		}
+		var sum float64
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 100 {
+				t.Errorf("series %s point %v out of range", s.Name, p)
+			}
+			sum += p.Y
+		}
+		means = append(means, sum/float64(len(s.Points)))
+	}
+	if means[0] >= means[len(means)-1] {
+		t.Errorf("alpha=%.1f staleness (%.2f%%) should be below alpha=%.1f (%.2f%%)",
+			cfg.Alphas[0], means[0], cfg.Alphas[len(cfg.Alphas)-1], means[len(means)-1])
+	}
+	if !strings.Contains(tbl.String(), "Figure 4") {
+		t.Error("table title missing")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	cfg := Quick()
+	tbl, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 {
+		t.Fatalf("want real+worst series, got %d", len(tbl.Series))
+	}
+	realLo, realHi := yRange(tbl.Series[0])
+	worstLo, _ := yRange(tbl.Series[1])
+	_ = worstLo
+	if realLo < 0 || realHi > 100 {
+		t.Errorf("real FN rate out of range: [%g, %g]", realLo, realHi)
+	}
+	// The real estimation sits well below the worst case (paper: ~4.5x).
+	var realSum, worstSum float64
+	for i := range tbl.Series[0].Points {
+		realSum += tbl.Series[0].Points[i].Y
+		worstSum += tbl.Series[1].Points[i].Y
+	}
+	if worstSum > 0 && realSum >= worstSum {
+		t.Errorf("real (%g) not below worst case (%g)", realSum, worstSum)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	cfg := Quick()
+	tbl, err := Figure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 6 {
+		t.Fatalf("want 2 total + 2 per-node + 2 logical series, got %d", len(tbl.Series))
+	}
+	// Total messages increase with domain size.
+	tot03 := tbl.Series[0]
+	first, last := tot03.Points[0], tot03.Points[len(tot03.Points)-1]
+	if last.Y <= first.Y {
+		t.Errorf("total messages did not grow with domain size: %g -> %g", first.Y, last.Y)
+	}
+	// Per-node cost roughly flat: largest/smallest per-node within 4x.
+	per03 := tbl.Series[2]
+	lo, hi := yRange(per03)
+	if lo > 0 && hi/lo > 4 {
+		t.Errorf("per-node cost not flat: [%g, %g]", lo, hi)
+	}
+	// alpha=0.3 costs at least as much as alpha=0.8 overall.
+	var sum03, sum08 float64
+	for i := range tbl.Series[0].Points {
+		sum03 += tbl.Series[0].Points[i].Y
+		sum08 += tbl.Series[1].Points[i].Y
+	}
+	if sum03 < sum08 {
+		t.Errorf("alpha=0.3 total (%g) below alpha=0.8 (%g)", sum03, sum08)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	cfg := Quick()
+	tbl, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) < 4 {
+		t.Fatalf("want >= 4 series, got %d", len(tbl.Series))
+	}
+	// Order: centralized, SQ, flood single-round, flood-to-Ct, model.
+	ce, sq, flFull := tbl.Series[0], tbl.Series[1], tbl.Series[3]
+	for _, p := range sq.Points {
+		c, f := ce.YAt(p.X), flFull.YAt(p.X)
+		if p.X < 250 {
+			continue // tiny networks: flooding reaches everyone at once
+		}
+		if !(c < p.Y) {
+			t.Errorf("n=%g: centralized (%g) not cheaper than SQ (%g)", p.X, c, p.Y)
+		}
+		if !(p.Y < f) {
+			t.Errorf("n=%g: SQ (%g) not cheaper than result-equivalent flooding (%g)", p.X, p.Y, f)
+		}
+	}
+	// Costs grow with network size for all approaches.
+	for _, s := range []*stats.Series{ce, sq, flFull} {
+		if len(s.Points) >= 2 && s.Points[len(s.Points)-1].Y <= s.Points[0].Y {
+			t.Errorf("series %s does not grow with n", s.Name)
+		}
+	}
+}
+
+func TestStorageTable(t *testing.T) {
+	tbl, err := StorageTable(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.Series[0]
+	if len(s.Points) != 4 {
+		t.Fatalf("want 4 depths, got %d", len(s.Points))
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y <= s.Points[i-1].Y {
+			t.Error("storage cost not increasing with depth")
+		}
+	}
+	if len(tbl.Notes) == 0 || !strings.Contains(tbl.Notes[0], "measured") {
+		t.Error("measured note missing")
+	}
+}
+
+func TestAblationMaintenance(t *testing.T) {
+	cfg := Quick()
+	cfg.DomainSizes = []int{50, 100}
+	tbl, err := AblationMaintenance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 6 {
+		t.Fatalf("want 3 msg + 3 stale series, got %d", len(tbl.Series))
+	}
+	// Eager reconciliation must be fresher than the α=0.3 baseline.
+	var baseStale, eagerStale float64
+	for i := range tbl.Series[3].Points {
+		baseStale += tbl.Series[3].Points[i].Y
+		eagerStale += tbl.Series[5].Points[i].Y
+	}
+	if eagerStale > baseStale {
+		t.Errorf("eager staleness (%g) above baseline (%g)", eagerStale, baseStale)
+	}
+}
+
+func TestAblationRoutingModes(t *testing.T) {
+	cfg := Quick()
+	cfg.DomainSizes = []int{150}
+	tbl, err := AblationRoutingModes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	precision, recall := tbl.Series[0], tbl.Series[1]
+	// x=1 is precise, x=2 is max-recall.
+	if p := precision.YAt(1); p < 0.999 {
+		t.Errorf("precise-mode precision = %g, want 1", p)
+	}
+	if r := recall.YAt(2); r < 0.999 {
+		t.Errorf("max-recall recall = %g, want 1", r)
+	}
+}
+
+func TestAblationWalks(t *testing.T) {
+	cfg := Quick()
+	cfg.NetworkSizes = []int{64, 128}
+	tbl, err := AblationWalks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, rnd := tbl.Series[0], tbl.Series[1]
+	var sSum, rSum float64
+	for i := range sel.Points {
+		sSum += sel.Points[i].Y
+		rSum += rnd.Points[i].Y
+	}
+	if sSum >= rSum {
+		t.Errorf("selective walk (%g hops avg) not shorter than random (%g)", sSum, rSum)
+	}
+}
+
+func TestAblationConstructionTTL(t *testing.T) {
+	cfg := Quick()
+	cfg.DomainSizes = []int{200}
+	tbl, err := AblationConstructionTTL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 4 {
+		t.Fatalf("want 4 series, got %d", len(tbl.Series))
+	}
+	bc, walks := tbl.Series[0], tbl.Series[2]
+	// Broadcast traffic grows with TTL; find-walk traffic shrinks.
+	if bc.Points[len(bc.Points)-1].Y <= bc.Points[0].Y {
+		t.Error("sumpeer traffic does not grow with TTL")
+	}
+	if walks.Points[len(walks.Points)-1].Y > walks.Points[0].Y {
+		t.Error("find traffic does not shrink with TTL")
+	}
+}
+
+func TestAblationUnavailable(t *testing.T) {
+	cfg := Quick()
+	cfg.DomainSizes = []int{80}
+	tbl, err := AblationUnavailable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := tbl.Series[0]
+	// Keeping descriptions (x=1) must not reconcile more than expiring.
+	if recon.YAt(1) > recon.YAt(0) {
+		t.Errorf("keep-descriptions reconciles more (%g) than expire (%g)", recon.YAt(1), recon.YAt(0))
+	}
+}
+
+func TestAblationArity(t *testing.T) {
+	tbl, err := AblationArity(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 5 {
+		t.Fatalf("want 5 series, got %d", len(tbl.Series))
+	}
+	depth := tbl.Series[1]
+	// Depth shrinks (weakly) as the arity cap grows.
+	if depth.Points[len(depth.Points)-1].Y > depth.Points[0].Y {
+		t.Errorf("depth grew with arity: %v", depth.Points)
+	}
+	homog := tbl.Series[3]
+	for _, p := range homog.Points {
+		if p.Y <= 0 || p.Y > 1 {
+			t.Errorf("homogeneity out of range at B=%g: %g", p.X, p.Y)
+		}
+	}
+}
+
+func TestAblationLocality(t *testing.T) {
+	cfg := Quick()
+	tbl, err := AblationLocality(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := tbl.Series[1]
+	if visits.YAt(1) > visits.YAt(0) {
+		t.Errorf("clustered workload visited more domains (%g) than uniform (%g)",
+			visits.YAt(1), visits.YAt(0))
+	}
+}
+
+func TestCoverageExperiment(t *testing.T) {
+	cfg := Quick()
+	cfg.DomainSizes = []int{150}
+	cfg.SimHours = 4
+	tbl, err := CoverageExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := tbl.Series[0]
+	if len(cov.Points) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, p := range cov.Points {
+		if p.Y < 0.9 {
+			t.Errorf("coverage dropped to %g at t=%gh", p.Y, p.X)
+		}
+	}
+}
+
+// TestModelCrossValidation ties the simulation to the §6.1 analytic model:
+// the measured per-node update cost and the simulated SQ query cost must
+// agree with the closed forms within small factors.
+func TestModelCrossValidation(t *testing.T) {
+	cfg := Quick()
+	cfg.SimHours = 6
+	cfg.Queries = 60
+
+	// Update cost: the model says Cup = 1/L + Frec per node per second,
+	// with staleness arriving from both churn (~2 events per session
+	// cycle) and modification pushes (rate 1/L each).
+	obs, err := runDomain(cfg, 150, 0.3, cfg.Seed, routing.Balanced, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := obs.perNodePerHour / 3600 // messages per node per second
+	frec, err := costmodel.ReconciliationFreqForAlpha(0.3, 10800/2, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := costmodel.UpdateCost(costmodel.UpdateParams{
+		LifetimeSec:        10800 / 2, // churn + modification both push
+		ReconciliationFreq: frec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := measured / model; ratio < 0.2 || ratio > 5 {
+		t.Errorf("update cost: measured %.2e vs model %.2e per node per second (ratio %.2f)",
+			measured, model, ratio)
+	}
+
+	// Query cost: the simulated SQ total-lookup cost tracks equation 2.
+	tbl, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, modelSeries := tbl.Series[1], tbl.Series[4]
+	for _, p := range sq.Points {
+		if p.X < 250 {
+			continue
+		}
+		m := modelSeries.YAt(p.X)
+		if m <= 0 {
+			continue
+		}
+		if ratio := p.Y / m; ratio < 0.3 || ratio > 3 {
+			t.Errorf("n=%g: simulated SQ %.0f vs model %.0f (ratio %.2f)", p.X, p.Y, m, ratio)
+		}
+	}
+}

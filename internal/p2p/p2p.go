@@ -1,0 +1,312 @@
+// Package p2p is the unstructured overlay substrate: message transport over
+// the discrete-event engine with per-link latencies, online/offline state,
+// TTL-bounded flooding and the selective walk of Adamic et al. [23] that the
+// paper's find protocol uses (§4.1).
+//
+// The package deliberately knows nothing about summaries: protocol logic
+// lives in internal/core (summary management) and internal/routing (query
+// routing); p2p only moves messages and counts them.
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"p2psum/internal/sim"
+	"p2psum/internal/stats"
+	"p2psum/internal/topology"
+)
+
+// NodeID identifies an overlay node (index into the topology graph).
+type NodeID int
+
+// Message is one overlay message. Payloads are protocol-defined.
+type Message struct {
+	ID      uint64
+	Type    string
+	From    NodeID
+	To      NodeID
+	TTL     int
+	Hops    int
+	Payload interface{}
+}
+
+// Handler consumes messages delivered to a node.
+type Handler func(msg *Message)
+
+// Sizer is implemented by payloads that know their wire size; the network
+// charges them to the byte counters (the paper's §6.1.1 storage model sets
+// the unit: ~512 bytes per summary node).
+type Sizer interface {
+	WireSize() int
+}
+
+// BaseMessageBytes is the accounted size of a payload-less protocol
+// message (headers, ids, freshness values).
+const BaseMessageBytes = 64
+
+// Network couples a topology with the event engine and tracks the message
+// traffic per type — the unit of every cost figure in the paper ("the cost
+// of query routing, which is measured in term of the number of exchanged
+// messages").
+type Network struct {
+	engine  *sim.Engine
+	graph   *topology.Graph
+	rng     *rand.Rand
+	online  []bool
+	handler []Handler
+	counter *stats.Counter
+	bytes   *stats.Counter
+	nextMsg uint64
+	// DirectLatency is used for node pairs without an overlay edge (e.g. a
+	// query sent straight to a relevant peer found in a summary).
+	DirectLatency float64
+	// Drop is invoked (if set) whenever a message addressed to an offline
+	// node is discarded; protocols use it to detect failures (§4.3: "a
+	// partner who has tried to send push or query messages to SP will
+	// detect its departure").
+	Drop func(msg *Message)
+}
+
+// NewNetwork builds a network over the graph. All nodes start online.
+func NewNetwork(engine *sim.Engine, graph *topology.Graph, seed int64) *Network {
+	n := &Network{
+		engine:        engine,
+		graph:         graph,
+		rng:           rand.New(rand.NewSource(seed)),
+		online:        make([]bool, graph.Len()),
+		handler:       make([]Handler, graph.Len()),
+		counter:       stats.NewCounter(),
+		bytes:         stats.NewCounter(),
+		DirectLatency: 0.100,
+	}
+	for i := range n.online {
+		n.online[i] = true
+	}
+	return n
+}
+
+// Engine returns the underlying event engine.
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Graph returns the overlay topology.
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// Len returns the number of nodes.
+func (n *Network) Len() int { return n.graph.Len() }
+
+// Counter exposes the per-type message counters.
+func (n *Network) Counter() *stats.Counter { return n.counter }
+
+// Bytes exposes the per-type traffic volume counters. Payloads implementing
+// Sizer are charged their wire size; everything else costs
+// BaseMessageBytes.
+func (n *Network) Bytes() *stats.Counter { return n.bytes }
+
+// Rand returns the network's deterministic random source.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// SetHandler installs the message handler of a node.
+func (n *Network) SetHandler(id NodeID, h Handler) { n.handler[id] = h }
+
+// Online reports whether the node is currently connected.
+func (n *Network) Online(id NodeID) bool { return n.online[id] }
+
+// SetOnline flips a node's connectivity.
+func (n *Network) SetOnline(id NodeID, up bool) { n.online[id] = up }
+
+// OnlineCount returns the number of connected nodes.
+func (n *Network) OnlineCount() int {
+	c := 0
+	for _, up := range n.online {
+		if up {
+			c++
+		}
+	}
+	return c
+}
+
+// Neighbors returns the online neighbors of a node, in ascending id order
+// (the graph's adjacency order is already deterministic).
+func (n *Network) Neighbors(id NodeID) []NodeID {
+	var out []NodeID
+	for _, v := range n.graph.Neighbors(int(id)) {
+		if n.online[v] {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// latencyBetween picks the edge latency when adjacent, DirectLatency
+// otherwise.
+func (n *Network) latencyBetween(a, b NodeID) float64 {
+	if n.graph.HasEdge(int(a), int(b)) {
+		return n.graph.Latency(int(a), int(b))
+	}
+	return n.DirectLatency
+}
+
+// Send schedules delivery of msg from msg.From to msg.To, counting it under
+// msg.Type. Messages to offline or handler-less nodes are counted as sent
+// (the bytes hit the wire) but trigger Drop instead of a handler.
+func (n *Network) Send(msg *Message) {
+	if msg.To < 0 || int(msg.To) >= n.graph.Len() {
+		panic(fmt.Sprintf("p2p: send to out-of-range node %d", msg.To))
+	}
+	n.nextMsg++
+	if msg.ID == 0 {
+		msg.ID = n.nextMsg
+	}
+	n.counter.Inc(msg.Type)
+	size := BaseMessageBytes
+	if s, ok := msg.Payload.(Sizer); ok {
+		size += s.WireSize()
+	}
+	n.bytes.Add(msg.Type, int64(size))
+	lat := n.latencyBetween(msg.From, msg.To)
+	n.engine.After(sim.Seconds(lat), func() {
+		if !n.online[msg.To] || n.handler[msg.To] == nil {
+			if n.Drop != nil {
+				n.Drop(msg)
+			}
+			return
+		}
+		n.handler[msg.To](msg)
+	})
+}
+
+// SendNew builds and sends a message.
+func (n *Network) SendNew(typ string, from, to NodeID, ttl int, payload interface{}) {
+	n.Send(&Message{Type: typ, From: from, To: to, TTL: ttl, Payload: payload})
+}
+
+// Flood delivers a message of the given type from src to every node within
+// ttl hops using Gnutella-style constrained broadcast: each node forwards to
+// all its neighbors except the sender, and duplicate deliveries (cycles) are
+// transmitted but not re-forwarded. It returns the nodes reached and counts
+// every transmission. This is the paper's "pure flooding algorithm" cost
+// behaviour (§6.2.3).
+func (n *Network) Flood(typ string, src NodeID, ttl int, payload interface{}, visit func(NodeID)) map[NodeID]bool {
+	type hop struct {
+		node NodeID
+		from NodeID
+		ttl  int
+	}
+	reached := map[NodeID]bool{src: true}
+	if visit != nil {
+		visit(src)
+	}
+	queue := []hop{{node: src, from: src, ttl: ttl}}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		if h.ttl == 0 {
+			continue
+		}
+		for _, v := range n.Neighbors(h.node) {
+			if v == h.from {
+				continue
+			}
+			n.counter.Inc(typ) // transmission on the wire
+			n.bytes.Add(typ, BaseMessageBytes)
+			if reached[v] {
+				continue // duplicate: received, dropped, not re-forwarded
+			}
+			reached[v] = true
+			if visit != nil {
+				visit(v)
+			}
+			queue = append(queue, hop{node: v, from: h.node, ttl: h.ttl - 1})
+		}
+	}
+	return reached
+}
+
+// WalkResult is the outcome of a walk.
+type WalkResult struct {
+	// Found is the node that satisfied the predicate, or -1.
+	Found NodeID
+	// Path is the sequence of visited nodes, starting at the origin.
+	Path []NodeID
+	// Messages is the number of transmissions the walk used.
+	Messages int
+}
+
+// SelectiveWalk performs the paper's find protocol walk (§4.1, after [23]):
+// starting at src, repeatedly move to the highest-degree unvisited online
+// neighbor until accept returns true or maxHops is exhausted. Ties break on
+// the lower node id; dead ends backtrack.
+func (n *Network) SelectiveWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult {
+	return n.walk(typ, src, maxHops, accept, func(cands []NodeID) NodeID {
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if n.graph.Degree(int(c)) > n.graph.Degree(int(best)) ||
+				(n.graph.Degree(int(c)) == n.graph.Degree(int(best)) && c < best) {
+				best = c
+			}
+		}
+		return best
+	})
+}
+
+// RandomWalk is the blind baseline: uniform random unvisited neighbor.
+func (n *Network) RandomWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult {
+	return n.walk(typ, src, maxHops, accept, func(cands []NodeID) NodeID {
+		return cands[n.rng.Intn(len(cands))]
+	})
+}
+
+func (n *Network) walk(typ string, src NodeID, maxHops int, accept func(NodeID) bool, choose func([]NodeID) NodeID) WalkResult {
+	res := WalkResult{Found: -1, Path: []NodeID{src}}
+	if accept(src) {
+		res.Found = src
+		return res
+	}
+	visited := map[NodeID]bool{src: true}
+	stack := []NodeID{src}
+	cur := src
+	for res.Messages < maxHops {
+		var cands []NodeID
+		for _, v := range n.Neighbors(cur) {
+			if !visited[v] {
+				cands = append(cands, v)
+			}
+		}
+		if len(cands) == 0 {
+			// Backtrack.
+			if len(stack) <= 1 {
+				return res
+			}
+			stack = stack[:len(stack)-1]
+			cur = stack[len(stack)-1]
+			continue
+		}
+		next := choose(cands)
+		visited[next] = true
+		n.counter.Inc(typ)
+		n.bytes.Add(typ, BaseMessageBytes)
+		res.Messages++
+		res.Path = append(res.Path, next)
+		stack = append(stack, next)
+		cur = next
+		if accept(cur) {
+			res.Found = cur
+			return res
+		}
+	}
+	return res
+}
+
+// OnlineIDs returns the sorted ids of online nodes.
+func (n *Network) OnlineIDs() []NodeID {
+	var out []NodeID
+	for i, up := range n.online {
+		if up {
+			out = append(out, NodeID(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,219 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"p2psum/internal/bk"
+	"p2psum/internal/cells"
+	"p2psum/internal/data"
+	"p2psum/internal/saintetiq"
+)
+
+// TestGradePaperCells checks the graded valuation on the paper's cells:
+// the (adult, normal) cell carries adult only at grade 0.3, so a query on
+// adults satisfies it to degree 0.3, while a query on young patients
+// satisfies (young, underweight) at degree 1.
+func TestGradePaperCells(t *testing.T) {
+	tr := paperTree(t)
+
+	qAdult := Query{Where: []Clause{{Attr: "age", Labels: []string{"adult"}}}}
+	sel, err := Select(tr, qAdult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graded, err := Grade(tr, qAdult, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graded) == 0 {
+		t.Fatal("no graded summaries for adult query")
+	}
+	for _, g := range graded {
+		if g.Degree < 0.29 || g.Degree > 0.31 {
+			t.Errorf("adult degree = %g, want 0.3 (max membership in c3)", g.Degree)
+		}
+	}
+
+	qYoung := Query{Where: []Clause{{Attr: "age", Labels: []string{"young"}}, {Attr: "bmi", Labels: []string{"underweight"}}}}
+	sel2, err := Select(tr, qYoung)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graded2, err := Grade(tr, qYoung, sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graded2) == 0 {
+		t.Fatal("no graded summaries for young query")
+	}
+	if graded2[0].Degree < 0.99 {
+		t.Errorf("young/underweight degree = %g, want 1", graded2[0].Degree)
+	}
+}
+
+func TestGradeRankingOrder(t *testing.T) {
+	tr := medicalTree(t, 200, 800, 1)
+	q := Query{Where: []Clause{{Attr: "age", Labels: []string{"young", "adult"}}}}
+	sel, err := Select(tr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graded, err := Grade(tr, q, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(graded); i++ {
+		if graded[i].Degree > graded[i-1].Degree+1e-12 {
+			t.Fatalf("ranking not by decreasing degree at %d", i)
+		}
+		if graded[i].Degree == graded[i-1].Degree && graded[i].Weight > graded[i-1].Weight+1e-12 {
+			t.Fatalf("tie not broken by weight at %d", i)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	tr := medicalTree(t, 201, 500, 1)
+	q := Query{Where: []Clause{{Attr: "disease", Labels: append([]string(nil), data.Diseases...)}}}
+	all, err := TopK(tr, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("TopK(0) empty")
+	}
+	k2, err := TopK(tr, q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := min2(2, len(all)); len(k2) != want {
+		t.Errorf("TopK(2) = %d items, want %d", len(k2), want)
+	}
+	if _, err := TopK(tr, Query{Where: []Clause{{Attr: "ghost", Labels: []string{"x"}}}}, 3); err == nil {
+		t.Error("TopK on bad query accepted")
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRankClasses(t *testing.T) {
+	tr := medicalTree(t, 202, 600, 1)
+	q := Query{
+		Select: []string{"age"},
+		Where:  []Clause{{Attr: "disease", Labels: []string{"malaria", "measles", "diabetes"}}},
+	}
+	sel, err := Select(tr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := Approximate(tr, q, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := RankClasses(ans)
+	if len(ranked) != len(ans.Classes) {
+		t.Fatal("RankClasses changed cardinality")
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Weight > ranked[i-1].Weight {
+			t.Fatal("classes not ranked by weight")
+		}
+	}
+}
+
+// Property: degrees always lie in [0, 1] and never exceed the maximum
+// membership grade present in the tree.
+func TestQuickGradeRange(t *testing.T) {
+	f := func(seed int64, dRaw uint8) bool {
+		m, err := cells.NewMapper(bk.Medical(), data.PatientSchema())
+		if err != nil {
+			return false
+		}
+		s := cells.NewStore(m)
+		s.AddRelation(data.NewPatientGenerator(seed, nil).Generate("q", 80))
+		tr := saintetiq.New(bk.Medical(), saintetiq.DefaultConfig())
+		if err := tr.IncorporateStore(s, 1); err != nil {
+			return false
+		}
+		d := data.Diseases[int(dRaw)%len(data.Diseases)]
+		q := Query{Where: []Clause{{Attr: "disease", Labels: []string{d}}}}
+		graded, err := TopK(tr, q, 0)
+		if err != nil {
+			return false
+		}
+		for _, g := range graded {
+			if g.Degree < 0 || g.Degree > 1 || g.Weight <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExplainMatchesSelect: Explain must produce exactly Select's outcome
+// and a coherent trace.
+func TestExplainMatchesSelect(t *testing.T) {
+	tr := medicalTree(t, 400, 600, 1)
+	q := Query{Where: []Clause{
+		{Attr: "disease", Labels: []string{"malaria", "diabetes"}},
+		{Attr: "sex", Labels: []string{"female"}},
+	}}
+	sel, err := Select(tr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel2, exp, err := Explain(tr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel2.Summaries) != len(sel.Summaries) || sel2.Visited != sel.Visited {
+		t.Errorf("Explain selection differs: %d/%d vs %d/%d",
+			len(sel2.Summaries), sel2.Visited, len(sel.Summaries), sel.Visited)
+	}
+	if len(exp.Steps) != sel.Visited {
+		t.Errorf("trace has %d steps, visited %d", len(exp.Steps), sel.Visited)
+	}
+	if exp.Selected != len(sel.Summaries) {
+		t.Errorf("Selected = %d, want %d", exp.Selected, len(sel.Summaries))
+	}
+	takes, prunes := 0, 0
+	for _, s := range exp.Steps {
+		switch s.Decision {
+		case "take":
+			takes++
+		case "prune":
+			prunes++
+		case "descend":
+		default:
+			t.Errorf("unknown decision %q", s.Decision)
+		}
+	}
+	if takes != exp.Selected || prunes != exp.Pruned {
+		t.Errorf("decision counts inconsistent: takes=%d prunes=%d", takes, prunes)
+	}
+	if !strings.Contains(exp.String(), "selected") {
+		t.Error("trace rendering broken")
+	}
+}
+
+func TestExplainEmptyAndErrors(t *testing.T) {
+	empty := saintetiq.New(bk.Medical(), saintetiq.DefaultConfig())
+	sel, exp, err := Explain(empty, Query{Where: []Clause{{Attr: "disease", Labels: []string{"malaria"}}}})
+	if err != nil || len(sel.Summaries) != 0 || len(exp.Steps) != 0 {
+		t.Errorf("empty explain: %v %v %v", sel, exp, err)
+	}
+	tr := medicalTreeQuick(401)
+	if _, _, err := Explain(tr, Query{Where: []Clause{{Attr: "ghost", Labels: []string{"x"}}}}); err == nil {
+		t.Error("bad query accepted")
+	}
+}

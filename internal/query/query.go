@@ -1,0 +1,555 @@
+// Package query implements summary querying (paper §5, FQAS'04 [31]):
+// reformulating selection queries into the Background Knowledge vocabulary,
+// valuating summaries against the resulting proposition, selecting the most
+// abstract satisfying summaries, and deriving the two services the paper
+// builds on top — peer localization and approximate answering.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"p2psum/internal/bk"
+	"p2psum/internal/cells"
+	"p2psum/internal/data"
+	"p2psum/internal/saintetiq"
+)
+
+// Clause is one conjunct of a flexible query: attribute IN {labels}. The
+// labels are descriptors of the Background Knowledge (the paper's example:
+// BMI in {underweight, normal}).
+type Clause struct {
+	Attr   string
+	Labels []string
+}
+
+// String renders "(bmi in underweight|normal)".
+func (c Clause) String() string {
+	return "(" + c.Attr + " in " + strings.Join(c.Labels, "|") + ")"
+}
+
+// Query is a flexible selection query: a conjunction of clauses plus the
+// attributes to report. It is the proposition P of §5.2 in structured form.
+type Query struct {
+	Select []string
+	Where  []Clause
+}
+
+// String renders the proposition in the paper's conjunctive style.
+func (q Query) String() string {
+	parts := make([]string, len(q.Where))
+	for i, c := range q.Where {
+		parts[i] = c.String()
+	}
+	return "select " + strings.Join(q.Select, ",") + " where " + strings.Join(parts, " AND ")
+}
+
+// Validate checks the query against a BK: attributes exist, labels belong to
+// the vocabularies, clauses are non-empty.
+func (q Query) Validate(b *bk.BK) error {
+	if len(q.Where) == 0 {
+		return errors.New("query: empty where clause")
+	}
+	for _, sel := range q.Select {
+		if b.Attr(sel) == nil {
+			return fmt.Errorf("query: unknown select attribute %q", sel)
+		}
+	}
+	for _, c := range q.Where {
+		a := b.Attr(c.Attr)
+		if a == nil {
+			return fmt.Errorf("query: unknown attribute %q", c.Attr)
+		}
+		if len(c.Labels) == 0 {
+			return fmt.Errorf("query: clause on %q has no descriptors", c.Attr)
+		}
+		for _, lab := range c.Labels {
+			if !a.HasLabel(lab) {
+				return fmt.Errorf("query: label %q not in vocabulary of %q", lab, c.Attr)
+			}
+		}
+	}
+	return nil
+}
+
+// Op is a comparison operator of a raw selection predicate.
+type Op int
+
+// Raw predicate operators.
+const (
+	Eq Op = iota
+	Lt
+	Le
+	Gt
+	Ge
+	Between
+	In
+)
+
+// Predicate is a selection predicate over raw values, before reformulation.
+type Predicate struct {
+	Attr string
+	Op   Op
+	Num  float64  // numeric operand (Eq/Lt/Le/Gt/Ge, low end of Between)
+	Num2 float64  // high end of Between
+	Strs []string // categorical operand (Eq uses Strs[0], In uses all)
+}
+
+// Reformulate rewrites a raw selection query into a flexible one (§5.1):
+// each predicate's constant is replaced by the BK descriptors that could
+// describe matching values. This expansion may introduce false positives
+// but never false negatives (QS ⊆ QS*).
+func Reformulate(b *bk.BK, sel []string, preds []Predicate) (Query, error) {
+	q := Query{Select: sel}
+	for _, p := range preds {
+		a := b.Attr(p.Attr)
+		if a == nil {
+			return Query{}, fmt.Errorf("query: unknown attribute %q", p.Attr)
+		}
+		var labels []string
+		if a.Kind == data.Numeric {
+			lo, hi := math.Inf(-1), math.Inf(1)
+			switch p.Op {
+			case Eq:
+				lo, hi = p.Num, p.Num
+			case Lt, Le:
+				hi = p.Num
+			case Gt, Ge:
+				lo = p.Num
+			case Between:
+				lo, hi = p.Num, p.Num2
+			default:
+				return Query{}, fmt.Errorf("query: operator %d not applicable to numeric %q", p.Op, p.Attr)
+			}
+			var err error
+			labels, err = b.DescriptorsForRange(p.Attr, lo, hi)
+			if err != nil {
+				return Query{}, err
+			}
+		} else {
+			if p.Op != Eq && p.Op != In {
+				return Query{}, fmt.Errorf("query: operator %d not applicable to categorical %q", p.Op, p.Attr)
+			}
+			for _, s := range p.Strs {
+				ms := a.MapCategorical(s)
+				for _, m := range ms {
+					labels = append(labels, m.Label)
+				}
+			}
+			labels = dedupe(labels)
+		}
+		if len(labels) == 0 {
+			return Query{}, fmt.Errorf("query: predicate on %q selects no descriptor", p.Attr)
+		}
+		q.Where = append(q.Where, Clause{Attr: p.Attr, Labels: labels})
+	}
+	if err := q.Validate(b); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// ReformulateWithTaxonomy is Reformulate with super-concept support: any
+// categorical operand naming a taxonomy group (e.g. disease = infectious
+// under the SNOMED-like medical taxonomy) expands to the group's member
+// descriptors before the regular rewriting.
+func ReformulateWithTaxonomy(b *bk.BK, tax *bk.Taxonomy, sel []string, preds []Predicate) (Query, error) {
+	if tax == nil {
+		return Reformulate(b, sel, preds)
+	}
+	if err := tax.Validate(b); err != nil {
+		return Query{}, err
+	}
+	expanded := make([]Predicate, len(preds))
+	for i, p := range preds {
+		expanded[i] = p
+		if p.Attr != tax.Attr() || len(p.Strs) == 0 {
+			continue
+		}
+		var out []string
+		for _, s := range p.Strs {
+			if members := tax.Expand(s); members != nil {
+				out = append(out, members...)
+			} else {
+				out = append(out, s)
+			}
+		}
+		expanded[i].Strs = dedupe(out)
+		if len(expanded[i].Strs) > 1 && expanded[i].Op == Eq {
+			expanded[i].Op = In
+		}
+	}
+	return Reformulate(b, sel, expanded)
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Valuation is the qualification of a summary against the proposition.
+type Valuation int
+
+// Valuation levels, ordered.
+const (
+	// NotSat: some clause shares no descriptor with the summary intent —
+	// no record below can match.
+	NotSat Valuation = iota
+	// PartialSat: every clause intersects the intent but some clause does
+	// not contain it — some records below may match.
+	PartialSat
+	// FullSat: every clause contains the summary's whole intent on its
+	// attribute — every record below matches the flexible query.
+	FullSat
+)
+
+// String names the valuation.
+func (v Valuation) String() string {
+	switch v {
+	case NotSat:
+		return "not-satisfied"
+	case PartialSat:
+		return "partially-satisfied"
+	case FullSat:
+		return "fully-satisfied"
+	default:
+		return "?"
+	}
+}
+
+// compiled resolves a query's labels to canonical indexes of a tree.
+type compiled struct {
+	attrs  []int   // tree attribute index per clause
+	labels [][]int // sorted canonical label indexes per clause
+}
+
+func compile(t *saintetiq.Tree, q Query) (*compiled, error) {
+	c := &compiled{}
+	for _, cl := range q.Where {
+		a := t.AttrIndex(cl.Attr)
+		if a < 0 {
+			return nil, fmt.Errorf("query: attribute %q not summarized", cl.Attr)
+		}
+		var idx []int
+		for _, lab := range cl.Labels {
+			j := t.LabelIndex(a, lab)
+			if j < 0 {
+				return nil, fmt.Errorf("query: label %q unknown on %q", lab, cl.Attr)
+			}
+			idx = append(idx, j)
+		}
+		sort.Ints(idx)
+		c.attrs = append(c.attrs, a)
+		c.labels = append(c.labels, idx)
+	}
+	return c, nil
+}
+
+// valuate qualifies one summary node.
+func (c *compiled) valuate(n *saintetiq.Node) Valuation {
+	result := FullSat
+	for i, a := range c.attrs {
+		intent := n.LabelIndexes(a)
+		if len(intent) == 0 {
+			return NotSat
+		}
+		inter, covered := 0, 0
+		for _, j := range intent {
+			if containsInt(c.labels[i], j) {
+				inter++
+				covered++
+			}
+		}
+		switch {
+		case inter == 0:
+			return NotSat
+		case covered < len(intent):
+			result = PartialSat
+		}
+	}
+	return result
+}
+
+func containsInt(sorted []int, x int) bool {
+	i := sort.SearchInts(sorted, x)
+	return i < len(sorted) && sorted[i] == x
+}
+
+// Selection is the outcome of evaluating a query against a hierarchy.
+type Selection struct {
+	// Summaries is ZQ: the most abstract summaries satisfying the query.
+	Summaries []*saintetiq.Node
+	// Visited counts the nodes examined by the descent (the paper's "fast
+	// exploration of the hierarchy").
+	Visited int
+}
+
+// Select walks the hierarchy and returns ZQ (§5.2): fully satisfying nodes
+// are taken as-is (most abstract), partially satisfying internal nodes are
+// descended, and non-satisfying subtrees are pruned. Leaves are decidable
+// (single descriptor per attribute), so partial leaves cannot occur; they
+// are kept defensively.
+func Select(t *saintetiq.Tree, q Query) (*Selection, error) {
+	c, err := compile(t, q)
+	if err != nil {
+		return nil, err
+	}
+	sel := &Selection{}
+	if t.Empty() {
+		return sel, nil
+	}
+	var walk func(n *saintetiq.Node)
+	walk = func(n *saintetiq.Node) {
+		sel.Visited++
+		switch c.valuate(n) {
+		case NotSat:
+			return
+		case FullSat:
+			sel.Summaries = append(sel.Summaries, n)
+		case PartialSat:
+			if n.IsLeaf() {
+				sel.Summaries = append(sel.Summaries, n)
+				return
+			}
+			for _, ch := range n.Children() {
+				walk(ch)
+			}
+		}
+	}
+	walk(t.Root())
+	return sel, nil
+}
+
+// Peers returns PQ: the union of the peer extents of the selected summaries
+// (§5.2.1), sorted.
+func (s *Selection) Peers() []saintetiq.PeerID {
+	set := make(map[saintetiq.PeerID]struct{})
+	for _, z := range s.Summaries {
+		for _, p := range z.PeerIDs() {
+			set[p] = struct{}{}
+		}
+	}
+	out := make([]saintetiq.PeerID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Weight returns the total tuple weight of the selected summaries.
+func (s *Selection) Weight() float64 {
+	var w float64
+	for _, z := range s.Summaries {
+		w += z.Count()
+	}
+	return w
+}
+
+// Class is one aggregation class of the approximate answer (§5.2.2):
+// summaries sharing the same interpretation of the proposition.
+type Class struct {
+	// Interpretation maps each where-attribute to the descriptors of the
+	// class on it (the intersection of intent and clause).
+	Interpretation map[string][]string
+	// Answers maps each select-attribute to the union of descriptors that
+	// characterize the class (the approximate answer).
+	Answers map[string][]string
+	// Weight is the tuple weight the class accounts for.
+	Weight float64
+	// Peers is the class's peer extent.
+	Peers []saintetiq.PeerID
+	// Measures aggregates the numeric select attributes over the class.
+	Measures map[string]cells.Measure
+}
+
+// key builds the canonical grouping key of an interpretation.
+func classKey(interp map[string][]string, order []string) string {
+	parts := make([]string, 0, len(order))
+	for _, attr := range order {
+		parts = append(parts, attr+"="+strings.Join(interp[attr], "|"))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Answer is a complete approximate answer.
+type Answer struct {
+	Query   Query
+	Classes []Class
+}
+
+// Approximate aggregates the selected summaries into interpretation classes
+// and derives, for every select attribute, the union of descriptors
+// characterizing each class — the paper's §5.2.2 example yields
+// age = {young} for female anorexia patients with underweight/normal BMI.
+func Approximate(t *saintetiq.Tree, q Query, sel *Selection) (*Answer, error) {
+	c, err := compile(t, q)
+	if err != nil {
+		return nil, err
+	}
+	selAttrs := make([]int, len(q.Select))
+	for i, name := range q.Select {
+		a := t.AttrIndex(name)
+		if a < 0 {
+			return nil, fmt.Errorf("query: select attribute %q not summarized", name)
+		}
+		selAttrs[i] = a
+	}
+
+	whereOrder := make([]string, len(q.Where))
+	for i, cl := range q.Where {
+		whereOrder[i] = cl.Attr
+	}
+
+	groups := make(map[string]*Class)
+	var keys []string
+	for _, z := range sel.Summaries {
+		interp := make(map[string][]string, len(q.Where))
+		for i, a := range c.attrs {
+			var labs []string
+			for _, j := range z.LabelIndexes(a) {
+				if containsInt(c.labels[i], j) {
+					labs = append(labs, t.Label(a, j))
+				}
+			}
+			interp[q.Where[i].Attr] = labs
+		}
+		key := classKey(interp, whereOrder)
+		g, ok := groups[key]
+		if !ok {
+			g = &Class{
+				Interpretation: interp,
+				Answers:        make(map[string][]string),
+				Measures:       make(map[string]cells.Measure),
+			}
+			for _, name := range q.Select {
+				g.Measures[name] = cells.NewMeasure()
+			}
+			groups[key] = g
+			keys = append(keys, key)
+		}
+		g.Weight += z.Count()
+		for i, a := range selAttrs {
+			name := q.Select[i]
+			g.Answers[name] = unionLabels(t, a, g.Answers[name], z)
+			m := g.Measures[name]
+			m.Merge(z.Measure(a))
+			g.Measures[name] = m
+		}
+		g.Peers = unionPeers(g.Peers, z.PeerIDs())
+	}
+	sort.Strings(keys)
+	ans := &Answer{Query: q}
+	for _, k := range keys {
+		ans.Classes = append(ans.Classes, *groups[k])
+	}
+	return ans, nil
+}
+
+// unionLabels merges z's intent labels on attribute a into the accumulated
+// set, keeping canonical vocabulary order.
+func unionLabels(t *saintetiq.Tree, a int, acc []string, z *saintetiq.Node) []string {
+	present := make(map[string]bool, len(acc))
+	for _, lab := range acc {
+		present[lab] = true
+	}
+	for _, j := range z.LabelIndexes(a) {
+		present[t.Label(a, j)] = true
+	}
+	var out []string
+	for _, lab := range t.AttrLabels(a) {
+		if present[lab] {
+			out = append(out, lab)
+		}
+	}
+	return out
+}
+
+func unionPeers(acc []saintetiq.PeerID, more []saintetiq.PeerID) []saintetiq.PeerID {
+	set := make(map[saintetiq.PeerID]struct{}, len(acc)+len(more))
+	for _, p := range acc {
+		set[p] = struct{}{}
+	}
+	for _, p := range more {
+		set[p] = struct{}{}
+	}
+	out := make([]saintetiq.PeerID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the answer in the paper's narrative style.
+func (a *Answer) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", a.Query)
+	for i, c := range a.Classes {
+		fmt.Fprintf(&sb, "class %d ", i+1)
+		var parts []string
+		for _, cl := range a.Query.Where {
+			parts = append(parts, strings.Join(c.Interpretation[cl.Attr], "|"))
+		}
+		fmt.Fprintf(&sb, "{%s} weight=%.2f:", strings.Join(parts, ", "), c.Weight)
+		for _, selAttr := range a.Query.Select {
+			fmt.Fprintf(&sb, " %s={%s}", selAttr, strings.Join(c.Answers[selAttr], ","))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// MatchRecord decides ground truth: does a raw record satisfy the flexible
+// query under the BK? A record matches a clause when one of its descriptors
+// on the attribute belongs to the clause's set. Experiments use this to
+// measure false positives/negatives of summary-based localization.
+func MatchRecord(b *bk.BK, rel *data.Relation, rec data.Record, q Query) bool {
+	for _, cl := range q.Where {
+		i := rel.Schema().Index(cl.Attr)
+		if i < 0 {
+			return false
+		}
+		labels, err := b.DescriptorsForValue(cl.Attr, rec.Values[i])
+		if err != nil || len(labels) == 0 {
+			return false
+		}
+		hit := false
+		for _, lab := range labels {
+			for _, want := range cl.Labels {
+				if lab == want {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+// CountMatches returns how many records of the relation satisfy the query.
+func CountMatches(b *bk.BK, rel *data.Relation, q Query) int {
+	n := 0
+	for _, rec := range rel.Records() {
+		if MatchRecord(b, rel, rec, q) {
+			n++
+		}
+	}
+	return n
+}

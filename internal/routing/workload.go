@@ -1,0 +1,111 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2psum/internal/core"
+	"p2psum/internal/p2p"
+	"p2psum/internal/stats"
+	"p2psum/internal/workload"
+)
+
+// WorkloadResult aggregates a batch of routed queries (the paper evaluates
+// 200-query workloads, Table 3).
+type WorkloadResult struct {
+	Queries        int
+	SQMessages     *stats.Running
+	FloodMessages  *stats.Running
+	CentralCost    *stats.Running
+	DomainsVisited *stats.Running
+	Accuracy       stats.Accuracy
+}
+
+// String renders the aggregate.
+func (w *WorkloadResult) String() string {
+	return fmt.Sprintf("queries=%d sq=%.1f flood=%.1f central=%.1f domains=%.1f precision=%.3f recall=%.3f",
+		w.Queries, w.SQMessages.Mean(), w.FloodMessages.Mean(), w.CentralCost.Mean(),
+		w.DomainsVisited.Mean(), w.Accuracy.Precision(), w.Accuracy.Recall())
+}
+
+// WorkloadOptions configures RunWorkload.
+type WorkloadOptions struct {
+	// Queries is the number of queries to route.
+	Queries int
+	// HitFraction is the Table 3 match rate (default 0.10).
+	HitFraction float64
+	// Required results per query; <= 0 means total lookup.
+	Required int
+	// FloodTTL is the baseline's initial TTL (default 3).
+	FloodTTL int
+	// Locality switches to the clustered match sets of §5.2.2 (group
+	// locality) with the given strength in (0,1]; zero draws uniformly.
+	Locality float64
+	// Seed drives origins and match sets.
+	Seed int64
+}
+
+// RunWorkload routes a whole query workload through the SQ router and the
+// two baselines on the same system, aggregating costs and accuracy.
+func RunWorkload(sys *core.System, router *SQRouter, opts WorkloadOptions) (*WorkloadResult, error) {
+	if opts.Queries <= 0 {
+		return nil, fmt.Errorf("routing: workload needs queries > 0")
+	}
+	if opts.HitFraction <= 0 {
+		opts.HitFraction = 0.10
+	}
+	if opts.FloodTTL <= 0 {
+		opts.FloodTTL = 3
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	net := sys.Network()
+	n := net.Len()
+
+	res := &WorkloadResult{
+		Queries:        opts.Queries,
+		SQMessages:     stats.NewRunning(),
+		FloodMessages:  stats.NewRunning(),
+		CentralCost:    stats.NewRunning(),
+		DomainsVisited: stats.NewRunning(),
+	}
+	for q := 0; q < opts.Queries; q++ {
+		var ms map[int]bool
+		if opts.Locality > 0 {
+			ms = workload.ClusteredMatchSet(rng, n, opts.HitFraction, opts.Locality)
+		} else {
+			ms = workload.MatchSet(rng, n, opts.HitFraction)
+		}
+		oracle := &Oracle{Current: make(map[p2p.NodeID]bool, len(ms))}
+		for id := range ms {
+			oracle.Current[p2p.NodeID(id)] = true
+		}
+		origin := randomOnlineClient(sys, rng)
+		required := opts.Required
+		if required <= 0 {
+			required = len(ms)
+		}
+
+		sq, err := router.Route(origin, oracle, required)
+		if err != nil {
+			return nil, err
+		}
+		res.SQMessages.Observe(float64(sq.Messages))
+		res.DomainsVisited.Observe(float64(sq.DomainsVisited))
+		res.Accuracy.Merge(sq.Accuracy)
+
+		res.FloodMessages.Observe(float64(FloodQuery(net, origin, opts.FloodTTL, oracle, required).Messages))
+		res.CentralCost.Observe(float64(CentralizedQuery(net, oracle).Messages))
+	}
+	return res, nil
+}
+
+func randomOnlineClient(sys *core.System, rng *rand.Rand) p2p.NodeID {
+	ids := sys.Network().OnlineIDs()
+	for tries := 0; tries < 1000; tries++ {
+		id := ids[rng.Intn(len(ids))]
+		if sys.Peer(id).Role() == core.RoleClient && sys.DomainOf(id) >= 0 {
+			return id
+		}
+	}
+	return ids[0]
+}

@@ -1,0 +1,115 @@
+package saintetiq
+
+import (
+	"fmt"
+
+	"p2psum/internal/cells"
+)
+
+// Merging of summary hierarchies (CIKM'07 [27], paper §6.1.1): the leaves of
+// the source hierarchy are incorporated into the destination using the
+// regular summarization service, so the complexity of Merging(S1, S2)
+// depends on the number of leaves of S1 — which is bounded by the BK grid —
+// and not on the number of raw tuples.
+
+// CompatibleWith reports whether two trees share the same attribute
+// vocabularies (a Common Background Knowledge), which merging requires.
+func (t *Tree) CompatibleWith(o *Tree) error {
+	if len(t.attrs) != len(o.attrs) {
+		return fmt.Errorf("saintetiq: merging %d-attr tree with %d-attr tree", len(o.attrs), len(t.attrs))
+	}
+	for a := range t.attrs {
+		if t.attrs[a].name != o.attrs[a].name {
+			return fmt.Errorf("saintetiq: attribute %d is %q vs %q", a, t.attrs[a].name, o.attrs[a].name)
+		}
+		if len(t.attrs[a].labels) != len(o.attrs[a].labels) {
+			return fmt.Errorf("saintetiq: attribute %q has %d vs %d labels", t.attrs[a].name, len(t.attrs[a].labels), len(o.attrs[a].labels))
+		}
+		for j := range t.attrs[a].labels {
+			if t.attrs[a].labels[j] != o.attrs[a].labels[j] {
+				return fmt.Errorf("saintetiq: attribute %q label %d is %q vs %q", t.attrs[a].name, j, t.attrs[a].labels[j], o.attrs[a].labels[j])
+			}
+		}
+	}
+	return nil
+}
+
+// LeafCell exports a leaf as a standalone cell plus its peer extent,
+// suitable for re-incorporation elsewhere.
+func (t *Tree) LeafCell(n *Node) (*cells.Cell, []PeerID) {
+	c := &cells.Cell{
+		Labels:   make([]string, len(t.attrs)),
+		Grades:   make([]float64, len(t.attrs)),
+		Count:    n.count,
+		Measures: make([]cells.Measure, len(t.attrs)),
+	}
+	for a := range t.attrs {
+		idx := n.LabelIndexes(a)
+		// A leaf has exactly one descriptor per attribute by construction.
+		j := idx[0]
+		c.Labels[a] = t.attrs[a].labels[j]
+		c.Grades[a] = n.grades[a][j]
+		c.Measures[a] = n.measures[a]
+	}
+	return c, n.PeerIDs()
+}
+
+// Merge incorporates every leaf of src into t (Merging(src, t)). Peer
+// extents are preserved. src is not modified.
+func (t *Tree) Merge(src *Tree) error {
+	if err := t.CompatibleWith(src); err != nil {
+		return err
+	}
+	for _, leaf := range src.Leaves() {
+		c, peers := src.LeafCell(leaf)
+		if err := t.Incorporate(c, peers...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the hierarchy.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{
+		cfg:    t.cfg,
+		attrs:  t.attrs, // immutable after New
+		byKey:  make(map[string]*Node, len(t.byKey)),
+		nextID: t.nextID,
+		stats:  t.stats,
+		epoch:  t.epoch,
+	}
+	out.root = out.cloneNode(t.root, nil)
+	return out
+}
+
+func (t *Tree) cloneNode(n *Node, parent *Node) *Node {
+	c := &Node{
+		id:       n.id,
+		key:      n.key,
+		count:    n.count,
+		counts:   make([][]float64, len(n.counts)),
+		grades:   make([][]float64, len(n.grades)),
+		measures: append([]cells.Measure(nil), n.measures...),
+		peers:    make(map[PeerID]struct{}, len(n.peers)),
+		parent:   parent,
+	}
+	for a := range n.counts {
+		c.counts[a] = append([]float64(nil), n.counts[a]...)
+		c.grades[a] = append([]float64(nil), n.grades[a]...)
+	}
+	for p := range n.peers {
+		c.peers[p] = struct{}{}
+	}
+	if c.key != "" {
+		t.byKey[c.key] = c
+	}
+	c.children = make([]*Node, len(n.children))
+	for i, ch := range n.children {
+		c.children[i] = t.cloneNode(ch, c)
+	}
+	return c
+}
+
+// Empty reports whether the hierarchy holds no data yet.
+func (t *Tree) Empty() bool { return len(t.byKey) == 0 }

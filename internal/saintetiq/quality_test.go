@@ -1,0 +1,190 @@
+package saintetiq
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"p2psum/internal/bk"
+	"p2psum/internal/cells"
+	"p2psum/internal/data"
+)
+
+func builtTree(t *testing.T, seed int64, n int) *Tree {
+	t.Helper()
+	tr := New(bk.Medical(), DefaultConfig())
+	if err := tr.IncorporateStore(medicalStore(t, seed, n), 1); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestMeasureQuality(t *testing.T) {
+	tr := builtTree(t, 90, 800)
+	q := tr.Measure()
+	if q.Nodes != tr.NodeCount() || q.Leaves != tr.LeafCount() || q.Depth != tr.Depth() {
+		t.Errorf("shape metrics inconsistent: %+v", q)
+	}
+	if q.Homogeneity <= 0 || q.Homogeneity > 1 {
+		t.Errorf("homogeneity = %g out of (0,1]", q.Homogeneity)
+	}
+	if q.Specificity < 0 || q.Specificity > 1 {
+		t.Errorf("specificity = %g out of [0,1]", q.Specificity)
+	}
+	if q.String() == "" {
+		t.Error("String empty")
+	}
+	// Leaves are single cells: purity 1. So homogeneity strictly above the
+	// root's purity.
+	rootPurity := tr.nodePurity(tr.Root())
+	if q.Homogeneity <= rootPurity {
+		t.Errorf("homogeneity %g not above root purity %g", q.Homogeneity, rootPurity)
+	}
+	// Empty tree metrics are well-defined.
+	empty := New(bk.Medical(), DefaultConfig())
+	eq := empty.Measure()
+	if eq.Nodes != 1 || eq.Homogeneity != 0 {
+		t.Errorf("empty metrics: %+v", eq)
+	}
+}
+
+func TestLevelCoversExtent(t *testing.T) {
+	tr := builtTree(t, 91, 600)
+	for depth := 0; depth <= tr.Depth(); depth++ {
+		nodes := tr.Level(depth)
+		var w float64
+		for _, n := range nodes {
+			w += n.Count()
+		}
+		if !almost(w, tr.Root().Count()) {
+			t.Errorf("level %d covers weight %g, want %g", depth, w, tr.Root().Count())
+		}
+	}
+	if got := tr.Level(0); len(got) != 1 || got[0] != tr.Root() {
+		t.Error("level 0 is not the root")
+	}
+}
+
+func TestDescribeLevel(t *testing.T) {
+	tr := builtTree(t, 92, 500)
+	out := tr.DescribeLevel(1)
+	if !strings.Contains(out, "%") {
+		t.Errorf("DescribeLevel output unexpected:\n%s", out)
+	}
+	// Heaviest line first.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 {
+		t.Skip("hierarchy too flat")
+	}
+	if lines[0] < lines[1] && !strings.HasPrefix(lines[0], " ") {
+		// Percentages are right-aligned; just check parseability of the
+		// first field.
+		t.Logf("describe output:\n%s", out)
+	}
+}
+
+func TestIntentLabels(t *testing.T) {
+	tr := builtTree(t, 93, 300)
+	labels := tr.IntentLabels(tr.Root())
+	if len(labels) != 4 {
+		t.Errorf("root intent covers %d attributes, want 4", len(labels))
+	}
+	for attr, labs := range labels {
+		if len(labs) == 0 {
+			t.Errorf("attribute %s has empty intent", attr)
+		}
+	}
+}
+
+func TestPruneLightLeaves(t *testing.T) {
+	tr := builtTree(t, 94, 1000)
+	before := tr.LeafCount()
+	weightBefore := tr.Root().Count()
+
+	// Find a threshold that removes some but not all leaves.
+	leaves := tr.Leaves()
+	var light float64
+	for _, l := range leaves {
+		if l.Count() > light && l.Count() < 3 {
+			light = l.Count()
+		}
+	}
+	if light == 0 {
+		t.Skip("no light leaves to prune")
+	}
+	removed := tr.PruneLightLeaves(light + 1e-9)
+	if removed == 0 {
+		t.Fatal("nothing pruned")
+	}
+	if tr.LeafCount() != before-removed {
+		t.Errorf("leaf count %d, want %d", tr.LeafCount(), before-removed)
+	}
+	if tr.Root().Count() >= weightBefore {
+		t.Error("pruning did not reduce weight")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("pruned tree invalid: %v", err)
+	}
+	// No chains: every internal non-root node has >= 2 children.
+	tr.Walk(func(n *Node) bool {
+		if !n.IsLeaf() && n != tr.Root() && len(n.Children()) < 2 {
+			t.Errorf("node %d left as a chain (%d children)", n.ID(), len(n.Children()))
+		}
+		return true
+	})
+}
+
+func TestPruneEverything(t *testing.T) {
+	tr := builtTree(t, 95, 100)
+	removed := tr.PruneLightLeaves(1e18)
+	if removed == 0 {
+		t.Fatal("nothing pruned")
+	}
+	if tr.LeafCount() != 0 {
+		t.Errorf("leaves remain: %d", tr.LeafCount())
+	}
+	if tr.Root().Count() > 1e-9 {
+		t.Errorf("weight remains: %g", tr.Root().Count())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("empty pruned tree invalid: %v", err)
+	}
+}
+
+func TestWeightEntropy(t *testing.T) {
+	tr := builtTree(t, 96, 800)
+	h := tr.WeightEntropy()
+	if h <= 0 {
+		t.Errorf("entropy = %g, want positive for a populated tree", h)
+	}
+	empty := New(bk.Medical(), DefaultConfig())
+	if empty.WeightEntropy() != 0 {
+		t.Error("empty tree entropy nonzero")
+	}
+}
+
+// Property: pruning preserves validity and never increases any shape
+// metric.
+func TestQuickPruneValid(t *testing.T) {
+	f := func(seed int64, thRaw uint8) bool {
+		m, err := cells.NewMapper(bk.Medical(), data.PatientSchema())
+		if err != nil {
+			return false
+		}
+		s := cells.NewStore(m)
+		s.AddRelation(data.NewPatientGenerator(seed, nil).Generate("q", 120))
+		tr := New(bk.Medical(), DefaultConfig())
+		if err := tr.IncorporateStore(s, 1); err != nil {
+			return false
+		}
+		before := tr.LeafCount()
+		tr.PruneLightLeaves(float64(thRaw) / 16)
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		return tr.LeafCount() <= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package sim is a deterministic discrete-event simulation engine, the
+// stand-in for the SimJava package the paper's evaluation uses (§6.2.1).
+//
+// Events carry a virtual timestamp and a callback; the engine pops them in
+// (time, sequence) order, so runs are reproducible bit-for-bit given the
+// same seed and schedule. The P2P overlay delivers messages by scheduling
+// their reception after a per-link latency.
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"time"
+)
+
+// Time is virtual simulation time. It is an absolute offset from the
+// simulation start.
+type Time float64
+
+// Seconds converts a duration in seconds into virtual time.
+func Seconds(s float64) Time { return Time(s) }
+
+// Minutes converts minutes into virtual time.
+func Minutes(m float64) Time { return Time(m * 60) }
+
+// Hours converts hours into virtual time.
+func Hours(h float64) Time { return Time(h * 3600) }
+
+// Duration converts a time.Duration into virtual time.
+func Duration(d time.Duration) Time { return Time(d.Seconds()) }
+
+// End is the largest representable time.
+const End Time = Time(math.MaxFloat64)
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-time events
+	fn  func()
+	id  uint64
+	off bool // cancelled
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the simulation kernel.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	nextID  uint64
+	pending map[uint64]*event
+	events  uint64 // executed events
+}
+
+// New creates an engine at time zero.
+func New() *Engine {
+	return &Engine{pending: make(map[uint64]*event)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events processed so far.
+func (e *Engine) Executed() uint64 { return e.events }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// At schedules fn at the absolute time at (clamped to now for past times)
+// and returns a handle usable with Cancel.
+func (e *Engine) At(at Time, fn func()) uint64 {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.nextID++
+	ev := &event{at: at, seq: e.seq, fn: fn, id: e.nextID}
+	heap.Push(&e.queue, ev)
+	e.pending[ev.id] = ev
+	return ev.id
+}
+
+// After schedules fn after the given delay.
+func (e *Engine) After(delay Time, fn func()) uint64 {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel drops a scheduled event. Cancelling an already-fired or unknown
+// handle is a no-op.
+func (e *Engine) Cancel(id uint64) {
+	if ev, ok := e.pending[id]; ok {
+		ev.off = true
+		delete(e.pending, id)
+	}
+}
+
+// Step executes the next event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.off {
+			continue
+		}
+		delete(e.pending, ev.id)
+		e.now = ev.at
+		e.events++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is empty or the next event is
+// past the horizon. The clock is advanced to the horizon.
+func (e *Engine) RunUntil(horizon Time) {
+	for e.queue.Len() > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Run executes every scheduled event to exhaustion.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+func (e *Engine) peek() *event {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if !ev.off {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// Ticker repeatedly invokes fn every period until Stop is called or the
+// engine drains. The first invocation happens after one period.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	fn      func()
+	handle  uint64
+	stopped bool
+}
+
+// Tick starts a periodic callback.
+func (e *Engine) Tick(period Time, fn func()) *Ticker {
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.engine.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.engine.Cancel(t.handle)
+}

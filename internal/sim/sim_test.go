@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Seconds(90) != 90 {
+		t.Error("Seconds wrong")
+	}
+	if Minutes(2) != 120 {
+		t.Error("Minutes wrong")
+	}
+	if Hours(1) != 3600 {
+		t.Error("Hours wrong")
+	}
+	if Duration(1500*time.Millisecond) != 1.5 {
+		t.Error("Duration wrong")
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(10, func() { order = append(order, 2) })
+	e.At(5, func() { order = append(order, 1) })
+	e.At(10, func() { order = append(order, 3) }) // same time: FIFO
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %v, want 10", e.Now())
+	}
+	if e.Executed() != 3 {
+		t.Errorf("Executed = %d", e.Executed())
+	}
+}
+
+func TestAfterAndPastClamp(t *testing.T) {
+	e := New()
+	var at Time
+	e.At(100, func() {
+		// Scheduling in the past clamps to now.
+		e.At(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 100 {
+		t.Errorf("past event ran at %v, want 100", at)
+	}
+	e2 := New()
+	fired := false
+	e2.After(-5, func() { fired = true })
+	e2.Run()
+	if !fired || e2.Now() != 0 {
+		t.Error("negative delay mishandled")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	id := e.At(10, func() { fired = true })
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Cancel(id)
+	e.Cancel(id) // double-cancel is a no-op
+	e.Cancel(99) // unknown is a no-op
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending after run = %d", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 10} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(5)
+	if len(fired) != 3 {
+		t.Errorf("fired %v before horizon", fired)
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now = %v, want horizon 5", e.Now())
+	}
+	e.RunUntil(20)
+	if len(fired) != 4 || e.Now() != 20 {
+		t.Errorf("after second horizon: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 5 {
+			e.After(1, rec)
+		}
+	}
+	e.After(1, rec)
+	e.Run()
+	if depth != 5 {
+		t.Errorf("depth = %d", depth)
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New()
+	count := 0
+	tk := e.Tick(10, func() {
+		count++
+		if count == 3 {
+			// Stopping from inside the callback prevents re-arming.
+			e.After(0, func() {})
+		}
+	})
+	e.RunUntil(35)
+	if count != 3 {
+		t.Errorf("ticks = %d, want 3", count)
+	}
+	tk.Stop()
+	e.RunUntil(100)
+	if count != 3 {
+		t.Errorf("ticker fired after Stop: %d", count)
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := New()
+	count := 0
+	var tk *Ticker
+	tk = e.Tick(5, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 2 {
+		t.Errorf("ticks = %d, want 2", count)
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// the scheduling order.
+func TestQuickMonotoneClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var last Time = -1
+		ok := true
+		for _, d := range delays {
+			e.At(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: N scheduled events = N executed events when nothing is
+// cancelled.
+func TestQuickConservation(t *testing.T) {
+	f := func(delays []uint8) bool {
+		e := New()
+		for _, d := range delays {
+			e.At(Time(d), func() {})
+		}
+		e.Run()
+		return e.Executed() == uint64(len(delays)) && e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,438 @@
+// Package topology generates P2P overlay graphs, replacing the BRITE
+// universal topology generator the paper's simulation uses (§6.2.1).
+//
+// The paper requires "a power law P2P network, with an average degree of 4";
+// the Barabási–Albert preferential-attachment model is the canonical
+// generator for that class (and the one BRITE implements). A Waxman
+// generator is provided as an alternative flat random model, plus the graph
+// metrics used to sanity-check generated overlays (degree statistics,
+// connectivity, clustering).
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an undirected overlay with per-edge latencies.
+type Graph struct {
+	n       int
+	adj     [][]int
+	latency map[[2]int]float64
+}
+
+// NewGraph creates an edgeless graph of n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int, n), latency: make(map[[2]int]float64)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.n }
+
+// Neighbors returns the adjacency list of node u; callers must not mutate.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the undirected edge (u, v) with the given latency
+// (seconds). Self-loops and duplicates are rejected.
+func (g *Graph) AddEdge(u, v int, latency float64) error {
+	if u == v {
+		return fmt.Errorf("topology: self-loop at %d", u)
+	}
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return fmt.Errorf("topology: edge (%d,%d) out of range", u, v)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("topology: duplicate edge (%d,%d)", u, v)
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.latency[edgeKey(u, v)] = latency
+	return nil
+}
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// Latency returns the latency of edge (u, v), or 0 when absent.
+func (g *Graph) Latency(u, v int) float64 { return g.latency[edgeKey(u, v)] }
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int { return len(g.latency) }
+
+// AvgDegree returns the mean node degree (2E/N).
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.latency)) / float64(g.n)
+}
+
+// MaxDegree returns the largest node degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// Connected reports whether the graph is a single component.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// BFSWithin returns the set of nodes reachable from src within the given
+// number of hops (src included at distance 0). It backs the TTL-bounded
+// flooding baselines.
+func (g *Graph) BFSWithin(src, hops int) map[int]int {
+	dist := map[int]int{src: 0}
+	frontier := []int{src}
+	for h := 0; h < hops && len(frontier) > 0; h++ {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range g.adj[u] {
+				if _, ok := dist[v]; !ok {
+					dist[v] = h + 1
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// ClusteringCoefficient returns the average local clustering coefficient, a
+// small-world indicator (§5.2.2 cites small-world features of P2P graphs).
+func (g *Graph) ClusteringCoefficient() float64 {
+	total, counted := 0.0, 0
+	for u := 0; u < g.n; u++ {
+		d := len(g.adj[u])
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(g.adj[u][i], g.adj[u][j]) {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(d*(d-1))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// DegreeHistogram returns degree -> node count.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, a := range g.adj {
+		h[len(a)]++
+	}
+	return h
+}
+
+// LatencyModel draws per-edge latencies.
+type LatencyModel func(rng *rand.Rand) float64
+
+// UniformLatency draws uniformly from [lo, hi] seconds.
+func UniformLatency(lo, hi float64) LatencyModel {
+	return func(rng *rand.Rand) float64 { return lo + rng.Float64()*(hi-lo) }
+}
+
+// DefaultLatency is a 10–200 ms uniform WAN latency model.
+func DefaultLatency() LatencyModel { return UniformLatency(0.010, 0.200) }
+
+// BarabasiAlbert generates a power-law graph by preferential attachment:
+// every new node attaches m edges to existing nodes with probability
+// proportional to their degree. m=2 yields the paper's average degree ≈ 4.
+func BarabasiAlbert(n, m int, lat LatencyModel, rng *rand.Rand) (*Graph, error) {
+	if m < 1 {
+		return nil, errors.New("topology: m must be >= 1")
+	}
+	if n < m+1 {
+		return nil, fmt.Errorf("topology: need n >= m+1, got n=%d m=%d", n, m)
+	}
+	if lat == nil {
+		lat = DefaultLatency()
+	}
+	g := NewGraph(n)
+	// Seed clique over the first m+1 nodes.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			if err := g.AddEdge(u, v, lat(rng)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Repeated-node list: each node appears once per incident edge, so
+	// sampling uniformly from it is degree-proportional sampling.
+	var targets []int
+	for u := 0; u <= m; u++ {
+		for range g.adj[u] {
+			targets = append(targets, u)
+		}
+	}
+	for u := m + 1; u < n; u++ {
+		chosen := make(map[int]bool, m)
+		for len(chosen) < m {
+			v := targets[rng.Intn(len(targets))]
+			if v != u && !chosen[v] {
+				chosen[v] = true
+			}
+		}
+		picks := make([]int, 0, m)
+		for v := range chosen {
+			picks = append(picks, v)
+		}
+		sort.Ints(picks) // map order is random; keep runs reproducible
+		for _, v := range picks {
+			if err := g.AddEdge(u, v, lat(rng)); err != nil {
+				return nil, err
+			}
+			targets = append(targets, u, v)
+		}
+	}
+	return g, nil
+}
+
+// Waxman generates the classic BRITE flat random topology: nodes are placed
+// on a unit square and edges appear with probability
+// alpha * exp(-d / (beta * L)) where d is Euclidean distance and L the
+// diagonal. A spanning pass guarantees connectivity.
+func Waxman(n int, alpha, beta float64, lat LatencyModel, rng *rand.Rand) (*Graph, error) {
+	if n < 2 {
+		return nil, errors.New("topology: waxman needs n >= 2")
+	}
+	if alpha <= 0 || alpha > 1 || beta <= 0 {
+		return nil, fmt.Errorf("topology: invalid waxman parameters alpha=%g beta=%g", alpha, beta)
+	}
+	if lat == nil {
+		lat = DefaultLatency()
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{rng.Float64(), rng.Float64()}
+	}
+	l := math.Sqrt2
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := math.Hypot(pts[u].x-pts[v].x, pts[u].y-pts[v].y)
+			if rng.Float64() < alpha*math.Exp(-d/(beta*l)) {
+				if err := g.AddEdge(u, v, lat(rng)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Stitch components onto node 0's component to guarantee connectivity.
+	comp := components(g)
+	for c := 1; c < len(comp); c++ {
+		u := comp[c][rng.Intn(len(comp[c]))]
+		v := comp[0][rng.Intn(len(comp[0]))]
+		if err := g.AddEdge(u, v, lat(rng)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func components(g *Graph) [][]int {
+	seen := make([]bool, g.n)
+	var out [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+// PowerLawExponentEstimate fits the tail exponent of the degree
+// distribution by the Hill maximum-likelihood estimator over degrees >=
+// kmin. BA graphs should report an exponent near 3.
+func (g *Graph) PowerLawExponentEstimate(kmin int) float64 {
+	var sum float64
+	n := 0
+	for _, a := range g.adj {
+		k := len(a)
+		if k >= kmin {
+			sum += math.Log(float64(k) / float64(kmin))
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return 1 + float64(n)/sum
+}
+
+// WattsStrogatz generates the classic small-world model: a ring lattice of
+// degree k (even) whose edges are rewired with probability beta. The paper
+// leans on small-world features of real P2P graphs ("the existing P2P
+// networks have small-world features", §5.2.2); this generator provides a
+// controlled way to study them next to the BA model.
+func WattsStrogatz(n, k int, beta float64, lat LatencyModel, rng *rand.Rand) (*Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: watts-strogatz needs even k >= 2, got %d", k)
+	}
+	if n <= k {
+		return nil, fmt.Errorf("topology: need n > k, got n=%d k=%d", n, k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("topology: beta %g out of [0,1]", beta)
+	}
+	if lat == nil {
+		lat = DefaultLatency()
+	}
+	g := NewGraph(n)
+	// Ring lattice: each node connects to its k/2 clockwise neighbors.
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			if err := g.AddEdge(u, v, lat(rng)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Rewire each clockwise edge with probability beta.
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			if rng.Float64() >= beta {
+				continue
+			}
+			// Pick a new target avoiding self-loops and duplicates.
+			for attempt := 0; attempt < 32; attempt++ {
+				w := rng.Intn(n)
+				if w == u || g.HasEdge(u, w) {
+					continue
+				}
+				g.removeEdge(u, v)
+				if err := g.AddEdge(u, w, lat(rng)); err == nil {
+					break
+				}
+				// Extremely unlikely; restore the original edge.
+				if err := g.AddEdge(u, v, lat(rng)); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+	}
+	// Guarantee connectivity the same way the Waxman generator does.
+	comp := components(g)
+	for c := 1; c < len(comp); c++ {
+		u := comp[c][rng.Intn(len(comp[c]))]
+		v := comp[0][rng.Intn(len(comp[0]))]
+		if g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v, lat(rng)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// removeEdge deletes an undirected edge (no-op when absent).
+func (g *Graph) removeEdge(u, v int) {
+	del := func(list []int, x int) []int {
+		for i, y := range list {
+			if y == x {
+				return append(list[:i], list[i+1:]...)
+			}
+		}
+		return list
+	}
+	if !g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = del(g.adj[u], v)
+	g.adj[v] = del(g.adj[v], u)
+	delete(g.latency, edgeKey(u, v))
+}
+
+// AvgPathLengthSample estimates the average shortest-path length by BFS
+// from a sample of sources (a small-world indicator next to clustering).
+func (g *Graph) AvgPathLengthSample(samples int, rng *rand.Rand) float64 {
+	if g.n < 2 || samples < 1 {
+		return 0
+	}
+	var sum, count float64
+	for s := 0; s < samples; s++ {
+		src := rng.Intn(g.n)
+		for _, d := range g.BFSWithin(src, g.n) {
+			if d > 0 {
+				sum += float64(d)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / count
+}
