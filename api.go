@@ -358,4 +358,4 @@ func EstimateCount(t *Tree, q Query) (float64, error) {
 var errNotBuilt = errors.New("p2psum: simulation not constructed yet")
 
 // guardf wraps fmt.Errorf so api files share one error style.
-func guardf(format string, args ...interface{}) error { return fmt.Errorf(format, args...) }
+func guardf(format string, args ...any) error { return fmt.Errorf(format, args...) }

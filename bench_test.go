@@ -385,6 +385,76 @@ func BenchmarkWorkload(b *testing.B) {
 	b.ReportMetric(ratio, "flood/SQ")
 }
 
+// sweepConfig is a multi-point (α × size) grid big enough for the worker
+// pool to matter.
+func sweepConfig(workers int) p2psum.ExperimentConfig {
+	cfg := p2psum.QuickExperimentConfig()
+	cfg.DomainSizes = []int{50, 100, 150, 200}
+	cfg.Alphas = []float64{0.1, 0.3, 0.5, 0.8}
+	cfg.Queries = 30
+	cfg.SimHours = 2
+	cfg.Workers = workers
+	return cfg
+}
+
+// BenchmarkSweepSequential runs the Figure 4 (α × domain size) grid on one
+// worker — the baseline the parallel harness is measured against.
+func BenchmarkSweepSequential(b *testing.B) {
+	cfg := sweepConfig(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := p2psum.RunFigure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the identical grid across one worker per
+// CPU; results are bit-identical to the sequential run (each grid point is
+// independently seeded), only wall-clock differs.
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := sweepConfig(0) // 0 = one worker per CPU
+	for i := 0; i < b.N; i++ {
+		if _, err := p2psum.RunFigure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTransport measures §4.1 construction plus a graceful-leave/rejoin
+// wave on the given transport.
+func benchTransport(b *testing.B, kind p2psum.TransportKind) {
+	for i := 0; i < b.N; i++ {
+		s, err := p2psum.NewSimulation(p2psum.SimOptions{
+			Peers: 500, SummaryPeers: 10, Seed: int64(50 + i), Transport: kind,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Construct(); err != nil {
+			b.Fatal(err)
+		}
+		for id := p2psum.NodeID(100); id < 150; id++ {
+			s.Leave(id, true)
+		}
+		for id := p2psum.NodeID(100); id < 150; id++ {
+			s.Join(id)
+		}
+		if s.Coverage() != 1 {
+			b.Fatal("incomplete coverage")
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkTransportSim drives the protocol over the deterministic
+// discrete-event transport.
+func BenchmarkTransportSim(b *testing.B) { benchTransport(b, p2psum.TransportSim) }
+
+// BenchmarkTransportChannel drives the identical protocol over the
+// concurrent channel-based transport (goroutine delivery, scaled per-link
+// latencies).
+func BenchmarkTransportChannel(b *testing.B) { benchTransport(b, p2psum.TransportChannel) }
+
 // BenchmarkTopKSummaries measures graded retrieval on a warm hierarchy.
 func BenchmarkTopKSummaries(b *testing.B) {
 	tree, err := p2psum.Summarize(p2psum.GeneratePatients(42, 2000), p2psum.MedicalBK(), 1)

@@ -5,11 +5,13 @@
 //
 //	experiments [-exp all|params|mapping|fig4|fig5|fig6|fig7|storage|
 //	             ablation-maintenance|ablation-routing|ablation-walks]
-//	            [-quick] [-seed N]
+//	            [-quick] [-seed N] [-parallel N]
 //
 // The default full configuration mirrors Table 3 (domains up to 2000
 // peers, networks up to 5000, 200 queries); -quick runs a down-scaled
-// sweep for smoke testing.
+// sweep for smoke testing. -parallel fans the sweep grids across N worker
+// goroutines (0 = one per CPU); every grid point is independently seeded,
+// so any worker count prints bit-identical tables.
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, params, mapping, fig4, fig5, fig6, fig7, storage, ablation-maintenance, ablation-routing, ablation-walks)")
 	quick := flag.Bool("quick", false, "run the down-scaled smoke configuration")
 	seed := flag.Int64("seed", 42, "random seed")
+	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	cfg := p2psum.DefaultExperimentConfig()
@@ -33,6 +36,7 @@ func main() {
 		cfg = p2psum.QuickExperimentConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *parallel
 
 	type runner struct {
 		name string

@@ -29,7 +29,31 @@
 //   - Experiments: RunFigure4..RunFigure7, RunStorage and the ablations
 //     regenerate every table and figure of the paper's evaluation.
 //
-// Everything is deterministic given a seed, uses only the standard
-// library, and is safe for single-goroutine use (the simulator is a
-// sequential discrete-event engine).
+// # Architecture
+//
+// The protocol stack is layered over a transport abstraction:
+//
+//	cmd/{p2psim,experiments,sumql}       CLIs (replica sweeps, figure sweeps)
+//	p2psum (api, simulation, experiments) public facade
+//	internal/experiments                  figure/ablation drivers + worker pool
+//	internal/routing                      SQ router and baselines (§5.2, §6.2.3)
+//	internal/core                         summary management (§4.1–§4.3)
+//	internal/p2p.Transport                overlay substrate interface
+//	├── p2p.Network                       deterministic, discrete-event (internal/sim)
+//	└── p2p.ChannelTransport              concurrent, real-time (goroutines)
+//
+// internal/core and internal/routing depend only on the p2p.Transport
+// interface, never on a concrete transport. The sim-backed Network makes
+// every run reproducible bit-for-bit given a seed; the channel-based
+// transport trades that determinism for real concurrency, scaled per-link
+// latencies and optional packet loss. SimOptions.Transport selects one.
+//
+// Experiment sweeps fan their (α × size) grids across a worker pool
+// (ExperimentConfig.Workers); every grid point is an isolated simulation
+// seeded purely from (Seed, point parameters), so parallel sweeps render
+// tables bit-identical to sequential ones.
+//
+// Everything uses only the standard library. Simulations on the
+// discrete-event transport are deterministic given a seed; distinct
+// Simulation values are independent and may run concurrently.
 package p2psum

@@ -1,0 +1,3 @@
+module p2psum
+
+go 1.23

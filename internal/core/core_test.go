@@ -135,7 +135,7 @@ func TestConstructionCoversNetwork(t *testing.T) {
 		t.Errorf("domains cover %d peers, want 300", total)
 	}
 	// Construction exchanged sumpeer and localsum messages.
-	c := sys.Network().Counter()
+	c := sys.Transport().Counter()
 	if c.Get(MsgSumpeer) == 0 || c.Get(MsgLocalsum) == 0 {
 		t.Errorf("construction counters: %s", c)
 	}
@@ -218,7 +218,7 @@ func TestPushAndReconciliationThreshold(t *testing.T) {
 		t.Errorf("freshness not reset after reconciliation: %g", cl.StaleFraction())
 	}
 	// Ring traffic: |partners|+1 reconcile messages for a full ring.
-	if got := sys.Network().Counter().Get(MsgReconcile); got == 0 {
+	if got := sys.Transport().Counter().Get(MsgReconcile); got == 0 {
 		t.Error("no reconcile messages counted")
 	}
 }
@@ -325,7 +325,7 @@ func TestSummaryPeerRelease(t *testing.T) {
 	if sys.Stats().SPDepartures != 1 {
 		t.Errorf("SPDepartures = %d", sys.Stats().SPDepartures)
 	}
-	if sys.Network().Counter().Get(MsgRelease) == 0 {
+	if sys.Transport().Counter().Get(MsgRelease) == 0 {
 		t.Error("no release messages")
 	}
 }
@@ -629,8 +629,8 @@ func TestDataLevelByteAccounting(t *testing.T) {
 	}
 	// localsum messages carry whole summaries: their byte volume must be
 	// far above the bare-message floor.
-	bytes := sys.Network().Bytes()
-	count := sys.Network().Counter()
+	bytes := sys.Transport().Bytes()
+	count := sys.Transport().Counter()
 	perMsg := float64(bytes.Get(MsgLocalsum)) / float64(count.Get(MsgLocalsum))
 	if perMsg < float64(SummaryNodeBytes) {
 		t.Errorf("localsum averages %.0f bytes, below one summary node (%d)", perMsg, SummaryNodeBytes)

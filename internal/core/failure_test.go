@@ -77,7 +77,7 @@ func TestFailureInjectionLiveness(t *testing.T) {
 		// negative ids, no summary peers.
 		cl := sys.Peer(sp).CooperationList()
 		for _, partner := range cl.Partners() {
-			if partner < 0 || int(partner) >= sys.Network().Len() {
+			if partner < 0 || int(partner) >= sys.Transport().Len() {
 				t.Errorf("CL of %d contains bogus id %d", sp, partner)
 			}
 			if isSP[partner] {

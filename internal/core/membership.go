@@ -1,0 +1,140 @@
+package core
+
+import "p2psum/internal/p2p"
+
+// Peer dynamicity (§4.3): joins, graceful leaves, silent failures,
+// summary-peer departures, and the failure-detection paths driven by
+// dropped messages.
+
+// onRelease reacts to a departing summary peer: find a new domain (§4.3).
+func (p *Peer) onRelease(msg *p2p.Message) {
+	if p.sp == msg.From {
+		p.sp = -1
+		p.sys.findDomain(p)
+	}
+}
+
+// Leave disconnects a peer. A graceful client pushes its departure first
+// (v=2 in two-bit mode, folded to 1 in one-bit); a graceful summary peer
+// releases its partners. A non-graceful leave is a silent failure (§4.3).
+// The body runs under Exec: on a concurrent transport the state writes
+// must not interleave with handlers.
+func (s *System) Leave(id p2p.NodeID, graceful bool) {
+	s.net.Exec(func() { s.leave(id, graceful) })
+}
+
+func (s *System) leave(id p2p.NodeID, graceful bool) {
+	p := s.peers[id]
+	if !s.net.Online(id) {
+		return
+	}
+	if graceful {
+		if p.role == RoleSummaryPeer {
+			s.stats.SPDepartures++
+			for _, partner := range p.cl.Partners() {
+				s.net.SendNew(MsgRelease, id, partner, 0, nil)
+			}
+		} else if p.sp >= 0 {
+			s.stats.GracefulLeaves++
+			s.net.SendNew(MsgPush, id, p.sp, 0, pushPayload{V: Unavailable})
+		}
+	} else {
+		s.stats.Failures++
+	}
+	s.net.SetOnline(id, false)
+	if p.role == RoleClient {
+		p.sp = -1
+	}
+}
+
+// Join reconnects a peer (§4.3): it contacts its neighbors; if one of them
+// is a partner, it adopts that neighbor's summary peer (freshness 1 —
+// "the need of pulling peer p to get new data descriptions"); otherwise it
+// walks. Runs under Exec, like Leave.
+func (s *System) Join(id p2p.NodeID) {
+	s.net.Exec(func() { s.join(id) })
+}
+
+func (s *System) join(id p2p.NodeID) {
+	p := s.peers[id]
+	if s.net.Online(id) {
+		return
+	}
+	s.net.SetOnline(id, true)
+	s.stats.Joins++
+	if p.role == RoleSummaryPeer {
+		return // returning summary peers resume their role
+	}
+	p.sp = -1
+	for _, nb := range s.net.Neighbors(id) {
+		o := s.peers[nb]
+		if o.role == RoleSummaryPeer {
+			p.adopt(nb, 1)
+			return
+		}
+		if o.sp >= 0 && s.net.Online(o.sp) {
+			p.adopt(o.sp, o.spHops+1)
+			return
+		}
+	}
+	s.findDomain(p)
+}
+
+// onDrop reacts to messages lost to offline receivers, implementing the
+// failure-detection paths of §4.3.
+func (s *System) onDrop(msg *p2p.Message) {
+	switch msg.Type {
+	case MsgPush, MsgLocalsum:
+		// The partner detects its summary peer's failure and searches for
+		// a new one.
+		p := s.peers[msg.From]
+		if p.role == RoleClient && s.net.Online(p.id) && p.sp == msg.To {
+			p.sp = -1
+			s.findDomain(p)
+		}
+	case MsgReconcile:
+		// The ring token hit a peer that disconnected in flight: the
+		// sender skips it and forwards to the rest of the ring.
+		pl := msg.Payload.(reconcilePayload)
+		sender := s.peers[msg.From]
+		sender.forwardReconcile(pl, pl.Remaining)
+	}
+}
+
+// DomainOf returns the summary peer governing a node, or -1.
+func (s *System) DomainOf(id p2p.NodeID) p2p.NodeID { return s.peers[id].SummaryPeer() }
+
+// DomainMembers returns the online partners of a summary peer (§3.1: "a
+// domain is the set of a superpeer and its clients"), including itself.
+func (s *System) DomainMembers(sp p2p.NodeID) []p2p.NodeID {
+	p := s.peers[sp]
+	if p.role != RoleSummaryPeer {
+		return nil
+	}
+	out := []p2p.NodeID{sp}
+	for _, id := range p.cl.Partners() {
+		if s.net.Online(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Coverage returns the fraction of online clients that currently belong to
+// a domain (the paper's summary Coverage, Definition 4 context).
+func (s *System) Coverage() float64 {
+	online, covered := 0, 0
+	for _, p := range s.peers {
+		if !s.net.Online(p.id) {
+			continue
+		}
+		online++
+		if p.IsPartner() {
+			covered++
+		}
+	}
+	if online == 0 {
+		return 0
+	}
+	return float64(covered) / float64(online)
+}

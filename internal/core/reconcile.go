@@ -1,0 +1,164 @@
+package core
+
+import "p2psum/internal/p2p"
+
+// Freshness maintenance (§4.2): push-based modification notification
+// (§4.2.1) and pull-based ring reconciliation gated by the threshold α
+// (§4.2.2).
+
+// MarkModified signals that the peer's local summary changed enough to
+// invalidate its merged description (§4.2.1): a push with v = 1 travels to
+// the summary peer. Runs under Exec so the summary-peer self-modification
+// path never interleaves with handlers on a concurrent transport.
+func (s *System) MarkModified(id p2p.NodeID) {
+	s.net.Exec(func() { s.markModified(id) })
+}
+
+func (s *System) markModified(id p2p.NodeID) {
+	p := s.peers[id]
+	if !s.net.Online(id) {
+		return
+	}
+	sp := p.SummaryPeer()
+	if sp < 0 {
+		return
+	}
+	s.stats.Pushes++
+	if p.role == RoleSummaryPeer {
+		// A summary peer's own modification feeds its own list.
+		if p.cl.Has(p.id) {
+			p.cl.Set(p.id, Stale)
+			p.maybeReconcile()
+		}
+		return
+	}
+	s.net.SendNew(MsgPush, id, sp, 0, pushPayload{V: Stale})
+}
+
+// onPush updates the pushing partner's freshness value and checks the
+// reconciliation trigger.
+func (p *Peer) onPush(msg *p2p.Message) {
+	if p.role != RoleSummaryPeer || !p.cl.Has(msg.From) {
+		return
+	}
+	pl := msg.Payload.(pushPayload)
+	v := pl.V
+	if p.sys.cfg.Mode == TwoBit && v == Unavailable && p.sys.cfg.KeepUnavailable {
+		// First alternative of §4.3: keep the descriptions and keep using
+		// them for approximate answering; do not accelerate reconciliation.
+		p.cl.Set(msg.From, Unavailable)
+		return
+	}
+	p.cl.Set(msg.From, v)
+	p.maybeReconcile()
+}
+
+// maybeReconcile starts a ring reconciliation when Σv/|CL| >= α (§4.2.2).
+func (p *Peer) maybeReconcile() {
+	if p.role != RoleSummaryPeer || p.reconciling {
+		return
+	}
+	if p.cl.Len() == 0 || p.cl.StaleFraction() < p.sys.cfg.Alpha {
+		return
+	}
+	p.reconciling = true
+	remaining := p.onlinePartners()
+	pl := reconcilePayload{SP: p.id, NewGS: p.sys.newTree()}
+	p.forwardReconcile(pl, remaining)
+}
+
+// onlinePartners returns the CL partners currently online, in ring order.
+func (p *Peer) onlinePartners() []p2p.NodeID {
+	var out []p2p.NodeID
+	for _, id := range p.cl.Partners() {
+		if p.sys.net.Online(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// forwardReconcile sends the reconciliation token to the next online
+// partner, or back to the summary peer when the ring is exhausted.
+func (p *Peer) forwardReconcile(pl reconcilePayload, remaining []p2p.NodeID) {
+	for len(remaining) > 0 {
+		next := remaining[0]
+		rest := remaining[1:]
+		if p.sys.net.Online(next) {
+			pl.Remaining = rest
+			p.sys.net.SendNew(MsgReconcile, p.id, next, 0, pl)
+			return
+		}
+		remaining = rest
+	}
+	// Ring exhausted: hand the new version to the summary peer.
+	pl.Remaining = nil
+	if p.id == pl.SP {
+		// Degenerate ring (no online partner): complete synchronously.
+		p.completeReconcile(pl)
+		return
+	}
+	p.sys.net.SendNew(MsgReconcile, p.id, pl.SP, 0, pl)
+}
+
+// onReconcile is executed by each partner on the ring, and by the summary
+// peer when the token returns.
+func (p *Peer) onReconcile(msg *p2p.Message) {
+	pl := msg.Payload.(reconcilePayload)
+	if p.role == RoleSummaryPeer && p.id == pl.SP {
+		p.completeReconcile(pl)
+		return
+	}
+	// Partner: merge the current local summary into the new version, then
+	// pass the token on (§4.2.2 distributes the merge work over partners).
+	if p.sys.cfg.DataLevel && pl.NewGS != nil && p.local != nil {
+		if err := pl.NewGS.Merge(p.local); err != nil {
+			// Incompatible local summary: skip its contribution.
+			_ = err
+		}
+	}
+	pl.Merged = append(pl.Merged, p.id)
+	p.forwardReconcile(pl, pl.Remaining)
+}
+
+// completeReconcile installs the rebuilt global summary (one update
+// operation, keeping availability high) and resets the freshness values.
+func (p *Peer) completeReconcile(pl reconcilePayload) {
+	if p.sys.cfg.DataLevel {
+		newGS := pl.NewGS
+		if newGS == nil {
+			newGS = p.sys.newTree()
+		}
+		if p.local != nil {
+			// The summary peer's own data belongs to the domain too.
+			if err := newGS.Merge(p.local); err != nil {
+				_ = err
+			}
+		}
+		p.gs = newGS
+	}
+	merged := make(map[p2p.NodeID]bool, len(pl.Merged))
+	for _, id := range pl.Merged {
+		merged[id] = true
+	}
+	// Partners that did not participate because they are gone are omitted
+	// from the new version: their descriptions are gone, so their entries
+	// leave the cooperation list (§4.3 second alternative). Online
+	// partners that joined while the ring was in flight stay flagged for
+	// the next pull.
+	for _, id := range p.cl.Partners() {
+		switch {
+		case merged[id]:
+			p.cl.Set(id, Fresh)
+		case p.sys.net.Online(id):
+			p.cl.Set(id, Stale)
+		default:
+			p.cl.Remove(id)
+		}
+	}
+	p.reconciling = false
+	p.sys.stats.Reconciliations++
+	if p.sys.OnReconcile != nil {
+		p.sys.OnReconcile(p.id, pl.Merged)
+	}
+}

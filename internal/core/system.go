@@ -3,12 +3,17 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"p2psum/internal/bk"
 	"p2psum/internal/p2p"
 	"p2psum/internal/saintetiq"
 )
+
+// This file holds the shared state of the summary-management system:
+// configuration, per-peer protocol state, message payloads and the System
+// wiring. The protocol logic lives in the files mirroring the paper's
+// structure: construct.go (§4.1 domain construction), reconcile.go (§4.2
+// freshness and reconciliation) and membership.go (§4.3 peer dynamicity).
 
 // Message type names (the units of every message-count figure).
 const (
@@ -177,10 +182,18 @@ type Stats struct {
 	FindWalks       int
 }
 
-// System drives the summary-management protocol over a p2p network.
+// System drives the summary-management protocol over any p2p.Transport —
+// the deterministic sim-backed Network or the concurrent ChannelTransport;
+// the protocol code never sees the concrete type.
+//
+// Concurrency contract: the mutating entry points (Construct, Leave, Join,
+// MarkModified) serialize themselves with message handlers via
+// Transport.Exec, so they are safe to call while messages are in flight on
+// a concurrent transport. Read accessors (Coverage, DomainOf, Peer state,
+// Stats) are not synchronized — settle the transport first.
 type System struct {
 	cfg   Config
-	net   *p2p.Network
+	net   p2p.Transport
 	peers []*Peer
 	sps   []p2p.NodeID
 	round int
@@ -191,8 +204,9 @@ type System struct {
 	OnReconcile func(sp p2p.NodeID, merged []p2p.NodeID)
 }
 
-// NewSystem wires a system onto the network. Every node starts as a client.
-func NewSystem(net *p2p.Network, cfg Config) (*System, error) {
+// NewSystem wires a system onto the transport. Every node starts as a
+// client.
+func NewSystem(net p2p.Transport, cfg Config) (*System, error) {
 	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
 		return nil, fmt.Errorf("core: alpha %g out of (0,1]", cfg.Alpha)
 	}
@@ -212,12 +226,12 @@ func NewSystem(net *p2p.Network, cfg Config) (*System, error) {
 		s.peers[i] = p
 		net.SetHandler(p.id, p.handle)
 	}
-	net.Drop = s.onDrop
+	net.SetDrop(s.onDrop)
 	return s, nil
 }
 
-// Network returns the underlying overlay.
-func (s *System) Network() *p2p.Network { return s.net }
+// Transport returns the underlying overlay transport.
+func (s *System) Transport() p2p.Transport { return s.net }
 
 // Config returns the active configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -234,141 +248,11 @@ func (s *System) SummaryPeers() []p2p.NodeID { return s.sps }
 // SetLocalTree installs a peer's local summary (data level).
 func (s *System) SetLocalTree(id p2p.NodeID, t *saintetiq.Tree) { s.peers[id].local = t }
 
-// ElectSummaryPeers picks the k highest-degree nodes as summary peers,
-// exploiting peer heterogeneity as §3.1 prescribes for hybrid
-// architectures. Ties break on the lower id.
-func (s *System) ElectSummaryPeers(k int) []p2p.NodeID {
-	if k < 1 {
-		k = 1
-	}
-	if k > s.net.Len() {
-		k = s.net.Len()
-	}
-	ids := make([]p2p.NodeID, s.net.Len())
-	for i := range ids {
-		ids[i] = p2p.NodeID(i)
-	}
-	g := s.net.Graph()
-	sort.Slice(ids, func(i, j int) bool {
-		di, dj := g.Degree(int(ids[i])), g.Degree(int(ids[j]))
-		if di != dj {
-			return di > dj
-		}
-		return ids[i] < ids[j]
-	})
-	s.AssignSummaryPeers(ids[:k])
-	return s.sps
-}
-
-// AssignSummaryPeers designates the given nodes as summary peers and wires
-// the long-range links between them ("the summary peer SP sends the request
-// to the set of summary peers it knows", §5.2.2).
-func (s *System) AssignSummaryPeers(ids []p2p.NodeID) {
-	s.sps = append([]p2p.NodeID(nil), ids...)
-	sort.Slice(s.sps, func(i, j int) bool { return s.sps[i] < s.sps[j] })
-	for _, id := range s.sps {
-		p := s.peers[id]
-		p.role = RoleSummaryPeer
-		p.sp = -1
-		p.cl = NewCooperationList(s.cfg.Mode)
-		p.gs = s.newTree()
-		var others []p2p.NodeID
-		for _, o := range s.sps {
-			if o != id {
-				others = append(others, o)
-			}
-		}
-		p.knownSPs = others
-	}
-}
-
 func (s *System) newTree() *saintetiq.Tree {
 	if !s.cfg.DataLevel {
 		return nil
 	}
 	return saintetiq.New(s.cfg.BK, s.cfg.TreeCfg)
-}
-
-// Construct runs the §4.1 domain construction: every summary peer
-// broadcasts a sumpeer message with the configured TTL, peers adopt the
-// closest summary peer and ship their local summaries, and stragglers that
-// no broadcast reached locate a domain with a selective walk. The engine is
-// run to quiescence.
-func (s *System) Construct() error {
-	if len(s.sps) == 0 {
-		return errors.New("core: no summary peers assigned")
-	}
-	s.round++
-	for _, id := range s.sps {
-		s.broadcastSumpeer(id)
-	}
-	s.net.Engine().Run()
-	// Stragglers: peers outside every broadcast radius use find.
-	for _, p := range s.peers {
-		if p.role == RoleClient && p.sp < 0 && s.net.Online(p.id) {
-			s.findDomain(p)
-		}
-	}
-	s.net.Engine().Run()
-	s.built = true
-	return nil
-}
-
-// broadcastSumpeer floods the announcement from the summary peer.
-func (s *System) broadcastSumpeer(spID p2p.NodeID) {
-	sp := s.peers[spID]
-	sp.seenRounds[sumpeerKey{spID, s.round}] = true
-	for _, nb := range s.net.Neighbors(spID) {
-		s.net.SendNew(MsgSumpeer, spID, nb, s.cfg.ConstructionTTL-1,
-			sumpeerPayload{SP: spID, Round: s.round, Hops: 1})
-	}
-}
-
-// findDomain runs the selective walk of the find protocol and adopts the
-// summary peer of the first partner reached.
-func (s *System) findDomain(p *Peer) {
-	s.stats.FindWalks++
-	res := s.net.SelectiveWalk(MsgFind, p.id, s.cfg.FindBudget, func(id p2p.NodeID) bool {
-		if id == p.id {
-			return false
-		}
-		o := s.peers[id]
-		if o.role == RoleSummaryPeer {
-			return true
-		}
-		return o.sp >= 0 && s.net.Online(o.sp)
-	})
-	if res.Found < 0 {
-		return
-	}
-	target := s.peers[res.Found]
-	spID := target.id
-	if target.role == RoleClient {
-		spID = target.sp
-	}
-	p.adopt(spID, s.hopsTo(p.id, spID))
-}
-
-// hopsTo estimates the hop distance between two nodes (used for the
-// closer-summary-peer comparison; the paper notes latency or any other
-// metric works).
-func (s *System) hopsTo(a, b p2p.NodeID) int {
-	dist := s.net.Graph().BFSWithin(int(a), 6)
-	if d, ok := dist[int(b)]; ok {
-		return d
-	}
-	return 7
-}
-
-// adopt makes p a partner of spID, shipping its local summary.
-func (p *Peer) adopt(spID p2p.NodeID, hops int) {
-	p.sp = spID
-	p.spHops = hops
-	payload := localsumPayload{Rejoin: p.sys.built}
-	if p.sys.cfg.DataLevel && p.local != nil {
-		payload.Tree = p.local.Clone()
-	}
-	p.sys.net.SendNew(MsgLocalsum, p.id, spID, 0, payload)
 }
 
 // handle dispatches incoming protocol messages.
@@ -389,337 +273,4 @@ func (p *Peer) handle(msg *p2p.Message) {
 	case MsgRelease:
 		p.onRelease(msg)
 	}
-}
-
-// onSumpeer implements the §4.1 construction rules at a receiving peer.
-func (p *Peer) onSumpeer(msg *p2p.Message) {
-	pl := msg.Payload.(sumpeerPayload)
-	key := sumpeerKey{pl.SP, pl.Round}
-	if p.seenRounds[key] {
-		return // duplicate broadcast copy
-	}
-	p.seenRounds[key] = true
-
-	if p.role == RoleClient {
-		switch {
-		case p.sp < 0:
-			// First sumpeer message: become a partner.
-			p.adopt(pl.SP, pl.Hops)
-		case p.sp != pl.SP && pl.Hops < p.spHops:
-			// A strictly closer summary peer: drop the old partnership.
-			p.sys.net.SendNew(MsgDrop, p.id, p.sp, 0, nil)
-			p.adopt(pl.SP, pl.Hops)
-		}
-	}
-
-	// Forward the broadcast while TTL remains.
-	if msg.TTL > 0 {
-		fwd := sumpeerPayload{SP: pl.SP, Round: pl.Round, Hops: pl.Hops + 1}
-		for _, nb := range p.sys.net.Neighbors(p.id) {
-			if nb != msg.From {
-				p.sys.net.SendNew(MsgSumpeer, p.id, nb, msg.TTL-1, fwd)
-			}
-		}
-	}
-}
-
-// onLocalsum registers (or refreshes) a partner at the summary peer.
-func (p *Peer) onLocalsum(msg *p2p.Message) {
-	if p.role != RoleSummaryPeer {
-		return
-	}
-	pl := msg.Payload.(localsumPayload)
-	if !pl.Rejoin || p.sys.cfg.MergeOnJoin {
-		// Construction-time localsum (or the merge-on-join ablation):
-		// merge immediately, descriptions are fresh.
-		if p.sys.cfg.DataLevel && pl.Tree != nil {
-			if err := p.gs.Merge(pl.Tree); err != nil {
-				// Incompatible vocabulary: register the partner anyway but
-				// flag it for the next pull.
-				p.cl.Set(msg.From, Stale)
-				return
-			}
-		}
-		p.cl.Set(msg.From, Fresh)
-		return
-	}
-	// Later join (§4.3): record the partner but defer the merge to the
-	// next reconciliation; value 1 marks the need to pull it.
-	p.cl.Set(msg.From, Stale)
-	p.maybeReconcile()
-}
-
-// onPush updates the pushing partner's freshness value and checks the
-// reconciliation trigger.
-func (p *Peer) onPush(msg *p2p.Message) {
-	if p.role != RoleSummaryPeer || !p.cl.Has(msg.From) {
-		return
-	}
-	pl := msg.Payload.(pushPayload)
-	v := pl.V
-	if p.sys.cfg.Mode == TwoBit && v == Unavailable && p.sys.cfg.KeepUnavailable {
-		// First alternative of §4.3: keep the descriptions and keep using
-		// them for approximate answering; do not accelerate reconciliation.
-		p.cl.Set(msg.From, Unavailable)
-		return
-	}
-	p.cl.Set(msg.From, v)
-	p.maybeReconcile()
-}
-
-// maybeReconcile starts a ring reconciliation when Σv/|CL| >= α (§4.2.2).
-func (p *Peer) maybeReconcile() {
-	if p.role != RoleSummaryPeer || p.reconciling {
-		return
-	}
-	if p.cl.Len() == 0 || p.cl.StaleFraction() < p.sys.cfg.Alpha {
-		return
-	}
-	p.reconciling = true
-	remaining := p.onlinePartners()
-	pl := reconcilePayload{SP: p.id, NewGS: p.sys.newTree()}
-	p.forwardReconcile(pl, remaining)
-}
-
-// onlinePartners returns the CL partners currently online, in ring order.
-func (p *Peer) onlinePartners() []p2p.NodeID {
-	var out []p2p.NodeID
-	for _, id := range p.cl.Partners() {
-		if p.sys.net.Online(id) {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
-// forwardReconcile sends the reconciliation token to the next online
-// partner, or back to the summary peer when the ring is exhausted.
-func (p *Peer) forwardReconcile(pl reconcilePayload, remaining []p2p.NodeID) {
-	for len(remaining) > 0 {
-		next := remaining[0]
-		rest := remaining[1:]
-		if p.sys.net.Online(next) {
-			pl.Remaining = rest
-			p.sys.net.SendNew(MsgReconcile, p.id, next, 0, pl)
-			return
-		}
-		remaining = rest
-	}
-	// Ring exhausted: hand the new version to the summary peer.
-	pl.Remaining = nil
-	if p.id == pl.SP {
-		// Degenerate ring (no online partner): complete synchronously.
-		p.completeReconcile(pl)
-		return
-	}
-	p.sys.net.SendNew(MsgReconcile, p.id, pl.SP, 0, pl)
-}
-
-// onReconcile is executed by each partner on the ring, and by the summary
-// peer when the token returns.
-func (p *Peer) onReconcile(msg *p2p.Message) {
-	pl := msg.Payload.(reconcilePayload)
-	if p.role == RoleSummaryPeer && p.id == pl.SP {
-		p.completeReconcile(pl)
-		return
-	}
-	// Partner: merge the current local summary into the new version, then
-	// pass the token on (§4.2.2 distributes the merge work over partners).
-	if p.sys.cfg.DataLevel && pl.NewGS != nil && p.local != nil {
-		if err := pl.NewGS.Merge(p.local); err != nil {
-			// Incompatible local summary: skip its contribution.
-			_ = err
-		}
-	}
-	pl.Merged = append(pl.Merged, p.id)
-	p.forwardReconcile(pl, pl.Remaining)
-}
-
-// completeReconcile installs the rebuilt global summary (one update
-// operation, keeping availability high) and resets the freshness values.
-func (p *Peer) completeReconcile(pl reconcilePayload) {
-	if p.sys.cfg.DataLevel {
-		newGS := pl.NewGS
-		if newGS == nil {
-			newGS = p.sys.newTree()
-		}
-		if p.local != nil {
-			// The summary peer's own data belongs to the domain too.
-			if err := newGS.Merge(p.local); err != nil {
-				_ = err
-			}
-		}
-		p.gs = newGS
-	}
-	merged := make(map[p2p.NodeID]bool, len(pl.Merged))
-	for _, id := range pl.Merged {
-		merged[id] = true
-	}
-	// Partners that did not participate because they are gone are omitted
-	// from the new version: their descriptions are gone, so their entries
-	// leave the cooperation list (§4.3 second alternative). Online
-	// partners that joined while the ring was in flight stay flagged for
-	// the next pull.
-	for _, id := range p.cl.Partners() {
-		switch {
-		case merged[id]:
-			p.cl.Set(id, Fresh)
-		case p.sys.net.Online(id):
-			p.cl.Set(id, Stale)
-		default:
-			p.cl.Remove(id)
-		}
-	}
-	p.reconciling = false
-	p.sys.stats.Reconciliations++
-	if p.sys.OnReconcile != nil {
-		p.sys.OnReconcile(p.id, pl.Merged)
-	}
-}
-
-// onRelease reacts to a departing summary peer: find a new domain (§4.3).
-func (p *Peer) onRelease(msg *p2p.Message) {
-	if p.sp == msg.From {
-		p.sp = -1
-		p.sys.findDomain(p)
-	}
-}
-
-// MarkModified signals that the peer's local summary changed enough to
-// invalidate its merged description (§4.2.1): a push with v = 1 travels to
-// the summary peer.
-func (s *System) MarkModified(id p2p.NodeID) {
-	p := s.peers[id]
-	if !s.net.Online(id) {
-		return
-	}
-	sp := p.SummaryPeer()
-	if sp < 0 {
-		return
-	}
-	s.stats.Pushes++
-	if p.role == RoleSummaryPeer {
-		// A summary peer's own modification feeds its own list.
-		if p.cl.Has(p.id) {
-			p.cl.Set(p.id, Stale)
-			p.maybeReconcile()
-		}
-		return
-	}
-	s.net.SendNew(MsgPush, id, sp, 0, pushPayload{V: Stale})
-}
-
-// Leave disconnects a peer. A graceful client pushes its departure first
-// (v=2 in two-bit mode, folded to 1 in one-bit); a graceful summary peer
-// releases its partners. A non-graceful leave is a silent failure (§4.3).
-func (s *System) Leave(id p2p.NodeID, graceful bool) {
-	p := s.peers[id]
-	if !s.net.Online(id) {
-		return
-	}
-	if graceful {
-		if p.role == RoleSummaryPeer {
-			s.stats.SPDepartures++
-			for _, partner := range p.cl.Partners() {
-				s.net.SendNew(MsgRelease, id, partner, 0, nil)
-			}
-		} else if p.sp >= 0 {
-			s.stats.GracefulLeaves++
-			s.net.SendNew(MsgPush, id, p.sp, 0, pushPayload{V: Unavailable})
-		}
-	} else {
-		s.stats.Failures++
-	}
-	s.net.SetOnline(id, false)
-	if p.role == RoleClient {
-		p.sp = -1
-	}
-}
-
-// Join reconnects a peer (§4.3): it contacts its neighbors; if one of them
-// is a partner, it adopts that neighbor's summary peer (freshness 1 —
-// "the need of pulling peer p to get new data descriptions"); otherwise it
-// walks.
-func (s *System) Join(id p2p.NodeID) {
-	p := s.peers[id]
-	if s.net.Online(id) {
-		return
-	}
-	s.net.SetOnline(id, true)
-	s.stats.Joins++
-	if p.role == RoleSummaryPeer {
-		return // returning summary peers resume their role
-	}
-	p.sp = -1
-	for _, nb := range s.net.Neighbors(id) {
-		o := s.peers[nb]
-		if o.role == RoleSummaryPeer {
-			p.adopt(nb, 1)
-			return
-		}
-		if o.sp >= 0 && s.net.Online(o.sp) {
-			p.adopt(o.sp, o.spHops+1)
-			return
-		}
-	}
-	s.findDomain(p)
-}
-
-// onDrop reacts to messages lost to offline receivers, implementing the
-// failure-detection paths of §4.3.
-func (s *System) onDrop(msg *p2p.Message) {
-	switch msg.Type {
-	case MsgPush, MsgLocalsum:
-		// The partner detects its summary peer's failure and searches for
-		// a new one.
-		p := s.peers[msg.From]
-		if p.role == RoleClient && s.net.Online(p.id) && p.sp == msg.To {
-			p.sp = -1
-			s.findDomain(p)
-		}
-	case MsgReconcile:
-		// The ring token hit a peer that disconnected in flight: the
-		// sender skips it and forwards to the rest of the ring.
-		pl := msg.Payload.(reconcilePayload)
-		sender := s.peers[msg.From]
-		sender.forwardReconcile(pl, pl.Remaining)
-	}
-}
-
-// DomainOf returns the summary peer governing a node, or -1.
-func (s *System) DomainOf(id p2p.NodeID) p2p.NodeID { return s.peers[id].SummaryPeer() }
-
-// DomainMembers returns the online partners of a summary peer (§3.1: "a
-// domain is the set of a superpeer and its clients"), including itself.
-func (s *System) DomainMembers(sp p2p.NodeID) []p2p.NodeID {
-	p := s.peers[sp]
-	if p.role != RoleSummaryPeer {
-		return nil
-	}
-	out := []p2p.NodeID{sp}
-	for _, id := range p.cl.Partners() {
-		if s.net.Online(id) {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
-// Coverage returns the fraction of online clients that currently belong to
-// a domain (the paper's summary Coverage, Definition 4 context).
-func (s *System) Coverage() float64 {
-	online, covered := 0, 0
-	for _, p := range s.peers {
-		if !s.net.Online(p.id) {
-			continue
-		}
-		online++
-		if p.IsPartner() {
-			covered++
-		}
-	}
-	if online == 0 {
-		return 0
-	}
-	return float64(covered) / float64(online)
 }

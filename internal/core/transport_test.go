@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2psum/internal/p2p"
+	"p2psum/internal/topology"
+)
+
+// The §4 protocols must run unchanged over any p2p.Transport. These tests
+// drive the full construction + churn + maintenance cycle over the
+// concurrent ChannelTransport, which delivers messages on goroutines in
+// real time instead of the deterministic event engine.
+
+func newChannelSystem(t *testing.T, n int, seed int64, cfg Config) (*System, *p2p.ChannelTransport) {
+	t.Helper()
+	g, err := topology.BarabasiAlbert(n, 2, nil, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := p2p.NewChannelTransport(g, seed, p2p.ChannelConfig{})
+	t.Cleanup(ct.Close)
+	sys, err := NewSystem(ct, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, ct
+}
+
+func TestConstructOverChannelTransport(t *testing.T) {
+	sys, ct := newChannelSystem(t, 300, 11, DefaultConfig())
+	sys.ElectSummaryPeers(5)
+	if err := sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	if c := sys.Coverage(); c != 1 {
+		t.Fatalf("coverage = %v, want 1", c)
+	}
+	// Every client adopted a real summary peer and shipped a localsum.
+	for i := 0; i < ct.Len(); i++ {
+		sp := sys.DomainOf(p2p.NodeID(i))
+		if sp < 0 {
+			t.Fatalf("node %d has no domain", i)
+		}
+		if sys.Peer(sp).Role() != RoleSummaryPeer {
+			t.Fatalf("node %d adopted non-SP %d", i, sp)
+		}
+	}
+	if ct.Counter().Get(MsgLocalsum) == 0 {
+		t.Error("no localsum traffic over channel transport")
+	}
+}
+
+func TestChurnOverChannelTransport(t *testing.T) {
+	sys, ct := newChannelSystem(t, 200, 12, DefaultConfig())
+	sys.ElectSummaryPeers(4)
+	if err := sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	sp := sys.SummaryPeers()[0]
+	partners := sys.Peer(sp).CooperationList().Partners()
+
+	// Graceful leaves push departure notices; enough of them must trip the
+	// α threshold and run ring reconciliations, exactly as on the engine.
+	for i, id := range partners {
+		if i%2 == 0 {
+			sys.Leave(id, true)
+			ct.Settle()
+		}
+	}
+	if got := ct.Counter().Get(MsgPush); got == 0 {
+		t.Error("no push traffic from graceful leaves")
+	}
+	if sys.Stats().Reconciliations == 0 {
+		t.Error("no reconciliation triggered over channel transport")
+	}
+
+	// Rejoining peers re-attach through neighbors or find walks.
+	for i, id := range partners {
+		if i%2 == 0 {
+			sys.Join(id)
+			ct.Settle()
+		}
+	}
+	if c := sys.Coverage(); c != 1 {
+		t.Errorf("coverage after rejoin = %v, want 1", c)
+	}
+}
+
+func TestSummaryPeerFailureOverChannelTransport(t *testing.T) {
+	sys, ct := newChannelSystem(t, 150, 13, DefaultConfig())
+	sys.ElectSummaryPeers(3)
+	if err := sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	// Silent SP failure: partners detect it via dropped pushes (§4.3) and
+	// find a new domain.
+	sp := sys.SummaryPeers()[0]
+	partners := sys.Peer(sp).CooperationList().Partners()
+	sys.Leave(sp, false)
+	ct.Settle()
+	for _, id := range partners {
+		sys.MarkModified(id)
+		ct.Settle()
+	}
+	for _, id := range partners {
+		if !ct.Online(id) {
+			continue
+		}
+		if d := sys.DomainOf(id); d == sp {
+			t.Fatalf("partner %d still points at failed SP %d", id, sp)
+		}
+	}
+}

@@ -40,16 +40,33 @@ func AblationMaintenance(cfg Config) (*stats.Table, error) {
 		{"merge-on-join", 0.3, mergeJoin},
 		{"eager a=0.05", 0.05, base},
 	}
+	// Fan the (variant × size) grid across the worker pool; every cell is
+	// independently seeded, so results match the sequential sweep exactly.
+	type cell struct {
+		v variant
+		n int
+	}
+	var grid []cell
+	for _, v := range variants {
+		for _, n := range cfg.DomainSizes {
+			grid = append(grid, cell{v, n})
+		}
+	}
+	all := make([]*domainObservation, len(grid))
+	if err := forEach(cfg.Workers, len(grid), func(i int) error {
+		var runErr error
+		all[i], runErr = runDomain(cfg, grid[i].n, grid[i].v.alpha, cfg.Seed+int64(grid[i].n), routing.Balanced, grid[i].v.sysCfg)
+		return runErr
+	}); err != nil {
+		return nil, err
+	}
 	msgs := make([]*stats.Series, len(variants))
 	stale := make([]*stats.Series, len(variants))
 	for i, v := range variants {
 		msgs[i] = &stats.Series{Name: "msg/node/h " + v.name}
 		stale[i] = &stats.Series{Name: "stale% " + v.name}
-		for _, n := range cfg.DomainSizes {
-			obs, err := runDomain(cfg, n, v.alpha, cfg.Seed+int64(n), routing.Balanced, v.sysCfg)
-			if err != nil {
-				return nil, err
-			}
+		for ni, n := range cfg.DomainSizes {
+			obs := all[i*len(cfg.DomainSizes)+ni]
 			msgs[i].Add(float64(n), obs.perNodePerHour)
 			stale[i].Add(float64(n), 100*obs.staleAtQuery.Mean())
 		}
@@ -142,13 +159,21 @@ func AblationWalks(cfg Config) (*stats.Table, error) {
 	failS := &stats.Series{Name: "selective failures"}
 	failR := &stats.Series{Name: "random failures"}
 
+	var sizes []int
 	for _, n := range cfg.NetworkSizes {
-		if n < 32 {
-			continue
+		if n >= 32 {
+			sizes = append(sizes, n)
 		}
+	}
+	type walkPoint struct {
+		sel, blind, sf, rf float64
+	}
+	points := make([]walkPoint, len(sizes))
+	if err := forEach(cfg.Workers, len(sizes), func(i int) error {
+		n := sizes[i]
 		g, err := topology.BarabasiAlbert(n, 2, nil, rand.New(rand.NewSource(cfg.Seed+int64(n))))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		net := p2p.NewNetwork(sim.New(), g, cfg.Seed+int64(n))
 		// Target set: the top-degree nodes (where summary peers live).
@@ -164,7 +189,7 @@ func AblationWalks(cfg Config) (*stats.Table, error) {
 		sh, rh := stats.NewRunning(), stats.NewRunning()
 		var sf, rf float64
 		trials := 30
-		for i := 0; i < trials; i++ {
+		for t := 0; t < trials; t++ {
 			src := p2p.NodeID(rng.Intn(n))
 			if spSet[src] {
 				continue
@@ -180,10 +205,16 @@ func AblationWalks(cfg Config) (*stats.Table, error) {
 				rf++
 			}
 		}
-		selective.Add(float64(n), sh.Mean())
-		blind.Add(float64(n), rh.Mean())
-		failS.Add(float64(n), sf)
-		failR.Add(float64(n), rf)
+		points[i] = walkPoint{sel: sh.Mean(), blind: rh.Mean(), sf: sf, rf: rf}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		selective.Add(float64(n), points[i].sel)
+		blind.Add(float64(n), points[i].blind)
+		failS.Add(float64(n), points[i].sf)
+		failR.Add(float64(n), points[i].rf)
 	}
 	t := stats.NewTable("Ablation: selective vs random walk (find protocol)", "peers", selective, blind, failS, failR)
 	t.AddNote("the selective walk climbs the degree gradient straight to the hubs hosting summary peers")
@@ -216,7 +247,7 @@ func topDegree(g *topology.Graph, k int) []p2p.NodeID {
 }
 
 func pickOnlineClient(sys *core.System, rng *rand.Rand) p2p.NodeID {
-	ids := sys.Network().OnlineIDs()
+	ids := sys.Transport().OnlineIDs()
 	for tries := 0; tries < 100; tries++ {
 		id := ids[rng.Intn(len(ids))]
 		if sys.Peer(id).Role() == core.RoleClient && sys.DomainOf(id) >= 0 {

@@ -44,6 +44,10 @@ type Config struct {
 	GracefulProb float64
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the number of concurrently simulated sweep points
+	// (0 = one per CPU, 1 = sequential). Every point is seeded
+	// independently, so any worker count yields bit-identical tables.
+	Workers int
 }
 
 // Default returns the paper's Table 3 parameters.
@@ -272,18 +276,45 @@ func sampleDomainAccuracy(sys *core.System, sp p2p.NodeID, cfg Config, queryRng,
 	obs.fnRealAtQuery.Observe(float64(fn) / float64(k))
 }
 
+// domainJob is one (α × domain size) point of a sweep grid.
+type domainJob struct {
+	alpha float64
+	n     int
+}
+
+// sweepDomains simulates every (α × size) grid point across the worker
+// pool, returning observations in grid order (α-major).
+func sweepDomains(cfg Config, alphas []float64, sizes []int, mode routing.Mode, sysCfg core.Config) ([]*domainObservation, error) {
+	jobs := make([]domainJob, 0, len(alphas)*len(sizes))
+	for _, alpha := range alphas {
+		for _, n := range sizes {
+			jobs = append(jobs, domainJob{alpha, n})
+		}
+	}
+	obs := make([]*domainObservation, len(jobs))
+	err := forEach(cfg.Workers, len(jobs), func(i int) error {
+		var runErr error
+		obs[i], runErr = runDomain(cfg, jobs[i].n, jobs[i].alpha, cfg.Seed+int64(jobs[i].n), mode, sysCfg)
+		return runErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return obs, nil
+}
+
 // Figure4 regenerates "stale answers vs domain size": one series per α,
 // worst-case accounting.
 func Figure4(cfg Config) (*stats.Table, error) {
+	obs, err := sweepDomains(cfg, cfg.Alphas, cfg.DomainSizes, routing.Balanced, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 	var series []*stats.Series
-	for _, alpha := range cfg.Alphas {
+	for ai, alpha := range cfg.Alphas {
 		s := &stats.Series{Name: fmt.Sprintf("alpha=%.1f", alpha)}
-		for _, n := range cfg.DomainSizes {
-			obs, err := runDomain(cfg, n, alpha, cfg.Seed+int64(n), routing.Balanced, core.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(n), 100*obs.staleAtQuery.Mean())
+		for ni, n := range cfg.DomainSizes {
+			s.Add(float64(n), 100*obs[ai*len(cfg.DomainSizes)+ni].staleAtQuery.Mean())
 		}
 		series = append(series, s)
 	}
@@ -297,14 +328,14 @@ func Figure4(cfg Config) (*stats.Table, error) {
 func Figure5(cfg Config) (*stats.Table, error) {
 	real := &stats.Series{Name: "false negatives (real)"}
 	worst := &stats.Series{Name: "stale answers (worst)"}
-	alpha := 0.3 // the paper's Figure 5 operating point
-	for _, n := range cfg.DomainSizes {
-		obs, err := runDomain(cfg, n, alpha, cfg.Seed+int64(n), routing.Precise, core.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		real.Add(float64(n), 100*obs.fnRealAtQuery.Mean())
-		worst.Add(float64(n), 100*obs.staleAtQuery.Mean())
+	const alpha = 0.3 // the paper's Figure 5 operating point
+	obs, err := sweepDomains(cfg, []float64{alpha}, cfg.DomainSizes, routing.Precise, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range cfg.DomainSizes {
+		real.Add(float64(n), 100*obs[ni].fnRealAtQuery.Mean())
+		worst.Add(float64(n), 100*obs[ni].staleAtQuery.Mean())
 	}
 	t := stats.NewTable("Figure 5: false negatives (%) vs domain size (alpha=0.3)", "domain size", real, worst)
 	var ratio float64
@@ -327,15 +358,16 @@ func Figure6(cfg Config) (*stats.Table, error) {
 	var series []*stats.Series
 	perNode := make([]*stats.Series, len(alphas))
 	logical := make([]*stats.Series, len(alphas))
+	all, err := sweepDomains(cfg, alphas, cfg.DomainSizes, routing.Balanced, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 	for i, alpha := range alphas {
 		tot := &stats.Series{Name: fmt.Sprintf("total alpha=%.1f", alpha)}
 		per := &stats.Series{Name: fmt.Sprintf("per-node/h a=%.1f", alpha)}
 		log := &stats.Series{Name: fmt.Sprintf("logical a=%.1f", alpha)}
-		for _, n := range cfg.DomainSizes {
-			obs, err := runDomain(cfg, n, alpha, cfg.Seed+int64(n), routing.Balanced, core.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
+		for ni, n := range cfg.DomainSizes {
+			obs := all[i*len(cfg.DomainSizes)+ni]
 			tot.Add(float64(n), float64(obs.maintenanceMsg))
 			per.Add(float64(n), obs.perNodePerHour)
 			log.Add(float64(n), float64(obs.logicalMsg()))
@@ -366,9 +398,81 @@ func Figure6(cfg Config) (*stats.Table, error) {
 	return t, nil
 }
 
+// figure7Point is one network-size measurement of the Figure 7 sweep.
+type figure7Point struct {
+	sq, fl, flFull, ce float64
+	flRecall           float64
+	model              float64
+	hasModel           bool
+}
+
+// runFigure7Point measures summary querying and both baselines on one
+// Barabási–Albert overlay of n peers.
+func runFigure7Point(cfg Config, n int) (figure7Point, error) {
+	var pt figure7Point
+	g, err := topology.BarabasiAlbert(n, 2, nil, rand.New(rand.NewSource(cfg.Seed+int64(n))))
+	if err != nil {
+		return pt, err
+	}
+	engine := sim.New()
+	net := p2p.NewNetwork(engine, g, cfg.Seed+int64(n))
+	sys, err := core.NewSystem(net, core.DefaultConfig())
+	if err != nil {
+		return pt, err
+	}
+	// Ten domains: each provides ~10% of the relevant peers (§6.2.3).
+	nSPs := 10
+	if n < 100 {
+		nSPs = 2
+	}
+	sys.ElectSummaryPeers(nSPs)
+	if err := sys.Construct(); err != nil {
+		return pt, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(n) + 7))
+	router := routing.NewSQRouter(sys)
+	var sqSum, flSum, flFullSum, ceSum, flRecall float64
+	for q := 0; q < cfg.QueriesPerPoint; q++ {
+		ms := workload.MatchSet(rng, n, cfg.HitFraction)
+		oracle := &routing.Oracle{Current: make(map[p2p.NodeID]bool, len(ms))}
+		for id := range ms {
+			oracle.Current[p2p.NodeID(id)] = true
+		}
+		origin := p2p.NodeID(rng.Intn(n))
+		required := len(ms)
+
+		res, err := router.Route(origin, oracle, required)
+		if err != nil {
+			return pt, err
+		}
+		sqSum += float64(res.Messages)
+		// Single TTL=3 broadcast ("we limit the flooding by a value 3
+		// of TTL") and the variant that keeps expanding until it
+		// matches SQ's stop condition (Ct results).
+		single := routing.FloodQuery(net, origin, 3, oracle, -1)
+		flSum += float64(single.Messages)
+		flRecall += single.Accuracy.Recall()
+		flFullSum += float64(routing.FloodQuery(net, origin, 3, oracle, required).Messages)
+		c, err := costmodel.CentralizedQueryCost(n, cfg.HitFraction)
+		if err != nil {
+			return pt, err
+		}
+		ceSum += c
+	}
+	q := float64(cfg.QueriesPerPoint)
+	pt.sq, pt.fl, pt.flFull, pt.ce = sqSum/q, flSum/q, flFullSum/q, ceSum/q
+	pt.flRecall = flRecall / q
+	if m, err := costmodel.PaperSQQueryCost(n, 0.11, g.AvgDegree(), 1); err == nil {
+		pt.model, pt.hasModel = m, true
+	}
+	return pt, nil
+}
+
 // Figure7 regenerates "query cost vs number of peers": summary querying
 // (SQ) against the centralized-index and pure-flooding baselines, all
 // measured in exchanged messages on the same Barabási–Albert overlays.
+// The network sizes are simulated concurrently across cfg.Workers.
 func Figure7(cfg Config) (*stats.Table, error) {
 	sq := &stats.Series{Name: "SQ (summaries)"}
 	fl := &stats.Series{Name: "flood TTL=3"}
@@ -377,68 +481,30 @@ func Figure7(cfg Config) (*stats.Table, error) {
 	model := &stats.Series{Name: "SQ model (eq.2)"}
 	var lastFlRecall float64
 
+	var sizes []int
 	for _, n := range cfg.NetworkSizes {
-		if n < 16 {
-			continue
+		if n >= 16 {
+			sizes = append(sizes, n)
 		}
-		g, err := topology.BarabasiAlbert(n, 2, nil, rand.New(rand.NewSource(cfg.Seed+int64(n))))
-		if err != nil {
-			return nil, err
-		}
-		engine := sim.New()
-		net := p2p.NewNetwork(engine, g, cfg.Seed+int64(n))
-		sys, err := core.NewSystem(net, core.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		// Ten domains: each provides ~10% of the relevant peers (§6.2.3).
-		nSPs := 10
-		if n < 100 {
-			nSPs = 2
-		}
-		sys.ElectSummaryPeers(nSPs)
-		if err := sys.Construct(); err != nil {
-			return nil, err
-		}
-
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(n) + 7))
-		router := routing.NewSQRouter(sys)
-		var sqSum, flSum, flFullSum, ceSum, flRecall float64
-		for q := 0; q < cfg.QueriesPerPoint; q++ {
-			ms := workload.MatchSet(rng, n, cfg.HitFraction)
-			oracle := &routing.Oracle{Current: make(map[p2p.NodeID]bool, len(ms))}
-			for id := range ms {
-				oracle.Current[p2p.NodeID(id)] = true
-			}
-			origin := p2p.NodeID(rng.Intn(n))
-			required := len(ms)
-
-			res, err := router.Route(origin, oracle, required)
-			if err != nil {
-				return nil, err
-			}
-			sqSum += float64(res.Messages)
-			// Single TTL=3 broadcast ("we limit the flooding by a value 3
-			// of TTL") and the variant that keeps expanding until it
-			// matches SQ's stop condition (Ct results).
-			single := routing.FloodQuery(net, origin, 3, oracle, -1)
-			flSum += float64(single.Messages)
-			flRecall += single.Accuracy.Recall()
-			flFullSum += float64(routing.FloodQuery(net, origin, 3, oracle, required).Messages)
-			c, err := costmodel.CentralizedQueryCost(n, cfg.HitFraction)
-			if err != nil {
-				return nil, err
-			}
-			ceSum += c
-		}
-		q := float64(cfg.QueriesPerPoint)
-		sq.Add(float64(n), sqSum/q)
-		fl.Add(float64(n), flSum/q)
-		flFull.Add(float64(n), flFullSum/q)
-		ce.Add(float64(n), ceSum/q)
-		lastFlRecall = flRecall / q
-		if m, err := costmodel.PaperSQQueryCost(n, 0.11, g.AvgDegree(), 1); err == nil {
-			model.Add(float64(n), m)
+	}
+	points := make([]figure7Point, len(sizes))
+	err := forEach(cfg.Workers, len(sizes), func(i int) error {
+		var runErr error
+		points[i], runErr = runFigure7Point(cfg, sizes[i])
+		return runErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		pt := points[i]
+		sq.Add(float64(n), pt.sq)
+		fl.Add(float64(n), pt.fl)
+		flFull.Add(float64(n), pt.flFull)
+		ce.Add(float64(n), pt.ce)
+		lastFlRecall = pt.flRecall
+		if pt.hasModel {
+			model.Add(float64(n), pt.model)
 		}
 	}
 	t := stats.NewTable("Figure 7: query cost (messages) vs number of peers", "peers", ce, sq, fl, flFull, model)

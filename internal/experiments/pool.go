@@ -1,0 +1,15 @@
+package experiments
+
+import "p2psum/internal/par"
+
+// The sweep drivers fan their (α × size) grids across a worker pool. Every
+// grid point is an independent simulation with its own engine and RNGs
+// seeded purely from (cfg.Seed, point parameters), so running points
+// concurrently cannot change any result: the parallel sweep is bit-for-bit
+// identical to the sequential one, only wall-clock faster.
+
+// forEach fans fn(0..n-1) across at most `workers` goroutines (0 = one per
+// CPU, 1 = sequential inline).
+func forEach(workers, n int, fn func(i int) error) error {
+	return par.ForEach(workers, n, fn)
+}

@@ -1,0 +1,347 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"p2psum/internal/stats"
+	"p2psum/internal/topology"
+)
+
+// ChannelConfig tunes the concurrent in-memory transport.
+type ChannelConfig struct {
+	// LatencyScale maps one virtual second of link latency onto real time.
+	// Overlay link latencies are 0.01–0.2 virtual seconds, so the default
+	// of 1ms yields 10–200µs sleeps per hop — real concurrency without
+	// making protocol runs crawl. Zero delivers as fast as the scheduler
+	// allows (messages still traverse goroutines and may interleave).
+	LatencyScale time.Duration
+	// LossRate silently drops each unicast with this probability in
+	// [0,1): the message is counted as sent (the bytes hit the wire) but
+	// never delivered and never reported through the drop callback —
+	// genuine packet loss, unlike the offline-receiver drops protocols
+	// detect via SetDrop.
+	LossRate float64
+	// DirectLatency (virtual seconds) is used for node pairs without an
+	// overlay edge. Defaults to 0.100, matching Network.
+	DirectLatency float64
+}
+
+// DefaultChannelConfig returns the defaults described on ChannelConfig.
+func DefaultChannelConfig() ChannelConfig {
+	return ChannelConfig{LatencyScale: time.Millisecond, DirectLatency: 0.100}
+}
+
+// ChannelTransport is the concurrent, real-time Transport: every unicast is
+// carried by its own goroutine that sleeps the scaled link latency and then
+// hands the message to a single dispatcher goroutine. The dispatcher runs
+// node handlers sequentially, so protocol handlers (which mutate shared
+// protocol state) need no internal locking — the same contract the
+// discrete-event Network gives them.
+//
+// Unlike Network, runs are not deterministic: wall-clock scheduling decides
+// the delivery interleaving of same-window messages. Use it for scenarios
+// the event engine cannot express (real elapsed time, lossy links,
+// concurrent load); use Network when bit-for-bit reproducibility matters.
+//
+// Close must be called when the transport is no longer needed, or the
+// dispatcher goroutine leaks.
+type ChannelTransport struct {
+	graph *topology.Graph
+	cfg   ChannelConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	online  []bool
+	handler []Handler
+	drop    func(*Message)
+	counter *stats.Counter
+	volume  *stats.Counter
+	rng     *rand.Rand
+	nextMsg uint64
+	pending int // messages sent but not yet fully handled
+	closed  bool
+
+	deliver chan envelope
+}
+
+// envelope is one dispatcher work item: a delivered message, or a driver
+// closure submitted through Exec.
+type envelope struct {
+	msg  *Message
+	fn   func()
+	done chan struct{}
+}
+
+// NewChannelTransport builds a concurrent transport over the graph. All
+// nodes start online. The dispatcher goroutine starts immediately.
+func NewChannelTransport(graph *topology.Graph, seed int64, cfg ChannelConfig) *ChannelTransport {
+	if cfg.LatencyScale < 0 {
+		cfg.LatencyScale = 0
+	}
+	if cfg.DirectLatency == 0 {
+		cfg.DirectLatency = 0.100
+	}
+	t := &ChannelTransport{
+		graph:   graph,
+		cfg:     cfg,
+		online:  make([]bool, graph.Len()),
+		handler: make([]Handler, graph.Len()),
+		counter: stats.NewCounter(),
+		volume:  stats.NewCounter(),
+		rng:     rand.New(rand.NewSource(seed)),
+		deliver: make(chan envelope, graph.Len()),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	for i := range t.online {
+		t.online[i] = true
+	}
+	go t.dispatch()
+	return t
+}
+
+// dispatch serializes all protocol-state access: message handlers, drop
+// callbacks and Exec closures run here one at a time, in arrival order, so
+// protocol state sees no concurrent mutation.
+func (t *ChannelTransport) dispatch() {
+	for env := range t.deliver {
+		if env.fn != nil {
+			env.fn()
+			close(env.done)
+			continue
+		}
+		msg := env.msg
+		t.mu.Lock()
+		up := t.online[msg.To]
+		h := t.handler[msg.To]
+		drop := t.drop
+		t.mu.Unlock()
+		if !up || h == nil {
+			if drop != nil {
+				drop(msg)
+			}
+		} else {
+			h(msg)
+		}
+		t.mu.Lock()
+		t.pending--
+		if t.pending == 0 {
+			t.cond.Broadcast()
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Exec submits fn to the dispatcher and blocks until it has run. Driver
+// code that mutates protocol state (leave, join, construction) goes
+// through here so it never interleaves with a handler. Calling Exec from
+// inside a handler or an Exec'd closure deadlocks the dispatcher.
+func (t *ChannelTransport) Exec(fn func()) {
+	done := make(chan struct{})
+	t.deliver <- envelope{fn: fn, done: done}
+	<-done
+}
+
+// Close shuts the dispatcher down after draining in-flight messages.
+// Sending on a closed transport panics.
+func (t *ChannelTransport) Close() {
+	t.Settle()
+	t.mu.Lock()
+	if !t.closed {
+		t.closed = true
+		close(t.deliver)
+	}
+	t.mu.Unlock()
+}
+
+// Graph returns the overlay topology.
+func (t *ChannelTransport) Graph() *topology.Graph { return t.graph }
+
+// Len returns the number of nodes.
+func (t *ChannelTransport) Len() int { return t.graph.Len() }
+
+// Counter exposes the per-type message counters. Read it only after
+// Settle; the dispatcher writes to it concurrently while messages fly.
+func (t *ChannelTransport) Counter() *stats.Counter { return t.counter }
+
+// Bytes exposes the per-type traffic volume counters (same caveat as
+// Counter).
+func (t *ChannelTransport) Bytes() *stats.Counter { return t.volume }
+
+// SetHandler installs the message handler of a node.
+func (t *ChannelTransport) SetHandler(id NodeID, h Handler) {
+	t.mu.Lock()
+	t.handler[id] = h
+	t.mu.Unlock()
+}
+
+// SetDrop installs the drop callback (§4.3 failure detection). The
+// callback runs on the dispatcher goroutine, serialized with handlers.
+func (t *ChannelTransport) SetDrop(fn func(*Message)) {
+	t.mu.Lock()
+	t.drop = fn
+	t.mu.Unlock()
+}
+
+// Online reports whether the node is currently connected.
+func (t *ChannelTransport) Online(id NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.online[id]
+}
+
+// SetOnline flips a node's connectivity.
+func (t *ChannelTransport) SetOnline(id NodeID, up bool) {
+	t.mu.Lock()
+	t.online[id] = up
+	t.mu.Unlock()
+}
+
+// OnlineCount returns the number of connected nodes.
+func (t *ChannelTransport) OnlineCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := 0
+	for _, up := range t.online {
+		if up {
+			c++
+		}
+	}
+	return c
+}
+
+// OnlineIDs returns the sorted ids of online nodes.
+func (t *ChannelTransport) OnlineIDs() []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []NodeID
+	for i, up := range t.online {
+		if up {
+			out = append(out, NodeID(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighbors returns the online neighbors of a node, in ascending id order.
+func (t *ChannelTransport) Neighbors(id NodeID) []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []NodeID
+	for _, v := range t.graph.Neighbors(int(id)) {
+		if t.online[v] {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// Degree returns the node's static overlay degree.
+func (t *ChannelTransport) Degree(id NodeID) int { return t.graph.Degree(int(id)) }
+
+// HopsWithin returns BFS hop distances from src, bounded by radius.
+func (t *ChannelTransport) HopsWithin(src NodeID, radius int) map[NodeID]int {
+	dist := t.graph.BFSWithin(int(src), radius)
+	out := make(map[NodeID]int, len(dist))
+	for v, d := range dist {
+		out[NodeID(v)] = d
+	}
+	return out
+}
+
+// latencyBetween picks the edge latency when adjacent, DirectLatency
+// otherwise (virtual seconds).
+func (t *ChannelTransport) latencyBetween(a, b NodeID) float64 {
+	if t.graph.HasEdge(int(a), int(b)) {
+		return t.graph.Latency(int(a), int(b))
+	}
+	return t.cfg.DirectLatency
+}
+
+// charge accounts n payload-less transmissions (walks and floods).
+func (t *ChannelTransport) charge(typ string, n int64) {
+	t.mu.Lock()
+	t.counter.Add(typ, n)
+	t.volume.Add(typ, n*BaseMessageBytes)
+	t.mu.Unlock()
+}
+
+// Send counts the message and launches its delivery: a goroutine sleeps
+// the scaled link latency and hands the message to the dispatcher. Lossy
+// links (LossRate > 0) may swallow it silently after counting.
+func (t *ChannelTransport) Send(msg *Message) {
+	if msg.To < 0 || int(msg.To) >= t.graph.Len() {
+		panic(fmt.Sprintf("p2p: send to out-of-range node %d", msg.To))
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		panic("p2p: send on closed ChannelTransport")
+	}
+	t.nextMsg++
+	if msg.ID == 0 {
+		msg.ID = t.nextMsg
+	}
+	t.counter.Inc(msg.Type)
+	size := BaseMessageBytes
+	if s, ok := msg.Payload.(Sizer); ok {
+		size += s.WireSize()
+	}
+	t.volume.Add(msg.Type, int64(size))
+	if t.cfg.LossRate > 0 && t.rng.Float64() < t.cfg.LossRate {
+		t.mu.Unlock()
+		return // lost on the wire
+	}
+	t.pending++
+	lat := t.latencyBetween(msg.From, msg.To)
+	t.mu.Unlock()
+
+	delay := time.Duration(lat * float64(t.cfg.LatencyScale))
+	go func() {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		t.deliver <- envelope{msg: msg}
+	}()
+}
+
+// SendNew builds and sends a message.
+func (t *ChannelTransport) SendNew(typ string, from, to NodeID, ttl int, payload any) {
+	t.Send(&Message{Type: typ, From: from, To: to, TTL: ttl, Payload: payload})
+}
+
+// Flood delivers a message of the given type from src to every node within
+// ttl hops using Gnutella-style constrained broadcast (§6.2.3).
+func (t *ChannelTransport) Flood(typ string, src NodeID, ttl int, payload any, visit func(NodeID)) map[NodeID]bool {
+	return runFlood(t, typ, src, ttl, visit)
+}
+
+// SelectiveWalk performs the §4.1 find-protocol walk.
+func (t *ChannelTransport) SelectiveWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult {
+	return runWalk(t, typ, src, maxHops, accept, selectiveChoice(t.Degree))
+}
+
+// RandomWalk is the blind baseline: uniform random unvisited neighbor.
+func (t *ChannelTransport) RandomWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult {
+	return runWalk(t, typ, src, maxHops, accept, func(cands []NodeID) NodeID {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return cands[t.rng.Intn(len(cands))]
+	})
+}
+
+// Settle blocks until every in-flight message — including messages sent by
+// handlers while delivering — has been handled. The condition-variable
+// handshake orders all handler effects before Settle returns, so callers
+// may read protocol state without further synchronization.
+func (t *ChannelTransport) Settle() {
+	t.mu.Lock()
+	for t.pending > 0 {
+		t.cond.Wait()
+	}
+	t.mu.Unlock()
+}

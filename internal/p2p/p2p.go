@@ -1,11 +1,14 @@
-// Package p2p is the unstructured overlay substrate: message transport over
-// the discrete-event engine with per-link latencies, online/offline state,
-// TTL-bounded flooding and the selective walk of Adamic et al. [23] that the
-// paper's find protocol uses (§4.1).
+// Package p2p is the unstructured overlay substrate: message transport
+// behind the Transport interface, with online/offline state, TTL-bounded
+// flooding and the selective walk of Adamic et al. [23] that the paper's
+// find protocol uses (§4.1).
 //
 // The package deliberately knows nothing about summaries: protocol logic
 // lives in internal/core (summary management) and internal/routing (query
-// routing); p2p only moves messages and counts them.
+// routing); p2p only moves messages and counts them. Protocol layers
+// depend on the Transport interface; the two concrete transports are
+// Network (deterministic, discrete-event) and ChannelTransport
+// (concurrent, real-time).
 package p2p
 
 import (
@@ -29,7 +32,7 @@ type Message struct {
 	To      NodeID
 	TTL     int
 	Hops    int
-	Payload interface{}
+	Payload any
 }
 
 // Handler consumes messages delivered to a node.
@@ -49,7 +52,7 @@ const BaseMessageBytes = 64
 // Network couples a topology with the event engine and tracks the message
 // traffic per type — the unit of every cost figure in the paper ("the cost
 // of query routing, which is measured in term of the number of exchanged
-// messages").
+// messages"). It is the deterministic, sim-backed Transport.
 type Network struct {
 	engine  *sim.Engine
 	graph   *topology.Graph
@@ -62,11 +65,11 @@ type Network struct {
 	// DirectLatency is used for node pairs without an overlay edge (e.g. a
 	// query sent straight to a relevant peer found in a summary).
 	DirectLatency float64
-	// Drop is invoked (if set) whenever a message addressed to an offline
-	// node is discarded; protocols use it to detect failures (§4.3: "a
-	// partner who has tried to send push or query messages to SP will
-	// detect its departure").
-	Drop func(msg *Message)
+	// drop is invoked (if set via SetDrop) whenever a message addressed
+	// to an offline node is discarded; protocols use it to detect
+	// failures (§4.3: "a partner who has tried to send push or query
+	// messages to SP will detect its departure").
+	drop func(msg *Message)
 }
 
 // NewNetwork builds a network over the graph. All nodes start online.
@@ -110,6 +113,9 @@ func (n *Network) Rand() *rand.Rand { return n.rng }
 // SetHandler installs the message handler of a node.
 func (n *Network) SetHandler(id NodeID, h Handler) { n.handler[id] = h }
 
+// SetDrop installs the drop callback (§4.3 failure detection).
+func (n *Network) SetDrop(fn func(*Message)) { n.drop = fn }
+
 // Online reports whether the node is currently connected.
 func (n *Network) Online(id NodeID) bool { return n.online[id] }
 
@@ -139,6 +145,27 @@ func (n *Network) Neighbors(id NodeID) []NodeID {
 	return out
 }
 
+// Degree returns the node's static overlay degree.
+func (n *Network) Degree(id NodeID) int { return n.graph.Degree(int(id)) }
+
+// HopsWithin returns BFS hop distances from src, bounded by radius.
+func (n *Network) HopsWithin(src NodeID, radius int) map[NodeID]int {
+	dist := n.graph.BFSWithin(int(src), radius)
+	out := make(map[NodeID]int, len(dist))
+	for v, d := range dist {
+		out[NodeID(v)] = d
+	}
+	return out
+}
+
+// Exec runs fn immediately: the event engine is single-threaded, so
+// driver code is always serialized with handlers.
+func (n *Network) Exec(fn func()) { fn() }
+
+// Settle runs the event engine to quiescence, delivering every in-flight
+// message and everything sent while handling it.
+func (n *Network) Settle() { n.engine.Run() }
+
 // latencyBetween picks the edge latency when adjacent, DirectLatency
 // otherwise.
 func (n *Network) latencyBetween(a, b NodeID) float64 {
@@ -146,6 +173,12 @@ func (n *Network) latencyBetween(a, b NodeID) float64 {
 		return n.graph.Latency(int(a), int(b))
 	}
 	return n.DirectLatency
+}
+
+// charge accounts n payload-less transmissions (walks and floods).
+func (n *Network) charge(typ string, k int64) {
+	n.counter.Add(typ, k)
+	n.bytes.Add(typ, k*BaseMessageBytes)
 }
 
 // Send schedules delivery of msg from msg.From to msg.To, counting it under
@@ -168,8 +201,8 @@ func (n *Network) Send(msg *Message) {
 	lat := n.latencyBetween(msg.From, msg.To)
 	n.engine.After(sim.Seconds(lat), func() {
 		if !n.online[msg.To] || n.handler[msg.To] == nil {
-			if n.Drop != nil {
-				n.Drop(msg)
+			if n.drop != nil {
+				n.drop(msg)
 			}
 			return
 		}
@@ -178,50 +211,15 @@ func (n *Network) Send(msg *Message) {
 }
 
 // SendNew builds and sends a message.
-func (n *Network) SendNew(typ string, from, to NodeID, ttl int, payload interface{}) {
+func (n *Network) SendNew(typ string, from, to NodeID, ttl int, payload any) {
 	n.Send(&Message{Type: typ, From: from, To: to, TTL: ttl, Payload: payload})
 }
 
 // Flood delivers a message of the given type from src to every node within
-// ttl hops using Gnutella-style constrained broadcast: each node forwards to
-// all its neighbors except the sender, and duplicate deliveries (cycles) are
-// transmitted but not re-forwarded. It returns the nodes reached and counts
-// every transmission. This is the paper's "pure flooding algorithm" cost
-// behaviour (§6.2.3).
-func (n *Network) Flood(typ string, src NodeID, ttl int, payload interface{}, visit func(NodeID)) map[NodeID]bool {
-	type hop struct {
-		node NodeID
-		from NodeID
-		ttl  int
-	}
-	reached := map[NodeID]bool{src: true}
-	if visit != nil {
-		visit(src)
-	}
-	queue := []hop{{node: src, from: src, ttl: ttl}}
-	for len(queue) > 0 {
-		h := queue[0]
-		queue = queue[1:]
-		if h.ttl == 0 {
-			continue
-		}
-		for _, v := range n.Neighbors(h.node) {
-			if v == h.from {
-				continue
-			}
-			n.counter.Inc(typ) // transmission on the wire
-			n.bytes.Add(typ, BaseMessageBytes)
-			if reached[v] {
-				continue // duplicate: received, dropped, not re-forwarded
-			}
-			reached[v] = true
-			if visit != nil {
-				visit(v)
-			}
-			queue = append(queue, hop{node: v, from: h.node, ttl: h.ttl - 1})
-		}
-	}
-	return reached
+// ttl hops using Gnutella-style constrained broadcast. It returns the nodes
+// reached and counts every transmission (§6.2.3).
+func (n *Network) Flood(typ string, src NodeID, ttl int, payload any, visit func(NodeID)) map[NodeID]bool {
+	return runFlood(n, typ, src, ttl, visit)
 }
 
 // WalkResult is the outcome of a walk.
@@ -239,64 +237,14 @@ type WalkResult struct {
 // neighbor until accept returns true or maxHops is exhausted. Ties break on
 // the lower node id; dead ends backtrack.
 func (n *Network) SelectiveWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult {
-	return n.walk(typ, src, maxHops, accept, func(cands []NodeID) NodeID {
-		best := cands[0]
-		for _, c := range cands[1:] {
-			if n.graph.Degree(int(c)) > n.graph.Degree(int(best)) ||
-				(n.graph.Degree(int(c)) == n.graph.Degree(int(best)) && c < best) {
-				best = c
-			}
-		}
-		return best
-	})
+	return runWalk(n, typ, src, maxHops, accept, selectiveChoice(n.Degree))
 }
 
 // RandomWalk is the blind baseline: uniform random unvisited neighbor.
 func (n *Network) RandomWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult {
-	return n.walk(typ, src, maxHops, accept, func(cands []NodeID) NodeID {
+	return runWalk(n, typ, src, maxHops, accept, func(cands []NodeID) NodeID {
 		return cands[n.rng.Intn(len(cands))]
 	})
-}
-
-func (n *Network) walk(typ string, src NodeID, maxHops int, accept func(NodeID) bool, choose func([]NodeID) NodeID) WalkResult {
-	res := WalkResult{Found: -1, Path: []NodeID{src}}
-	if accept(src) {
-		res.Found = src
-		return res
-	}
-	visited := map[NodeID]bool{src: true}
-	stack := []NodeID{src}
-	cur := src
-	for res.Messages < maxHops {
-		var cands []NodeID
-		for _, v := range n.Neighbors(cur) {
-			if !visited[v] {
-				cands = append(cands, v)
-			}
-		}
-		if len(cands) == 0 {
-			// Backtrack.
-			if len(stack) <= 1 {
-				return res
-			}
-			stack = stack[:len(stack)-1]
-			cur = stack[len(stack)-1]
-			continue
-		}
-		next := choose(cands)
-		visited[next] = true
-		n.counter.Inc(typ)
-		n.bytes.Add(typ, BaseMessageBytes)
-		res.Messages++
-		res.Path = append(res.Path, next)
-		stack = append(stack, next)
-		cur = next
-		if accept(cur) {
-			res.Found = cur
-			return res
-		}
-	}
-	return res
 }
 
 // OnlineIDs returns the sorted ids of online nodes.

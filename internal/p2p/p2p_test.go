@@ -71,7 +71,7 @@ func TestSendToOffline(t *testing.T) {
 	e := sim.New()
 	net := NewNetwork(e, lineGraph(t, 2), 1)
 	dropped := 0
-	net.Drop = func(m *Message) { dropped++ }
+	net.SetDrop(func(m *Message) { dropped++ })
 	net.SetHandler(1, func(m *Message) { t.Error("offline node handled message") })
 	net.SetOnline(1, false)
 	net.SendNew("x", 0, 1, 0, nil)

@@ -1,0 +1,194 @@
+package p2p
+
+import "p2psum/internal/stats"
+
+// Transport is the overlay substrate the protocol stack (internal/core,
+// internal/routing) runs on: it moves messages between nodes, walks and
+// floods the overlay, and meters every transmission. The protocol layers
+// depend only on this interface, never on a concrete implementation.
+//
+// Two implementations ship with the package:
+//
+//   - Network runs over the deterministic discrete-event engine of
+//     internal/sim — the stand-in for the paper's SimJava setup (§6.2.1).
+//     Runs are reproducible bit-for-bit given a seed.
+//
+//   - ChannelTransport runs concurrently on goroutines in real time, with
+//     per-link latencies and optional packet loss. It expresses scenarios
+//     the discrete-event engine cannot (wall-clock interleavings, lossy
+//     links) at the price of determinism.
+type Transport interface {
+	// Len returns the number of overlay nodes.
+	Len() int
+	// Neighbors returns the online neighbors of a node, in ascending id
+	// order (the graph's adjacency order is already deterministic).
+	Neighbors(id NodeID) []NodeID
+	// Degree returns the node's static overlay degree (online or not),
+	// the selection criterion of the §4.1 selective walk and of the
+	// degree-based summary-peer election.
+	Degree(id NodeID) int
+	// HopsWithin returns BFS hop distances from src over the static
+	// topology, bounded by radius (nodes farther than radius are absent).
+	HopsWithin(src NodeID, radius int) map[NodeID]int
+
+	// Online reports whether the node is currently connected.
+	Online(id NodeID) bool
+	// SetOnline flips a node's connectivity.
+	SetOnline(id NodeID, up bool)
+	// OnlineCount returns the number of connected nodes.
+	OnlineCount() int
+	// OnlineIDs returns the sorted ids of online nodes.
+	OnlineIDs() []NodeID
+
+	// SetHandler installs the message handler of a node.
+	SetHandler(id NodeID, h Handler)
+	// SetDrop installs the callback invoked whenever a message addressed
+	// to an offline or handler-less node is discarded; protocols use it to
+	// detect failures (§4.3).
+	SetDrop(fn func(*Message))
+	// Send delivers msg to msg.To after the link latency, counting it
+	// under msg.Type. Messages to offline nodes are counted as sent (the
+	// bytes hit the wire) but trigger the drop callback instead.
+	Send(msg *Message)
+	// SendNew builds and sends a message.
+	SendNew(typ string, from, to NodeID, ttl int, payload any)
+	// Flood delivers a message of the given type from src to every node
+	// within ttl hops using Gnutella-style constrained broadcast,
+	// returning the nodes reached and counting every transmission.
+	Flood(typ string, src NodeID, ttl int, payload any, visit func(NodeID)) map[NodeID]bool
+	// SelectiveWalk performs the paper's find-protocol walk (§4.1, after
+	// Adamic et al. [23]): highest-degree unvisited online neighbor first.
+	SelectiveWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult
+	// RandomWalk is the blind baseline: uniform random unvisited neighbor.
+	RandomWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult
+
+	// Counter exposes the per-type message counters — the unit of every
+	// cost figure in the paper.
+	Counter() *stats.Counter
+	// Bytes exposes the per-type traffic volume counters.
+	Bytes() *stats.Counter
+
+	// Exec runs fn serialized with message handlers and returns when fn
+	// has run. Protocol drivers wrap state mutations in it so they never
+	// race with handler-side mutation: on the single-threaded event
+	// engine it is a direct call; on the channel transport fn runs on the
+	// dispatcher goroutine, between message deliveries. fn must not call
+	// Exec or Settle (it would deadlock the dispatcher).
+	Exec(fn func())
+	// Settle blocks until every in-flight message (and everything sent
+	// while delivering it) has been handled. Protocol drivers call it to
+	// reach quiescence before reading protocol state.
+	Settle()
+}
+
+// Compile-time conformance of both implementations.
+var (
+	_ Transport = (*Network)(nil)
+	_ Transport = (*ChannelTransport)(nil)
+)
+
+// linkView is the minimal overlay view the shared walk and flood
+// traversals need: neighbor lookup plus a metered charge per transmission.
+// Both transports implement it, so the §4.1/§6.2.3 traversal semantics are
+// identical by construction.
+type linkView interface {
+	Neighbors(id NodeID) []NodeID
+	// charge accounts n payload-less transmissions of the given type.
+	charge(typ string, n int64)
+}
+
+// runFlood is the Gnutella-style constrained broadcast shared by both
+// transports: each node forwards to all its neighbors except the sender,
+// and duplicate deliveries (cycles) are transmitted but not re-forwarded.
+// This is the paper's "pure flooding algorithm" cost behaviour (§6.2.3).
+func runFlood(v linkView, typ string, src NodeID, ttl int, visit func(NodeID)) map[NodeID]bool {
+	type hop struct {
+		node NodeID
+		from NodeID
+		ttl  int
+	}
+	reached := map[NodeID]bool{src: true}
+	if visit != nil {
+		visit(src)
+	}
+	queue := []hop{{node: src, from: src, ttl: ttl}}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		if h.ttl == 0 {
+			continue
+		}
+		for _, nb := range v.Neighbors(h.node) {
+			if nb == h.from {
+				continue
+			}
+			v.charge(typ, 1) // transmission on the wire
+			if reached[nb] {
+				continue // duplicate: received, dropped, not re-forwarded
+			}
+			reached[nb] = true
+			if visit != nil {
+				visit(nb)
+			}
+			queue = append(queue, hop{node: nb, from: h.node, ttl: h.ttl - 1})
+		}
+	}
+	return reached
+}
+
+// runWalk is the TTL-bounded walk shared by both transports: move to the
+// neighbor picked by choose until accept returns true or maxHops is
+// exhausted; dead ends backtrack.
+func runWalk(v linkView, typ string, src NodeID, maxHops int, accept func(NodeID) bool, choose func([]NodeID) NodeID) WalkResult {
+	res := WalkResult{Found: -1, Path: []NodeID{src}}
+	if accept(src) {
+		res.Found = src
+		return res
+	}
+	visited := map[NodeID]bool{src: true}
+	stack := []NodeID{src}
+	cur := src
+	for res.Messages < maxHops {
+		var cands []NodeID
+		for _, nb := range v.Neighbors(cur) {
+			if !visited[nb] {
+				cands = append(cands, nb)
+			}
+		}
+		if len(cands) == 0 {
+			// Backtrack.
+			if len(stack) <= 1 {
+				return res
+			}
+			stack = stack[:len(stack)-1]
+			cur = stack[len(stack)-1]
+			continue
+		}
+		next := choose(cands)
+		visited[next] = true
+		v.charge(typ, 1)
+		res.Messages++
+		res.Path = append(res.Path, next)
+		stack = append(stack, next)
+		cur = next
+		if accept(cur) {
+			res.Found = cur
+			return res
+		}
+	}
+	return res
+}
+
+// selectiveChoice picks the highest-degree candidate, ties breaking on the
+// lower node id — the §4.1 find-protocol criterion.
+func selectiveChoice(degree func(NodeID) int) func([]NodeID) NodeID {
+	return func(cands []NodeID) NodeID {
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if degree(c) > degree(best) || (degree(c) == degree(best) && c < best) {
+				best = c
+			}
+		}
+		return best
+	}
+}

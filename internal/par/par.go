@@ -1,0 +1,64 @@
+// Package par is the tiny worker-pool primitive shared by the experiment
+// sweeps and the CLI replica harness: fan n index-addressed jobs across a
+// bounded set of goroutines.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0..n-1) on at most `workers` goroutines and returns the
+// lowest-index error among the jobs that ran (deterministic regardless of
+// scheduling). workers <= 0 uses one worker per CPU; a single worker runs
+// inline. Like the sequential path, a failure stops the sweep early: no
+// new jobs are dispatched after the first error (jobs already running
+// finish). Callers write results into index i of a pre-sized slice, so
+// output order never depends on scheduling.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan int)
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -166,7 +166,7 @@ func (r *SQRouter) relevantPeers(sp p2p.NodeID, oracle *Oracle) []p2p.NodeID {
 // results (required <= 0 means a total-lookup query). It returns the
 // message accounting and accuracy of the answer set.
 func (r *SQRouter) Route(origin p2p.NodeID, oracle *Oracle, required int) (*Result, error) {
-	net := r.sys.Network()
+	net := r.sys.Transport()
 	res := newResult()
 	firstSP := r.sys.DomainOf(origin)
 	if firstSP < 0 {
@@ -241,7 +241,7 @@ func (r *SQRouter) Route(origin p2p.NodeID, oracle *Oracle, required int) (*Resu
 // domain is reached; the summary peer also forwards to the summary peers it
 // knows.
 func (r *SQRouter) floodStage(res *Result, sp, origin p2p.NodeID, responders []p2p.NodeID, visited map[p2p.NodeID]bool) []p2p.NodeID {
-	net := r.sys.Network()
+	net := r.sys.Transport()
 	found := make(map[p2p.NodeID]bool)
 
 	flooders := append([]p2p.NodeID{origin}, responders...)
@@ -314,7 +314,7 @@ func (r *SQRouter) floodStage(res *Result, sp, origin p2p.NodeID, responders []p
 // too few results, the ring expands (TTL+1) and the query is re-broadcast —
 // every retransmission hits the wire, which is exactly why pure flooding
 // gets expensive. required <= 0 performs a single round.
-func FloodQuery(net *p2p.Network, origin p2p.NodeID, ttl int, oracle *Oracle, required int) *Result {
+func FloodQuery(net p2p.Transport, origin p2p.NodeID, ttl int, oracle *Oracle, required int) *Result {
 	res := newResult()
 	relevant := make(map[int]bool)
 	for _, id := range net.OnlineIDs() {
@@ -364,7 +364,7 @@ func FloodQuery(net *p2p.Network, origin p2p.NodeID, ttl int, oracle *Oracle, re
 // CentralizedQuery is the centralized-index baseline with a complete,
 // consistent index: one message to the index, one to each relevant peer,
 // one response each (§6.2.3).
-func CentralizedQuery(net *p2p.Network, oracle *Oracle) *Result {
+func CentralizedQuery(net p2p.Transport, oracle *Oracle) *Result {
 	res := newResult()
 	res.add(MsgQuery, 1)
 	relevant := make(map[int]bool)

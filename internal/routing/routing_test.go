@@ -37,7 +37,7 @@ func buildSystem(t *testing.T, n, sps int, seed int64, cfg core.Config) (*core.S
 
 func oracleFor(sys *core.System, seed int64, frac float64) *Oracle {
 	rng := rand.New(rand.NewSource(seed))
-	ms := workload.MatchSet(rng, sys.Network().Len(), frac)
+	ms := workload.MatchSet(rng, sys.Transport().Len(), frac)
 	cur := make(map[p2p.NodeID]bool, len(ms))
 	for id := range ms {
 		cur[p2p.NodeID(id)] = true
@@ -176,7 +176,7 @@ func TestRoutingModesTradeoff(t *testing.T) {
 
 func pickClient(t *testing.T, sys *core.System) p2p.NodeID {
 	t.Helper()
-	for _, id := range sys.Network().OnlineIDs() {
+	for _, id := range sys.Transport().OnlineIDs() {
 		if sys.Peer(id).Role() == core.RoleClient && sys.DomainOf(id) >= 0 {
 			return id
 		}
@@ -187,7 +187,7 @@ func pickClient(t *testing.T, sys *core.System) p2p.NodeID {
 
 func TestFloodQueryBaseline(t *testing.T) {
 	sys, _ := buildSystem(t, 500, 10, 8, core.DefaultConfig())
-	net := sys.Network()
+	net := sys.Transport()
 	oracle := oracleFor(sys, 9, 0.10)
 	res := FloodQuery(net, 5, 3, oracle, -1)
 	if res.Results == 0 {
@@ -206,7 +206,7 @@ func TestFloodQueryBaseline(t *testing.T) {
 func TestCentralizedQueryBaseline(t *testing.T) {
 	sys, _ := buildSystem(t, 200, 5, 10, core.DefaultConfig())
 	oracle := oracleFor(sys, 11, 0.10)
-	res := CentralizedQuery(sys.Network(), oracle)
+	res := CentralizedQuery(sys.Transport(), oracle)
 	want := len(oracle.Current)
 	if res.Results != want {
 		t.Errorf("centralized found %d of %d", res.Results, want)
@@ -225,7 +225,7 @@ func TestCentralizedQueryBaseline(t *testing.T) {
 // SQ achieves full recall and flooding does not.
 func TestFigure7Ordering(t *testing.T) {
 	sys, _ := buildSystem(t, 1000, 10, 12, core.DefaultConfig())
-	net := sys.Network()
+	net := sys.Transport()
 	oracle := oracleFor(sys, 13, 0.10)
 
 	central := CentralizedQuery(net, oracle)

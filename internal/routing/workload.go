@@ -58,7 +58,7 @@ func RunWorkload(sys *core.System, router *SQRouter, opts WorkloadOptions) (*Wor
 		opts.FloodTTL = 3
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	net := sys.Network()
+	net := sys.Transport()
 	n := net.Len()
 
 	res := &WorkloadResult{
@@ -100,7 +100,7 @@ func RunWorkload(sys *core.System, router *SQRouter, opts WorkloadOptions) (*Wor
 }
 
 func randomOnlineClient(sys *core.System, rng *rand.Rand) p2p.NodeID {
-	ids := sys.Network().OnlineIDs()
+	ids := sys.Transport().OnlineIDs()
 	for tries := 0; tries < 1000; tries++ {
 		id := ids[rng.Intn(len(ids))]
 		if sys.Peer(id).Role() == core.RoleClient && sys.DomainOf(id) >= 0 {

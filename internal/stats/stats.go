@@ -241,7 +241,7 @@ func NewTable(title, xlabel string, series ...*Series) *Table {
 }
 
 // AddNote appends a free-text note printed under the table.
-func (t *Table) AddNote(format string, args ...interface{}) {
+func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
