@@ -12,6 +12,7 @@ import (
 	"p2psum/internal/fuzzy"
 	"p2psum/internal/query"
 	"p2psum/internal/saintetiq"
+	"p2psum/internal/summarystore"
 )
 
 // Relational substrate re-exports.
@@ -71,7 +72,26 @@ type (
 	Cell = cells.Cell
 	// Measure carries weighted statistics of a numeric attribute.
 	Measure = cells.Measure
+	// SummaryStore is a global summary behind the storage layer: a single
+	// tree or an independently lockable shard set.
+	SummaryStore = summarystore.Store
+	// StoreAnswer is the merged outcome of a fanned-out store query.
+	StoreAnswer = query.StoreAnswer
 )
+
+// NewSummaryStore builds a standalone summary store: the paper's single
+// tree when shards <= 1, a sharded store (per-shard locks, partitioned by
+// top-level BK descriptor or key hash) otherwise.
+func NewSummaryStore(b *BK, cfg TreeConfig, shards int) SummaryStore {
+	return summarystore.New(b, cfg, shards)
+}
+
+// AskStore evaluates a flexible query against a summary store: peer
+// localization plus approximate answering, fanned out across the store's
+// shards and merged.
+func AskStore(st SummaryStore, q Query) (*StoreAnswer, error) {
+	return query.AnswerStore(st, q)
+}
 
 // Query re-exports (paper §5).
 type (

@@ -29,6 +29,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run the down-scaled smoke configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = sequential)")
+	shards := flag.Int("shards", 1, "global-summary store shards per simulated summary peer (1 = single tree)")
 	flag.Parse()
 
 	cfg := p2psum.DefaultExperimentConfig()
@@ -37,6 +38,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *parallel
+	cfg.Shards = *shards
 
 	type runner struct {
 		name string

@@ -7,7 +7,7 @@
 //
 //	p2psim [-peers 1000] [-sps 10] [-alpha 0.3] [-hours 6] [-queries 50]
 //	       [-hit 0.10] [-graceful 0.8] [-mode balanced|precise|max-recall]
-//	       [-transport sim|channel] [-loss 0.0]
+//	       [-transport sim|channel] [-loss 0.0] [-shards 1]
 //	       [-seed 1] [-runs 1] [-parallel 0]
 //
 // -transport selects the overlay substrate: the deterministic
@@ -15,7 +15,9 @@
 // transport (channel) with real goroutine delivery and optional -loss
 // packet loss. -runs N repeats the scenario under seeds seed..seed+N-1 and
 // prints per-run summaries plus aggregate means; -parallel bounds how many
-// replicas run concurrently (0 = one per CPU).
+// replicas run concurrently (0 = one per CPU). -shards partitions each
+// domain's global-summary store (visible in data-level runs; protocol-level
+// scenarios carry no hierarchies, so it only selects the store layout).
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 
 type options struct {
 	peers, sps, queries int
+	shards              int
 	alpha, hours        float64
 	hit, graceful, loss float64
 	mode                p2psum.RoutingMode
@@ -60,6 +63,7 @@ func runOne(o options) (*runResult, error) {
 		Seed:         o.seed,
 		Transport:    o.transport,
 		LossRate:     o.loss,
+		Shards:       o.shards,
 	})
 	if err != nil {
 		return nil, err
@@ -139,13 +143,14 @@ func main() {
 	mode := flag.String("mode", "balanced", "routing mode: balanced, precise, max-recall")
 	transport := flag.String("transport", "sim", "transport: sim (deterministic) or channel (concurrent)")
 	loss := flag.Float64("loss", 0, "packet-loss probability (channel transport only)")
+	shards := flag.Int("shards", 1, "global-summary store shards per domain (data-level runs; 1 = single tree)")
 	seed := flag.Int64("seed", 1, "random seed (first replica)")
 	runs := flag.Int("runs", 1, "independently seeded replicas (seed, seed+1, ...)")
 	parallel := flag.Int("parallel", 0, "concurrent replicas (0 = one per CPU)")
 	flag.Parse()
 
 	o := options{
-		peers: *peers, sps: *sps, queries: *queries,
+		peers: *peers, sps: *sps, queries: *queries, shards: *shards,
 		alpha: *alpha, hours: *hours,
 		hit: *hit, graceful: *graceful, loss: *loss,
 		seed: *seed,

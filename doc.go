@@ -31,13 +31,17 @@
 //
 // # Architecture
 //
-// The protocol stack is layered over a transport abstraction:
+// The protocol stack is layered over a transport abstraction and a
+// summary-store abstraction:
 //
 //	cmd/{p2psim,experiments,sumql}       CLIs (replica sweeps, figure sweeps)
 //	p2psum (api, simulation, experiments) public facade
 //	internal/experiments                  figure/ablation drivers + worker pool
 //	internal/routing                      SQ router and baselines (§5.2, §6.2.3)
 //	internal/core                         summary management (§4.1–§4.3)
+//	internal/summarystore.Store           global-summary storage layer
+//	├── summarystore.Single               one tree, one RWMutex (the paper's layout)
+//	└── summarystore.Sharded              per-shard trees + locks, descriptor-range
 //	internal/p2p.Transport                overlay substrate interface
 //	├── p2p.Network                       deterministic, discrete-event (internal/sim)
 //	└── p2p.ChannelTransport              concurrent, real-time (goroutines)
@@ -47,6 +51,21 @@
 // every run reproducible bit-for-bit given a seed; the channel-based
 // transport trades that determinism for real concurrency, scaled per-link
 // latencies and optional packet loss. SimOptions.Transport selects one.
+// Transports also provide a serialized timer (Transport.After) that the
+// reconciliation protocol uses for loss recovery: a dropped §4.2.2 ring
+// token is retransmitted instead of wedging its summary peer.
+//
+// A summary peer's global summary lives behind summarystore.Store rather
+// than being one bare SaintEtiQ tree. The Single implementation is the
+// paper's layout; the Sharded implementation partitions the leaves by
+// descriptor range on the widest BK attribute (falling back to a leaf-key
+// hash when the shard count exceeds that vocabulary), giving each shard
+// its own lock. Partner merges touch only the shards owning the delta's
+// leaves, reconciliation installs per-shard deltas (unchanged shards keep
+// their tree), and queries compile once, prune to the candidate shards
+// named by their clauses, fan out across internal/par, and merge graded
+// results. SimOptions.Shards (and -shards on the CLIs) selects the layout;
+// both layouts answer structure-invariant queries identically.
 //
 // Experiment sweeps fan their (α × size) grids across a worker pool
 // (ExperimentConfig.Workers); every grid point is an isolated simulation

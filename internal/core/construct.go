@@ -46,7 +46,7 @@ func (s *System) AssignSummaryPeers(ids []p2p.NodeID) {
 		p.role = RoleSummaryPeer
 		p.sp = -1
 		p.cl = NewCooperationList(s.cfg.Mode)
-		p.gs = s.newTree()
+		p.gs = s.newStore()
 		var others []p2p.NodeID
 		for _, o := range s.sps {
 			if o != id {
@@ -185,7 +185,8 @@ func (p *Peer) onLocalsum(msg *p2p.Message) {
 	pl := msg.Payload.(localsumPayload)
 	if !pl.Rejoin || p.sys.cfg.MergeOnJoin {
 		// Construction-time localsum (or the merge-on-join ablation):
-		// merge immediately, descriptions are fresh.
+		// merge immediately, descriptions are fresh. The store routes the
+		// merge to the owning shards, each under its own lock.
 		if p.sys.cfg.DataLevel && pl.Tree != nil {
 			if err := p.gs.Merge(pl.Tree); err != nil {
 				// Incompatible vocabulary: register the partner anyway but

@@ -93,9 +93,16 @@ func (s *System) onDrop(msg *p2p.Message) {
 			s.findDomain(p)
 		}
 	case MsgReconcile:
-		// The ring token hit a peer that disconnected in flight: the
-		// sender skips it and forwards to the rest of the ring.
 		pl := msg.Payload.(reconcilePayload)
+		if msg.To == pl.SP {
+			// The summary peer itself is gone: the round dies with the
+			// token instead of ping-ponging between the resend and this
+			// drop handler forever. Partners detect the departure through
+			// their own dropped pushes (§4.3).
+			return
+		}
+		// The ring token hit a partner that disconnected in flight: the
+		// sender skips it and forwards to the rest of the ring.
 		sender := s.peers[msg.From]
 		sender.forwardReconcile(pl, pl.Remaining)
 	}

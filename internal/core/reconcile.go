@@ -4,7 +4,8 @@ import "p2psum/internal/p2p"
 
 // Freshness maintenance (§4.2): push-based modification notification
 // (§4.2.1) and pull-based ring reconciliation gated by the threshold α
-// (§4.2.2).
+// (§4.2.2), plus the loss recovery the paper's reliable-link assumption
+// leaves out: a retransmit timer restarts a ring whose token was dropped.
 
 // MarkModified signals that the peer's local summary changed enough to
 // invalidate its merged description (§4.2.1): a push with v = 1 travels to
@@ -62,9 +63,75 @@ func (p *Peer) maybeReconcile() {
 		return
 	}
 	p.reconciling = true
+	p.retriesLeft = p.sys.reconcileRetries()
+	p.startRing()
+}
+
+// startRing launches a fresh ring generation: a new empty global summary
+// circulates the online partners, each merging its local summary in, and a
+// loss timer is armed so a silently dropped token cannot leave the summary
+// peer reconciling forever.
+func (p *Peer) startRing() {
+	p.reconcileSeq++
 	remaining := p.onlinePartners()
-	pl := reconcilePayload{SP: p.id, NewGS: p.sys.newTree()}
+	p.armReconcileTimer(len(remaining))
+	pl := reconcilePayload{SP: p.id, Seq: p.reconcileSeq, NewGS: p.sys.newTree()}
 	p.forwardReconcile(pl, remaining)
+}
+
+// reconcileRetries resolves the configured retransmit budget (0 = default).
+func (s *System) reconcileRetries() int {
+	if s.cfg.ReconcileRetries == 0 {
+		return 3
+	}
+	if s.cfg.ReconcileRetries < 0 {
+		return 0
+	}
+	return s.cfg.ReconcileRetries
+}
+
+// armReconcileTimer schedules the loss timeout for the current ring
+// generation: the configured base (0 = the 30 s default; negative disables
+// recovery) plus a per-partner allowance, since the token makes one hop per
+// online partner. The callback runs serialized with handlers (Transport
+// contract) and no-ops when the generation already completed.
+func (p *Peer) armReconcileTimer(ringLen int) {
+	timeout := p.sys.cfg.ReconcileTimeout
+	if timeout < 0 {
+		return
+	}
+	if timeout == 0 {
+		timeout = 30
+	}
+	seq := p.reconcileSeq
+	p.sys.net.After(timeout+0.5*float64(ringLen), func() { p.onReconcileTimeout(seq) })
+}
+
+// onReconcileTimeout fires when ring generation seq has been in flight for
+// the full timeout: the token is presumed lost (§4.2.2 assumes reliable
+// links; lossy transports drop it silently). While the retry budget lasts
+// the ring restarts with a fresh generation — stale tokens of the old one
+// are ignored by their Seq — and afterwards the round is abandoned so the
+// next push can re-trigger reconciliation.
+func (p *Peer) onReconcileTimeout(seq int) {
+	if !p.reconciling || p.reconcileSeq != seq {
+		return // the ring completed, or a newer generation superseded it
+	}
+	if !p.sys.net.Online(p.id) {
+		// The summary peer itself departed mid-ring (§4.3): the round dies
+		// with it instead of retransmitting from beyond the grave. Clearing
+		// the flag lets a returning summary peer reconcile again.
+		p.reconciling = false
+		return
+	}
+	if p.retriesLeft <= 0 {
+		p.reconciling = false
+		p.sys.stats.ReconcileAborts++
+		return
+	}
+	p.retriesLeft--
+	p.sys.stats.ReconcileRetransmits++
+	p.startRing()
 }
 
 // onlinePartners returns the CL partners currently online, in ring order.
@@ -121,9 +188,17 @@ func (p *Peer) onReconcile(msg *p2p.Message) {
 	p.forwardReconcile(pl, pl.Remaining)
 }
 
-// completeReconcile installs the rebuilt global summary (one update
-// operation, keeping availability high) and resets the freshness values.
+// completeReconcile installs the rebuilt global summary and resets the
+// freshness values. The install goes through the store: a single-tree
+// store performs the paper's one whole-tree update operation, a sharded
+// store splits the new version and swaps only the shards whose leaves
+// changed (per-shard deltas), so concurrent readers are never stalled on
+// the whole summary. Tokens of a superseded ring generation (retransmit
+// already launched a newer one) are dropped.
 func (p *Peer) completeReconcile(pl reconcilePayload) {
+	if !p.reconciling || pl.Seq != p.reconcileSeq {
+		return // stale token: a retransmitted ring owns this round now
+	}
 	if p.sys.cfg.DataLevel {
 		newGS := pl.NewGS
 		if newGS == nil {
@@ -135,7 +210,7 @@ func (p *Peer) completeReconcile(pl reconcilePayload) {
 				_ = err
 			}
 		}
-		p.gs = newGS
+		p.gs.SwapFrom(newGS)
 	}
 	merged := make(map[p2p.NodeID]bool, len(pl.Merged))
 	for _, id := range pl.Merged {

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"p2psum/internal/p2p"
+	"p2psum/internal/topology"
+)
+
+// Reconciliation loss recovery (ROADMAP bug): a §4.2.2 ring token dropped
+// by a lossy link used to leave the summary peer in `reconciling` forever.
+// The retransmit timer restarts the ring; after the retry budget it aborts
+// so the next push can re-trigger. The deterministic tests simulate a lost
+// token directly (the event engine is lossless by construction); the
+// channel test drives real packet loss.
+
+// lostToken puts the summary peer in the exact state a dropped token
+// leaves behind: reconciling, a live ring generation, no token in flight.
+func lostToken(sys *System, sp p2p.NodeID, retries int) *Peer {
+	p := sys.Peer(sp)
+	p.reconciling = true
+	p.retriesLeft = retries
+	p.reconcileSeq++
+	p.armReconcileTimer(len(p.onlinePartners()))
+	return p
+}
+
+func TestReconcileTimerRetransmits(t *testing.T) {
+	sys, e := newTestSystem(t, 30, 17, DefaultConfig())
+	sys.ElectSummaryPeers(1)
+	if err := sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	sp := sys.SummaryPeers()[0]
+	p := lostToken(sys, sp, sys.reconcileRetries())
+	e.Run()
+	st := sys.Stats()
+	if st.ReconcileRetransmits != 1 {
+		t.Errorf("retransmits = %d, want 1", st.ReconcileRetransmits)
+	}
+	if st.Reconciliations != 1 {
+		t.Errorf("reconciliations = %d, want 1 (retransmitted ring must complete)", st.Reconciliations)
+	}
+	if p.reconciling {
+		t.Error("summary peer still reconciling after recovery")
+	}
+	// Every online partner was freshened by the recovered ring.
+	for _, id := range p.onlinePartners() {
+		if v, _ := p.cl.Get(id); v != Fresh {
+			t.Errorf("partner %d is %v after recovered reconciliation", id, v)
+		}
+	}
+}
+
+func TestReconcileAbortsAfterRetryBudget(t *testing.T) {
+	sys, e := newTestSystem(t, 20, 18, DefaultConfig())
+	sys.ElectSummaryPeers(1)
+	if err := sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	sp := sys.SummaryPeers()[0]
+	p := lostToken(sys, sp, 0) // budget already exhausted
+	e.Run()
+	st := sys.Stats()
+	if st.ReconcileAborts != 1 {
+		t.Errorf("aborts = %d, want 1", st.ReconcileAborts)
+	}
+	if st.Reconciliations != 0 {
+		t.Errorf("reconciliations = %d, want 0", st.Reconciliations)
+	}
+	if p.reconciling {
+		t.Error("summary peer stuck reconciling after abort")
+	}
+	// The abandoned round did not reset freshness: the next push can
+	// re-trigger reconciliation immediately.
+	if p.cl.StaleFraction() != 0 {
+		// Construction leaves everything fresh; just assert re-trigger works.
+		t.Logf("stale fraction %v after abort", p.cl.StaleFraction())
+	}
+	for _, id := range p.onlinePartners() {
+		p.cl.Set(id, Stale)
+	}
+	p.maybeReconcile()
+	e.Run()
+	if sys.Stats().Reconciliations != 1 {
+		t.Error("push after abort did not re-trigger reconciliation")
+	}
+}
+
+func TestReconcileTimeoutDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReconcileTimeout = -1 // the paper's reliable-link behavior
+	sys, e := newTestSystem(t, 20, 19, cfg)
+	sys.ElectSummaryPeers(1)
+	if err := sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	sp := sys.SummaryPeers()[0]
+	p := lostToken(sys, sp, sys.reconcileRetries())
+	e.Run()
+	if !p.reconciling {
+		t.Error("recovery ran although the timeout is disabled")
+	}
+	if st := sys.Stats(); st.ReconcileRetransmits != 0 || st.ReconcileAborts != 0 {
+		t.Errorf("recovery stats moved with timeout disabled: %+v", st)
+	}
+}
+
+// TestStaleTokenIgnored: a token of a superseded ring generation (the one
+// presumed lost, limping home after the retransmit) must not complete the
+// round twice or clobber the newer ring's state.
+func TestStaleTokenIgnored(t *testing.T) {
+	sys, e := newTestSystem(t, 20, 23, DefaultConfig())
+	sys.ElectSummaryPeers(1)
+	if err := sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	sp := sys.SummaryPeers()[0]
+	p := sys.Peer(sp)
+	p.reconciling = true
+	p.retriesLeft = 1
+	p.reconcileSeq = 5
+	stale := reconcilePayload{SP: sp, Seq: 4, Merged: p.onlinePartners()}
+	p.completeReconcile(stale)
+	if !p.reconciling {
+		t.Fatal("stale token completed the newer ring")
+	}
+	if sys.Stats().Reconciliations != 0 {
+		t.Errorf("stale token counted as a reconciliation")
+	}
+	// The live generation still completes normally.
+	p.completeReconcile(reconcilePayload{SP: sp, Seq: 5, Merged: p.onlinePartners()})
+	e.Run()
+	if p.reconciling || sys.Stats().Reconciliations != 1 {
+		t.Errorf("live token did not complete: reconciling=%v stats=%+v", p.reconciling, sys.Stats())
+	}
+}
+
+// TestSummaryPeerFailureMidRing: a summary peer that fails while its ring
+// is in flight must not wedge the engine (the token once ping-ponged
+// forever between the resend path and the drop handler) and must not
+// retransmit rings from beyond the grave when its loss timer fires; after
+// rejoining it reconciles normally again.
+func TestSummaryPeerFailureMidRing(t *testing.T) {
+	sys, e := newTestSystem(t, 30, 41, DefaultConfig())
+	sys.ElectSummaryPeers(1)
+	if err := sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	sp := sys.SummaryPeers()[0]
+	p := sys.Peer(sp)
+
+	// Launch a ring, then fail the SP before any token movement.
+	for _, id := range p.onlinePartners() {
+		p.cl.Set(id, Stale)
+	}
+	p.maybeReconcile()
+	if !p.reconciling {
+		t.Fatal("ring did not start")
+	}
+	sys.Leave(sp, false)
+	e.Run() // must quiesce: the token dies at the departed SP
+
+	st := sys.Stats()
+	if st.ReconcileRetransmits != 0 {
+		t.Errorf("offline SP retransmitted %d rings", st.ReconcileRetransmits)
+	}
+	if st.Reconciliations != 0 {
+		t.Errorf("offline SP completed %d reconciliations", st.Reconciliations)
+	}
+	if p.reconciling {
+		t.Error("departed SP still flagged reconciling after its loss timer")
+	}
+
+	// The returning SP resumes its role and reconciles again.
+	sys.Join(sp)
+	e.Run()
+	for _, id := range p.onlinePartners() {
+		p.cl.Set(id, Stale)
+	}
+	p.maybeReconcile()
+	e.Run()
+	if sys.Stats().Reconciliations != 1 {
+		t.Errorf("rejoined SP reconciled %d times, want 1", sys.Stats().Reconciliations)
+	}
+}
+
+// TestReconcileLossRecoveryChannel: under real packet loss on the channel
+// transport, the summary peer never sticks in `reconciling` — the
+// ROADMAP's observed -loss 0.2 hang. Rounds either complete (possibly
+// after retransmits) or abort and get re-triggered by the next push.
+func TestReconcileLossRecoveryChannel(t *testing.T) {
+	g, err := topology.BarabasiAlbert(14, 2, nil, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := p2p.NewChannelTransport(g, 31, p2p.ChannelConfig{LossRate: 0.2})
+	t.Cleanup(ct.Close)
+	cfg := DefaultConfig()
+	cfg.ReconcileTimeout = 5 // virtual seconds -> ~5ms real at default timer scale
+	cfg.ReconcileRetries = 10
+	sys, err := NewSystem(ct, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ElectSummaryPeers(1)
+	if err := sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	sp := sys.SummaryPeers()[0]
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		// Hammer modifications so pushes (themselves lossy) keep tripping α.
+		var partners []p2p.NodeID
+		ct.Exec(func() { partners = sys.Peer(sp).CooperationList().Partners() })
+		for _, id := range partners {
+			sys.MarkModified(id)
+		}
+		ct.Settle()
+
+		var st Stats
+		var reconciling bool
+		ct.Exec(func() {
+			st = sys.Stats()
+			reconciling = sys.Peer(sp).reconciling
+		})
+		if st.Reconciliations > 0 && !reconciling {
+			return // recovered: at least one round completed and none is stuck
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no completed reconciliation under loss: stats=%+v reconciling=%v", st, reconciling)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -16,10 +16,15 @@ type DomainReport struct {
 	OnlineMembers int     // currently connected members (SP included)
 	StaleFraction float64 // Σv/|CL|
 	Reconciling   bool
-	// Data-level fields (zero at protocol level).
+	// Data-level fields (zero at protocol level). SummaryNodes counts the
+	// nodes across every store shard (a sharded store contributes one root
+	// per shard); SummaryLeaves and SummaryWeight are layout-invariant.
 	SummaryNodes  int
 	SummaryLeaves int
 	SummaryWeight float64
+	// SummaryShards is the store's shard count (1 for the single-tree
+	// layout, 0 at protocol level).
+	SummaryShards int
 }
 
 // String renders one report line.
@@ -31,6 +36,9 @@ func (r DomainReport) String() string {
 	}
 	if r.SummaryNodes > 0 {
 		s += fmt.Sprintf(" summary=%dn/%dl w=%.0f", r.SummaryNodes, r.SummaryLeaves, r.SummaryWeight)
+		if r.SummaryShards > 1 {
+			s += fmt.Sprintf(" shards=%d", r.SummaryShards)
+		}
 	}
 	return s
 }
@@ -51,7 +59,8 @@ func (s *System) Report(sp p2p.NodeID) (DomainReport, error) {
 	if p.gs != nil {
 		r.SummaryNodes = p.gs.NodeCount()
 		r.SummaryLeaves = p.gs.LeafCount()
-		r.SummaryWeight = p.gs.Root().Count()
+		r.SummaryWeight = p.gs.Weight()
+		r.SummaryShards = p.gs.NumShards()
 	}
 	return r, nil
 }

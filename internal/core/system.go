@@ -7,6 +7,7 @@ import (
 	"p2psum/internal/bk"
 	"p2psum/internal/p2p"
 	"p2psum/internal/saintetiq"
+	"p2psum/internal/summarystore"
 )
 
 // This file holds the shared state of the summary-management system:
@@ -60,16 +61,35 @@ type Config struct {
 	BK *bk.BK
 	// TreeCfg configures merged hierarchies.
 	TreeCfg saintetiq.Config
+	// Shards partitions each global summary across this many independently
+	// lockable store shards (data level only): merges and reconciliation
+	// deltas apply per shard, queries fan out across shards. 0 or 1 keeps
+	// the paper's single-tree layout.
+	Shards int
+	// ReconcileTimeout arms a retransmit timer (virtual seconds, plus a
+	// per-partner allowance) whenever a §4.2.2 ring token is launched: if
+	// the token is lost — lossy links drop it silently — the summary peer
+	// restarts the ring instead of sticking in `reconciling` forever.
+	// 0 uses DefaultConfig's timeout; negative disables the timer.
+	ReconcileTimeout float64
+	// ReconcileRetries bounds consecutive retransmits of one
+	// reconciliation; when exhausted the summary peer abandons the round
+	// (the next push re-triggers it). 0 uses the default.
+	ReconcileRetries int
 }
 
-// DefaultConfig returns the paper's settings: α=0.3, TTL=2, one-bit mode.
+// DefaultConfig returns the paper's settings: α=0.3, TTL=2, one-bit mode,
+// a single-tree store, and loss recovery armed at 30 virtual seconds with
+// 3 retries.
 func DefaultConfig() Config {
 	return Config{
-		Alpha:           0.3,
-		ConstructionTTL: 2,
-		FindBudget:      32,
-		Mode:            OneBit,
-		TreeCfg:         saintetiq.DefaultConfig(),
+		Alpha:            0.3,
+		ConstructionTTL:  2,
+		FindBudget:       32,
+		Mode:             OneBit,
+		TreeCfg:          saintetiq.DefaultConfig(),
+		ReconcileTimeout: 30,
+		ReconcileRetries: 3,
 	}
 }
 
@@ -86,10 +106,12 @@ type Peer struct {
 	seenRounds map[sumpeerKey]bool
 
 	// Summary-peer state.
-	gs          *saintetiq.Tree
-	cl          *CooperationList
-	reconciling bool
-	knownSPs    []p2p.NodeID
+	gs           summarystore.Store
+	cl           *CooperationList
+	reconciling  bool
+	reconcileSeq int // generation of the in-flight ring (stale-token guard)
+	retriesLeft  int // retransmits remaining for the in-flight ring
+	knownSPs     []p2p.NodeID
 }
 
 // ID returns the peer's node id.
@@ -113,8 +135,20 @@ func (p *Peer) IsPartner() bool { return p.role == RoleSummaryPeer || p.sp >= 0 
 // LocalTree returns the peer's local summary (nil at protocol level).
 func (p *Peer) LocalTree() *saintetiq.Tree { return p.local }
 
-// GlobalSummary returns the summary peer's current global summary.
-func (p *Peer) GlobalSummary() *saintetiq.Tree { return p.gs }
+// SummaryStore returns the summary peer's global-summary store (nil for
+// clients and at protocol level). Queries should go through it — see
+// query.AnswerStore — so sharded stores fan out instead of materializing.
+func (p *Peer) SummaryStore() summarystore.Store { return p.gs }
+
+// GlobalSummary returns the summary peer's current global summary as one
+// hierarchy. Single-tree stores return their live tree (treat it as
+// read-only); sharded stores materialize a merged snapshot per call.
+func (p *Peer) GlobalSummary() *saintetiq.Tree {
+	if p.gs == nil {
+		return nil
+	}
+	return p.gs.Snapshot()
+}
 
 // CooperationList returns the summary peer's partner table (nil for
 // clients).
@@ -156,6 +190,7 @@ type pushPayload struct {
 
 type reconcilePayload struct {
 	SP        p2p.NodeID
+	Seq       int // ring generation; stale tokens (pre-retransmit) are ignored
 	NewGS     *saintetiq.Tree
 	Remaining []p2p.NodeID
 	Merged    []p2p.NodeID
@@ -174,12 +209,17 @@ func (p reconcilePayload) WireSize() int {
 // Stats aggregates protocol-level events.
 type Stats struct {
 	Reconciliations int
-	Pushes          int
-	Joins           int
-	GracefulLeaves  int
-	Failures        int
-	SPDepartures    int
-	FindWalks       int
+	// ReconcileRetransmits counts ring restarts after a token timeout
+	// (lossy links); ReconcileAborts counts rounds abandoned after the
+	// retry budget ran out.
+	ReconcileRetransmits int
+	ReconcileAborts      int
+	Pushes               int
+	Joins                int
+	GracefulLeaves       int
+	Failures             int
+	SPDepartures         int
+	FindWalks            int
 }
 
 // System drives the summary-management protocol over any p2p.Transport —
@@ -253,6 +293,15 @@ func (s *System) newTree() *saintetiq.Tree {
 		return nil
 	}
 	return saintetiq.New(s.cfg.BK, s.cfg.TreeCfg)
+}
+
+// newStore builds a summary peer's global-summary store: single-tree for
+// Shards <= 1, sharded otherwise. Nil at protocol level.
+func (s *System) newStore() summarystore.Store {
+	if !s.cfg.DataLevel {
+		return nil
+	}
+	return summarystore.New(s.cfg.BK, s.cfg.TreeCfg, s.cfg.Shards)
 }
 
 // handle dispatches incoming protocol messages.

@@ -68,12 +68,13 @@ type ChannelTransport struct {
 	deliver chan envelope
 }
 
-// envelope is one dispatcher work item: a delivered message, or a driver
-// closure submitted through Exec.
+// envelope is one dispatcher work item: a delivered message, a driver
+// closure submitted through Exec, or a fired timer callback.
 type envelope struct {
-	msg  *Message
-	fn   func()
-	done chan struct{}
+	msg   *Message
+	fn    func()
+	done  chan struct{}
+	timer func()
 }
 
 // NewChannelTransport builds a concurrent transport over the graph. All
@@ -113,6 +114,16 @@ func (t *ChannelTransport) dispatch() {
 			close(env.done)
 			continue
 		}
+		if env.timer != nil {
+			env.timer()
+			t.mu.Lock()
+			t.pending--
+			if t.pending == 0 {
+				t.cond.Broadcast()
+			}
+			t.mu.Unlock()
+			continue
+		}
 		msg := env.msg
 		t.mu.Lock()
 		up := t.online[msg.To]
@@ -145,11 +156,46 @@ func (t *ChannelTransport) Exec(fn func()) {
 	<-done
 }
 
-// Close shuts the dispatcher down after draining in-flight messages.
-// Sending on a closed transport panics.
+// After schedules fn on the dispatcher, delaySeconds of virtual time from
+// now (scaled by LatencyScale like link latencies; with LatencyScale 0 —
+// deliver-as-fast-as-possible mode — timers fall back to the default
+// 1ms/virtual-second scale so a timeout still fires after, not before, the
+// messages it guards). A pending timer does not count as in-flight —
+// Settle does not wait for it — but once the real-time delay elapses, fn
+// runs on the dispatcher goroutine, serialized with handlers, and a
+// concurrent Settle blocks until it has run. Timers that fire after Close
+// are dropped.
+func (t *ChannelTransport) After(delaySeconds float64, fn func()) {
+	scale := t.cfg.LatencyScale
+	if scale <= 0 {
+		scale = time.Millisecond
+	}
+	delay := time.Duration(delaySeconds * float64(scale))
+	time.AfterFunc(delay, func() {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		// Count the callback as pending before releasing the lock: Close
+		// settles before closing the channel, so the dispatcher stays alive
+		// until this envelope has been handled.
+		t.pending++
+		t.mu.Unlock()
+		t.deliver <- envelope{timer: fn}
+	})
+}
+
+// Close shuts the dispatcher down after draining in-flight messages and
+// fired timers. The drain and the shutdown happen under one lock
+// acquisition, so a timer firing concurrently either lands before the
+// channel closes (pending was incremented first) or observes closed and
+// drops. Sending on a closed transport panics.
 func (t *ChannelTransport) Close() {
-	t.Settle()
 	t.mu.Lock()
+	for t.pending > 0 {
+		t.cond.Wait()
+	}
 	if !t.closed {
 		t.closed = true
 		close(t.deliver)

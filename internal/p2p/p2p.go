@@ -162,6 +162,12 @@ func (n *Network) HopsWithin(src NodeID, radius int) map[NodeID]int {
 // driver code is always serialized with handlers.
 func (n *Network) Exec(fn func()) { fn() }
 
+// After schedules fn on the event engine, delaySeconds of virtual time from
+// now. The engine is single-threaded, so fn is serialized with handlers.
+func (n *Network) After(delaySeconds float64, fn func()) {
+	n.engine.After(sim.Seconds(delaySeconds), fn)
+}
+
 // Settle runs the event engine to quiescence, delivering every in-flight
 // message and everything sent while handling it.
 func (n *Network) Settle() { n.engine.Run() }

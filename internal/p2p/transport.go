@@ -75,6 +75,16 @@ type Transport interface {
 	// dispatcher goroutine, between message deliveries. fn must not call
 	// Exec or Settle (it would deadlock the dispatcher).
 	Exec(fn func())
+	// After schedules fn to run once, delaySeconds of virtual time from
+	// now, serialized with message handlers like a delivery (on the
+	// channel transport virtual seconds are scaled like link latencies and
+	// elapse in real time; on the event engine the timer is a regular
+	// event, so Settle's run-to-quiescence executes it as virtual time
+	// advances). Protocols use it for loss-recovery timeouts (e.g.
+	// retransmitting a lost §4.2.2 reconciliation token). On the channel
+	// transport a pending timer does not count as an in-flight message —
+	// Settle does not wait for it. fn must not call Exec or Settle.
+	After(delaySeconds float64, fn func())
 	// Settle blocks until every in-flight message (and everything sent
 	// while delivering it) has been handled. Protocol drivers call it to
 	// reach quiescence before reading protocol state.

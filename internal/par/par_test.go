@@ -1,0 +1,151 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachOrdering: results written at their job index are complete and
+// ordered regardless of worker count, including the inline single-worker
+// path and the workers > n clamp.
+func TestForEachOrdering(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 2, 3, 8, n, n * 2} {
+		out := make([]int, n)
+		if err := ForEach(workers, n, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestForEachZeroWorkers: workers <= 0 falls back to one worker per CPU and
+// still runs every job exactly once.
+func TestForEachZeroWorkers(t *testing.T) {
+	for _, workers := range []int{0, -1} {
+		var ran atomic.Int64
+		if err := ForEach(workers, 100, func(int) error {
+			ran.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if ran.Load() != 100 {
+			t.Fatalf("workers=%d: ran %d of 100 jobs", workers, ran.Load())
+		}
+	}
+}
+
+// TestForEachZeroJobs: n = 0 is a no-op for any worker count.
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("ran") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachLowestError: among the jobs that actually ran, the
+// lowest-index error is the one returned, whatever the scheduling.
+func TestForEachLowestError(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		var mu sync.Mutex
+		errored := make(map[int]error)
+		err := ForEach(4, 32, func(i int) error {
+			if i%7 == 3 {
+				e := fmt.Errorf("job %d failed", i)
+				mu.Lock()
+				errored[i] = e
+				mu.Unlock()
+				return e
+			}
+			return nil
+		})
+		lowest := -1
+		for i := range errored {
+			if lowest < 0 || i < lowest {
+				lowest = i
+			}
+		}
+		if lowest < 0 {
+			t.Fatalf("trial %d: no job errored", trial)
+		}
+		if err != errored[lowest] {
+			t.Fatalf("trial %d: err = %v, want lowest-index error %v", trial, err, errored[lowest])
+		}
+	}
+}
+
+// TestForEachErrorStopsDispatch: after a failure no new jobs are
+// dispatched (jobs already running finish).
+func TestForEachErrorStopsDispatch(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(2, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Errorf("dispatch did not stop early: ran all %d jobs", got)
+	}
+}
+
+// jobBoom is a structured panic value: propagation must preserve it so
+// callers can still type-assert what they recover.
+type jobBoom struct{ job int }
+
+// TestForEachPanicPropagation: a panicking job must not crash the worker
+// goroutine silently — the panic resurfaces on the calling goroutine with
+// its original (type-assertable) value, identically on the inline and
+// pooled paths.
+func TestForEachPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				b, ok := r.(jobBoom)
+				if !ok || b.job != 2 {
+					t.Fatalf("workers=%d: recovered %#v, want the job's original jobBoom value", workers, r)
+				}
+			}()
+			_ = ForEach(workers, 16, func(i int) error {
+				if i == 2 {
+					panic(jobBoom{job: i})
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+// TestForEachPanicEverywhere: with every job panicking, one panic value is
+// re-raised — no panic is lost to a worker goroutine crash.
+func TestForEachPanicEverywhere(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic propagated")
+		}
+		if _, ok := r.(jobBoom); !ok {
+			t.Fatalf("recovered %#v, want a job's jobBoom value", r)
+		}
+	}()
+	_ = ForEach(4, 16, func(i int) error { panic(jobBoom{job: i}) })
+}

@@ -32,6 +32,12 @@ func Grade(t *saintetiq.Tree, q Query, sel *Selection) ([]GradedSummary, error) 
 	if err != nil {
 		return nil, err
 	}
+	return c.grade(sel), nil
+}
+
+// grade computes satisfaction degrees with a pre-compiled proposition
+// (vocabulary-level, shared across shards) and ranks the result.
+func (c *compiled) grade(sel *Selection) []GradedSummary {
 	out := make([]GradedSummary, 0, len(sel.Summaries))
 	for _, z := range sel.Summaries {
 		deg := 1.0
@@ -59,7 +65,7 @@ func Grade(t *saintetiq.Tree, q Query, sel *Selection) ([]GradedSummary, error) 
 		}
 		return out[i].Node.ID() < out[j].Node.ID()
 	})
-	return out, nil
+	return out
 }
 
 // TopK evaluates the query and returns the K best-satisfying summaries

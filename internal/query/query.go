@@ -304,9 +304,17 @@ func Select(t *saintetiq.Tree, q Query) (*Selection, error) {
 	if err != nil {
 		return nil, err
 	}
+	return c.selectTree(t), nil
+}
+
+// selectTree runs the ZQ walk with an already-compiled proposition. The
+// compiled form is vocabulary-level, so one compilation serves every
+// hierarchy sharing the BK — the store fan-out compiles once and walks
+// every shard with it.
+func (c *compiled) selectTree(t *saintetiq.Tree) *Selection {
 	sel := &Selection{}
 	if t.Empty() {
-		return sel, nil
+		return sel
 	}
 	var walk func(n *saintetiq.Node)
 	walk = func(n *saintetiq.Node) {
@@ -327,7 +335,7 @@ func Select(t *saintetiq.Tree, q Query) (*Selection, error) {
 		}
 	}
 	walk(t.Root())
-	return sel, nil
+	return sel
 }
 
 // Peers returns PQ: the union of the peer extents of the selected summaries
@@ -397,6 +405,16 @@ func Approximate(t *saintetiq.Tree, q Query, sel *Selection) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
+	selAttrs, err := resolveSelect(t, q)
+	if err != nil {
+		return nil, err
+	}
+	return c.approximate(selAttrs, t, q, sel), nil
+}
+
+// resolveSelect maps the query's select attributes to canonical attribute
+// indexes (identical for every hierarchy sharing the BK).
+func resolveSelect(t *saintetiq.Tree, q Query) ([]int, error) {
 	selAttrs := make([]int, len(q.Select))
 	for i, name := range q.Select {
 		a := t.AttrIndex(name)
@@ -405,7 +423,13 @@ func Approximate(t *saintetiq.Tree, q Query, sel *Selection) (*Answer, error) {
 		}
 		selAttrs[i] = a
 	}
+	return selAttrs, nil
+}
 
+// approximate aggregates an already-selected set of summaries into classes
+// using a pre-compiled proposition; t is only consulted for the (shared)
+// attribute vocabulary, so any hierarchy over the same BK works.
+func (c *compiled) approximate(selAttrs []int, t *saintetiq.Tree, q Query, sel *Selection) *Answer {
 	whereOrder := make([]string, len(q.Where))
 	for i, cl := range q.Where {
 		whereOrder[i] = cl.Attr
@@ -453,7 +477,7 @@ func Approximate(t *saintetiq.Tree, q Query, sel *Selection) (*Answer, error) {
 	for _, k := range keys {
 		ans.Classes = append(ans.Classes, *groups[k])
 	}
-	return ans, nil
+	return ans
 }
 
 // unionLabels merges z's intent labels on attribute a into the accumulated

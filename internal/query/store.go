@@ -1,0 +1,253 @@
+package query
+
+import (
+	"sort"
+
+	"p2psum/internal/par"
+	"p2psum/internal/saintetiq"
+	"p2psum/internal/summarystore"
+)
+
+// Store-level querying: the §5.2 services evaluated against a
+// summarystore.Store instead of a bare hierarchy. The proposition compiles
+// once (it is vocabulary-level), the store prunes the fan-out to the
+// candidate shards (clauses on a descriptor-range partition attribute name
+// their owning shards directly), each candidate is explored under its own
+// read lock — the per-shard work fans out across internal/par — and the
+// per-shard outcomes are merged: selections concatenate, graded results
+// re-rank, approximate-answer classes with the same interpretation
+// coalesce. Because every leaf cell lives in exactly one shard and pruned
+// shards cannot own matching leaves, the structure-invariant outputs (peer
+// localization, selection weight, the union of answered descriptors) are
+// identical to evaluating the same data in a single tree; only the
+// intermediate abstraction levels (which summaries represent the matching
+// cells) depend on the layout.
+
+// candidateShards intersects the store's per-clause pruning hints: a
+// conjunctive query only needs the shards every clause admits. With a
+// descriptor-range partition, a clause on the partition attribute narrows
+// the fan-out to the clause labels' shards; anything else keeps all
+// shards.
+func candidateShards(st summarystore.Store, c *compiled) []int {
+	n := st.NumShards()
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = true
+	}
+	for i, a := range c.attrs {
+		shards := st.CandidateShards(a, c.labels[i])
+		if shards == nil {
+			continue // no pruning on this attribute
+		}
+		mask := make([]bool, n)
+		for _, s := range shards {
+			mask[s] = true
+		}
+		for j := range keep {
+			keep[j] = keep[j] && mask[j]
+		}
+	}
+	out := make([]int, 0, n)
+	for i, k := range keep {
+		if k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectStore walks the store's candidate shards and returns the union of
+// the per-shard ZQ selections, in shard order. The returned nodes belong
+// to the live shard trees: do not retain them while writers (merges,
+// reconciliation swaps) may run concurrently — use AnswerStore or
+// TopKStore, which finish their node reads under the shard locks, when the
+// store is shared with writers.
+func SelectStore(st summarystore.Store, q Query) (*Selection, error) {
+	// The compiled proposition is vocabulary-level: one compilation serves
+	// every shard.
+	c, err := compile(st.Vocab(), q)
+	if err != nil {
+		return nil, err
+	}
+	cands := candidateShards(st, c)
+	sels := make([]*Selection, len(cands))
+	err = par.ForEach(0, len(cands), func(k int) error {
+		st.View(cands[k], func(t *saintetiq.Tree) {
+			sels[k] = c.selectTree(t)
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := &Selection{}
+	for _, s := range sels {
+		merged.Summaries = append(merged.Summaries, s.Summaries...)
+		merged.Visited += s.Visited
+	}
+	return merged, nil
+}
+
+// StoreAnswer is the merged outcome of one fanned-out store query: peer
+// localization (§5.2.1) plus approximate answering (§5.2.2) evaluated
+// shard by shard. It carries no live tree nodes, so it stays valid after
+// concurrent writers move the store on.
+type StoreAnswer struct {
+	// Answer is the approximate answer with same-interpretation classes
+	// merged across shards.
+	Answer *Answer
+	// Peers is PQ: the union of the shards' peer extents, sorted.
+	Peers []saintetiq.PeerID
+	// Weight is the total tuple weight of the selected summaries.
+	Weight float64
+	// Visited is the total number of summary nodes explored.
+	Visited int
+}
+
+// AnswerStore evaluates the query against every shard concurrently — each
+// shard's selection, grading-free approximate answer and peer extraction
+// complete under that shard's read lock — and merges the results. Classes
+// sharing an interpretation are coalesced: weights add, answered
+// descriptors and peer extents union, measures merge.
+func AnswerStore(st summarystore.Store, q Query) (*StoreAnswer, error) {
+	type shardOut struct {
+		ans     *Answer
+		peers   []saintetiq.PeerID
+		weight  float64
+		visited int
+	}
+	vocab := st.Vocab()
+	// Compile the proposition and resolve the select attributes once; both
+	// are vocabulary-level and shared by every shard.
+	c, err := compile(vocab, q)
+	if err != nil {
+		return nil, err
+	}
+	selAttrs, err := resolveSelect(vocab, q)
+	if err != nil {
+		return nil, err
+	}
+	cands := candidateShards(st, c)
+	outs := make([]shardOut, len(cands))
+	err = par.ForEach(0, len(cands), func(k int) error {
+		st.View(cands[k], func(t *saintetiq.Tree) {
+			sel := c.selectTree(t)
+			ans := c.approximate(selAttrs, vocab, q, sel)
+			outs[k] = shardOut{ans: ans, peers: sel.Peers(), weight: sel.Weight(), visited: sel.Visited}
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	whereOrder := make([]string, len(q.Where))
+	for i, cl := range q.Where {
+		whereOrder[i] = cl.Attr
+	}
+	groups := make(map[string]*Class)
+	var keys []string
+	merged := &StoreAnswer{Answer: &Answer{Query: q}}
+	peerSet := make(map[saintetiq.PeerID]struct{})
+	for _, out := range outs {
+		merged.Visited += out.visited
+		merged.Weight += out.weight
+		for _, p := range out.peers {
+			peerSet[p] = struct{}{}
+		}
+		for _, c := range out.ans.Classes {
+			c := c
+			key := classKey(c.Interpretation, whereOrder)
+			g, ok := groups[key]
+			if !ok {
+				groups[key] = &c
+				keys = append(keys, key)
+				continue
+			}
+			g.Weight += c.Weight
+			g.Peers = unionPeers(g.Peers, c.Peers)
+			for _, name := range q.Select {
+				g.Answers[name] = unionLabelNames(vocab, name, g.Answers[name], c.Answers[name])
+				m := g.Measures[name]
+				m.Merge(c.Measures[name])
+				g.Measures[name] = m
+			}
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		merged.Answer.Classes = append(merged.Answer.Classes, *groups[k])
+	}
+	merged.Peers = make([]saintetiq.PeerID, 0, len(peerSet))
+	for p := range peerSet {
+		merged.Peers = append(merged.Peers, p)
+	}
+	sort.Slice(merged.Peers, func(i, j int) bool { return merged.Peers[i] < merged.Peers[j] })
+	return merged, nil
+}
+
+// unionLabelNames merges two label sets of the named attribute, keeping the
+// vocabulary's canonical order.
+func unionLabelNames(vocab *saintetiq.Tree, attr string, a, b []string) []string {
+	present := make(map[string]bool, len(a)+len(b))
+	for _, lab := range a {
+		present[lab] = true
+	}
+	for _, lab := range b {
+		present[lab] = true
+	}
+	ai := vocab.AttrIndex(attr)
+	if ai < 0 {
+		// Not summarized (cannot happen for a validated query): keep a-then-b.
+		var out []string
+		seen := make(map[string]bool)
+		for _, lab := range append(append([]string(nil), a...), b...) {
+			if !seen[lab] {
+				seen[lab] = true
+				out = append(out, lab)
+			}
+		}
+		return out
+	}
+	var out []string
+	for _, lab := range vocab.AttrLabels(ai) {
+		if present[lab] {
+			out = append(out, lab)
+		}
+	}
+	return out
+}
+
+// TopKStore evaluates the query on every shard, grades each shard's
+// selection under its read lock, and merges the graded results into one
+// ranking (degree, then weight, then shard order). k <= 0 returns all.
+func TopKStore(st summarystore.Store, q Query, k int) ([]GradedSummary, error) {
+	c, err := compile(st.Vocab(), q)
+	if err != nil {
+		return nil, err
+	}
+	cands := candidateShards(st, c)
+	lists := make([][]GradedSummary, len(cands))
+	err = par.ForEach(0, len(cands), func(k int) error {
+		st.View(cands[k], func(t *saintetiq.Tree) {
+			lists[k] = c.grade(c.selectTree(t))
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var merged []GradedSummary
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].Degree != merged[j].Degree {
+			return merged[i].Degree > merged[j].Degree
+		}
+		return merged[i].Weight > merged[j].Weight
+	})
+	if k > 0 && k < len(merged) {
+		merged = merged[:k]
+	}
+	return merged, nil
+}

@@ -392,27 +392,26 @@ type DataAnswer struct {
 	Visited int
 }
 
-// RouteData evaluates a flexible query against the global summary of the
-// origin's domain: peer localization plus approximate answering (§5).
+// RouteData evaluates a flexible query against the global-summary store of
+// the origin's domain: peer localization plus approximate answering (§5).
+// The evaluation fans out across the store's shards under their read locks
+// and merges the graded class results, so it is safe to run while the
+// domain keeps merging and reconciling concurrently.
 func RouteData(sys *core.System, origin p2p.NodeID, q query.Query) (*DataAnswer, error) {
 	sp := sys.DomainOf(origin)
 	if sp < 0 {
 		return nil, fmt.Errorf("routing: origin %d has no domain", origin)
 	}
-	gs := sys.Peer(sp).GlobalSummary()
-	if gs == nil {
+	st := sys.Peer(sp).SummaryStore()
+	if st == nil {
 		return nil, errors.New("routing: domain has no data-level global summary")
 	}
-	sel, err := query.Select(gs, q)
+	sa, err := query.AnswerStore(st, q)
 	if err != nil {
 		return nil, err
 	}
-	ans, err := query.Approximate(gs, q, sel)
-	if err != nil {
-		return nil, err
-	}
-	da := &DataAnswer{Answer: ans, Visited: sel.Visited}
-	for _, p := range sel.Peers() {
+	da := &DataAnswer{Answer: sa.Answer, Visited: sa.Visited}
+	for _, p := range sa.Peers {
 		da.Peers = append(da.Peers, p2p.NodeID(p))
 	}
 	return da, nil

@@ -57,16 +57,78 @@ func (t *Tree) LeafCell(n *Node) (*cells.Cell, []PeerID) {
 // Merge incorporates every leaf of src into t (Merging(src, t)). Peer
 // extents are preserved. src is not modified.
 func (t *Tree) Merge(src *Tree) error {
+	return t.MergeLeaves(src, src.Leaves())
+}
+
+// NewLike creates an empty hierarchy sharing t's configuration and attribute
+// vocabulary (the Common Background Knowledge). It is the seed operation of
+// shard splitting: a summary store carves a tree into shards by incorporating
+// leaf subsets into NewLike trees.
+func (t *Tree) NewLike() *Tree {
+	out := &Tree{cfg: t.cfg, attrs: t.attrs, byKey: make(map[string]*Node)}
+	out.root = out.newNode("")
+	return out
+}
+
+// MergeLeaves incorporates the given leaves of src into t (Merging
+// restricted to a leaf subset). Peer extents are preserved; src is not
+// modified. This is the shard-split/merge primitive: a sharded store
+// buckets src's leaves by owning shard in one pass and merges each bucket
+// independently — disjoint buckets can merge concurrently into different
+// destinations.
+func (t *Tree) MergeLeaves(src *Tree, leaves []*Node) error {
 	if err := t.CompatibleWith(src); err != nil {
 		return err
 	}
-	for _, leaf := range src.Leaves() {
+	for _, leaf := range leaves {
 		c, peers := src.LeafCell(leaf)
 		if err := t.Incorporate(c, peers...); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// LeavesEqual reports whether two hierarchies describe the same grid cells
+// with the same aggregates: identical leaf key sets and, per leaf, equal
+// tuple weight, descriptor grades and peer extents (weights and grades are
+// compared with a small relative tolerance — the same contributions summed
+// in a different order may differ in the last ulp). Structure above the
+// leaves is ignored, so two trees built by different insertion orders still
+// compare equal when they summarize the same data. Reconciliation uses it
+// as the per-shard delta test: a shard whose leaves did not change keeps its
+// current tree instead of being replaced.
+func (t *Tree) LeavesEqual(o *Tree) bool {
+	if len(t.byKey) != len(o.byKey) {
+		return false
+	}
+	if err := t.CompatibleWith(o); err != nil {
+		return false
+	}
+	const tol = 1e-9
+	for key, a := range t.byKey {
+		b, ok := o.byKey[key]
+		if !ok {
+			return false
+		}
+		if !approxEq(a.count, b.count, tol) || len(a.peers) != len(b.peers) {
+			return false
+		}
+		for p := range a.peers {
+			if _, ok := b.peers[p]; !ok {
+				return false
+			}
+		}
+		for at := range t.attrs {
+			for j := range t.attrs[at].labels {
+				if !approxEq(a.counts[at][j], b.counts[at][j], tol) ||
+					!approxEq(a.grades[at][j], b.grades[at][j], tol) {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // Clone deep-copies the hierarchy.

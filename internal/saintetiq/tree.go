@@ -3,6 +3,7 @@ package saintetiq
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"p2psum/internal/bk"
@@ -153,16 +154,16 @@ func (t *Tree) NodeCount() int {
 
 // Depth returns the maximum leaf depth.
 func (t *Tree) Depth() int {
-	max := 0
+	deepest := 0
 	t.Walk(func(n *Node) bool {
 		if n.IsLeaf() {
-			if d := n.Depth(); d > max {
-				max = d
+			if d := n.Depth(); d > deepest {
+				deepest = d
 			}
 		}
 		return true
 	})
-	return max
+	return deepest
 }
 
 // AvgBranching returns the average arity of internal nodes (the B of the
@@ -202,21 +203,12 @@ func (t *Tree) Leaves() []*Node {
 	for k := range t.byKey {
 		keys = append(keys, k)
 	}
-	sortStrings(keys)
+	sort.Strings(keys)
 	out := make([]*Node, len(keys))
 	for i, k := range keys {
 		out[i] = t.byKey[k]
 	}
 	return out
-}
-
-func sortStrings(s []string) {
-	// small helper to avoid importing sort twice in the file set
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // contributionOf converts a cell (with provenance) into the incremental
@@ -390,7 +382,7 @@ func (t *Tree) mergeChildren(n *Node, i, j int) *Node {
 	for at := range t.attrs {
 		for l := range m.counts[at] {
 			m.counts[at][l] = a.counts[at][l] + b.counts[at][l]
-			m.grades[at][l] = maxf(a.grades[at][l], b.grades[at][l])
+			m.grades[at][l] = max(a.grades[at][l], b.grades[at][l])
 		}
 		m.measures[at] = a.measures[at]
 		m.measures[at].Merge(b.measures[at])
@@ -431,13 +423,6 @@ func (t *Tree) enforceArity(n *Node) {
 		t.mergeChildren(n, i, j)
 		t.stats.Merges++
 	}
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // String renders the hierarchy (Figure 3 style).

@@ -70,6 +70,11 @@ type SimOptions struct {
 	// LossRate silently drops each unicast with this probability
 	// (TransportChannel only; the event engine is lossless).
 	LossRate float64
+	// Shards partitions each domain's global summary across this many
+	// independently lockable store shards (data level only): merges and
+	// reconciliation deltas apply per shard and queries fan out across
+	// shards. 0 or 1 keeps the paper's single-tree layout.
+	Shards int
 }
 
 // TransportKind names a Transport implementation.
@@ -166,6 +171,7 @@ func NewSimulation(opts SimOptions) (*Simulation, error) {
 	cfg.DataLevel = opts.DataLevel
 	cfg.BK = opts.BK
 	cfg.MergeOnJoin = opts.MergeOnJoin
+	cfg.Shards = opts.Shards
 	sys, err := core.NewSystem(net, cfg)
 	if err != nil {
 		return nil, err
@@ -217,8 +223,15 @@ func (s *Simulation) DomainMembers(sp NodeID) []NodeID { return s.sys.DomainMemb
 // Coverage returns the fraction of online peers inside a domain.
 func (s *Simulation) Coverage() float64 { return s.sys.Coverage() }
 
-// GlobalSummary returns a domain's global summary (data level).
+// GlobalSummary returns a domain's global summary as one hierarchy (data
+// level). With SimOptions.Shards > 1 this materializes a merged snapshot
+// per call; prefer SummaryStore for repeated querying.
 func (s *Simulation) GlobalSummary(sp NodeID) *Tree { return s.sys.Peer(sp).GlobalSummary() }
+
+// SummaryStore returns a domain's global-summary store (data level; nil at
+// protocol level). Queries through query-level helpers fan out across its
+// shards without materializing a combined tree.
+func (s *Simulation) SummaryStore(sp NodeID) SummaryStore { return s.sys.Peer(sp).SummaryStore() }
 
 // StaleFraction returns Σv/|CL| for a domain's cooperation list.
 func (s *Simulation) StaleFraction(sp NodeID) float64 {
