@@ -464,3 +464,49 @@ func TestSaveLoadSummaryAndEstimateCount(t *testing.T) {
 		t.Errorf("EstimateCount = %g, exact = %d", est, exact)
 	}
 }
+
+func TestSimulationShardedDispatch(t *testing.T) {
+	// Full stack over the channel transport with one dispatch group per
+	// domain: construction, churn and querying must behave like any other
+	// transport configuration (invariants, not bit-equality — wall-clock
+	// delivery is not deterministic on an arbitrary overlay).
+	s, err := NewSimulation(SimOptions{
+		Peers: 200, SummaryPeers: 4, Seed: 21,
+		Transport: TransportChannel, Dispatchers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Coverage() != 1 {
+		t.Errorf("coverage = %g after construction", s.Coverage())
+	}
+	s.RunChurn(1, 0.8)
+	if s.OnlinePeers() == 0 {
+		t.Fatal("everyone left")
+	}
+	oracle := s.RandomMatchOracle(0.10)
+	res, err := s.QueryProtocol(s.RandomClient(), oracle, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results == 0 {
+		t.Error("sharded-dispatch run answered nothing")
+	}
+	if s.TotalMessages() == 0 {
+		t.Error("no messages counted")
+	}
+
+	// The knob is channel-transport-only, like LossRate.
+	if _, err := NewSimulation(SimOptions{Peers: 50, SummaryPeers: 2, Dispatchers: 4}); err == nil {
+		t.Error("Dispatchers on the event engine accepted")
+	}
+	if _, err := NewSimulation(SimOptions{
+		Peers: 50, SummaryPeers: 2, Transport: TransportChannel, Dispatchers: -1,
+	}); err == nil {
+		t.Error("negative Dispatchers accepted")
+	}
+}

@@ -4,14 +4,33 @@
 // Usage:
 //
 //	experiments [-exp all|params|mapping|fig4|fig5|fig6|fig7|storage|
-//	             ablation-maintenance|ablation-routing|ablation-walks]
-//	            [-quick] [-seed N] [-parallel N]
+//	             ablation-maintenance|ablation-routing|ablation-walks|
+//	             ablation-ttl|ablation-unavailable|ablation-arity|
+//	             ablation-locality|coverage|concurrency]
+//	            [-quick] [-seed N] [-parallel N] [-shards N] [-dispatchers N]
+//
+// Flags:
+//
+//	-exp          experiment to run; "all" runs every runner in order
+//	-quick        down-scaled smoke configuration instead of Table 3 scale
+//	-seed         random seed driving every sweep point (default 42)
+//	-parallel     sweep worker goroutines (0 = one per CPU, 1 = sequential)
+//	-shards       global-summary store shards per simulated summary peer
+//	              (1 = the paper's single tree)
+//	-dispatchers  caps the dispatcher-count sweep of the concurrency
+//	              experiment (0 = up to one dispatcher per domain); the
+//	              figure sweeps run on the single-threaded event engine
+//	              and ignore it
 //
 // The default full configuration mirrors Table 3 (domains up to 2000
 // peers, networks up to 5000, 200 queries); -quick runs a down-scaled
 // sweep for smoke testing. -parallel fans the sweep grids across N worker
 // goroutines (0 = one per CPU); every grid point is independently seeded,
-// so any worker count prints bit-identical tables.
+// so any worker count prints bit-identical tables. The concurrency
+// experiment is the exception: it measures wall-clock time of overlapping
+// per-domain reconciliations on the sharded channel transport, so its rows
+// vary run to run while the trend (more dispatchers, less wall time) is
+// the signal.
 package main
 
 import (
@@ -25,11 +44,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, params, mapping, fig4, fig5, fig6, fig7, storage, ablation-maintenance, ablation-routing, ablation-walks)")
+	exp := flag.String("exp", "all", "experiment to run (all, params, mapping, fig4, fig5, fig6, fig7, storage, ablation-maintenance, ablation-routing, ablation-walks, ablation-ttl, ablation-unavailable, ablation-arity, ablation-locality, coverage, concurrency)")
 	quick := flag.Bool("quick", false, "run the down-scaled smoke configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = sequential)")
 	shards := flag.Int("shards", 1, "global-summary store shards per simulated summary peer (1 = single tree)")
+	dispatchers := flag.Int("dispatchers", 0, "dispatcher-count cap of the concurrency experiment (0 = one per domain)")
 	flag.Parse()
 
 	cfg := p2psum.DefaultExperimentConfig()
@@ -39,6 +59,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Workers = *parallel
 	cfg.Shards = *shards
+	cfg.Dispatchers = *dispatchers
 
 	type runner struct {
 		name string
@@ -79,6 +100,7 @@ func main() {
 		{"ablation-arity", table(p2psum.RunAblationArity)},
 		{"ablation-locality", table(p2psum.RunAblationLocality)},
 		{"coverage", table(p2psum.RunCoverage)},
+		{"concurrency", table(p2psum.RunConcurrency)},
 	}
 
 	want := strings.ToLower(*exp)

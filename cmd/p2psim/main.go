@@ -7,17 +7,38 @@
 //
 //	p2psim [-peers 1000] [-sps 10] [-alpha 0.3] [-hours 6] [-queries 50]
 //	       [-hit 0.10] [-graceful 0.8] [-mode balanced|precise|max-recall]
-//	       [-transport sim|channel] [-loss 0.0] [-shards 1]
+//	       [-transport sim|channel] [-loss 0.0] [-shards 1] [-dispatchers 1]
 //	       [-seed 1] [-runs 1] [-parallel 0]
 //
-// -transport selects the overlay substrate: the deterministic
-// discrete-event engine (sim, the default) or the concurrent channel-based
-// transport (channel) with real goroutine delivery and optional -loss
-// packet loss. -runs N repeats the scenario under seeds seed..seed+N-1 and
-// prints per-run summaries plus aggregate means; -parallel bounds how many
-// replicas run concurrently (0 = one per CPU). -shards partitions each
-// domain's global-summary store (visible in data-level runs; protocol-level
-// scenarios carry no hierarchies, so it only selects the store layout).
+// Flags:
+//
+//	-peers        overlay size (Barabási–Albert power-law graph, avg degree 4)
+//	-sps          number of summary peers = domains (highest-degree election)
+//	-alpha        freshness threshold α gating ring reconciliation (§6.1.1)
+//	-hours        simulated churn horizon (paper lognormal session lifetimes)
+//	-queries      routed queries measured after churn
+//	-hit          per-query match fraction (Table 3: 10%)
+//	-graceful     probability a departure notifies its summary peer (§4.3)
+//	-mode         SQ router mode: balanced (PQ), precise (PQ ∩ Pfresh),
+//	              max-recall (PQ ∪ Pold) — the §6.1.2 trade-off
+//	-transport    overlay substrate: sim (deterministic discrete-event
+//	              engine, the default) or channel (concurrent goroutine
+//	              delivery in real time)
+//	-loss         packet-loss probability in [0,1) (channel transport only)
+//	-shards       global-summary store shards per domain (1 = the paper's
+//	              single tree; visible in data-level runs, otherwise only
+//	              selects the store layout)
+//	-dispatchers  dispatch groups of the channel transport (channel
+//	              transport only): domains map onto groups at construction,
+//	              so independent domains run their handlers concurrently;
+//	              1 = the single serialized dispatcher
+//	-seed         random seed of the first replica
+//	-runs         independently seeded replicas (seed, seed+1, ...)
+//	-parallel     concurrent replicas (0 = one per CPU)
+//
+// -runs N repeats the scenario under seeds seed..seed+N-1 and prints
+// per-run summaries plus aggregate means; -parallel bounds how many
+// replicas run concurrently.
 package main
 
 import (
@@ -33,7 +54,7 @@ import (
 
 type options struct {
 	peers, sps, queries int
-	shards              int
+	shards, dispatchers int
 	alpha, hours        float64
 	hit, graceful, loss float64
 	mode                p2psum.RoutingMode
@@ -64,6 +85,7 @@ func runOne(o options) (*runResult, error) {
 		Transport:    o.transport,
 		LossRate:     o.loss,
 		Shards:       o.shards,
+		Dispatchers:  o.dispatchers,
 	})
 	if err != nil {
 		return nil, err
@@ -144,6 +166,7 @@ func main() {
 	transport := flag.String("transport", "sim", "transport: sim (deterministic) or channel (concurrent)")
 	loss := flag.Float64("loss", 0, "packet-loss probability (channel transport only)")
 	shards := flag.Int("shards", 1, "global-summary store shards per domain (data-level runs; 1 = single tree)")
+	dispatchers := flag.Int("dispatchers", 1, "dispatch groups of the channel transport (channel only; domains map onto groups, 1 = single dispatcher)")
 	seed := flag.Int64("seed", 1, "random seed (first replica)")
 	runs := flag.Int("runs", 1, "independently seeded replicas (seed, seed+1, ...)")
 	parallel := flag.Int("parallel", 0, "concurrent replicas (0 = one per CPU)")
@@ -151,7 +174,8 @@ func main() {
 
 	o := options{
 		peers: *peers, sps: *sps, queries: *queries, shards: *shards,
-		alpha: *alpha, hours: *hours,
+		dispatchers: *dispatchers,
+		alpha:       *alpha, hours: *hours,
 		hit: *hit, graceful: *graceful, loss: *loss,
 		seed: *seed,
 	}

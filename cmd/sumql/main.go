@@ -8,11 +8,21 @@
 //	      [-where "sex=female;bmi<19;disease=anorexia"]
 //	      [-tree] [-trends N] [-explain]
 //
-// The CSV's first column must be a record id; column types are inferred
-// (numeric when every value parses as a float). Without -csv the tool runs
-// the paper's Patient walkthrough. Predicates support =, <, <=, >, >= and
-// |-separated value lists. -trends N prints the level-N summaries as trend
-// lines; -explain traces the hierarchical selection.
+// Flags:
+//
+//	-csv      CSV file to summarize; its first column must be a record id,
+//	          and column types are inferred (numeric when every value
+//	          parses as a float). Without -csv the tool runs the paper's
+//	          Patient walkthrough.
+//	-labels   fuzzy labels per numeric attribute of the inferred
+//	          Background Knowledge (uniform Ruspini partitions)
+//	-select   comma-separated attributes the approximate answer reports
+//	-where    semicolon-separated selection predicates; each supports
+//	          =, <, <=, >, >= and |-separated value lists
+//	          (e.g. "disease=anorexia|obesity")
+//	-tree     print the full summary hierarchy before querying
+//	-trends   print the level-N summaries as trend lines (-1 = off)
+//	-explain  trace the hierarchical selection node by node
 package main
 
 import (

@@ -26,34 +26,118 @@
 //     power-law overlay, runs the §4 management protocols under churn, and
 //     routes queries with the SQ router and the baselines of the paper.
 //
-//   - Experiments: RunFigure4..RunFigure7, RunStorage and the ablations
-//     regenerate every table and figure of the paper's evaluation.
+//   - Experiments: RunFigure4..RunFigure7, RunStorage, RunConcurrency and
+//     the ablations regenerate every table and figure of the paper's
+//     evaluation, plus the scale-out measurements this implementation adds.
 //
 // # Architecture
 //
-// The protocol stack is layered over a transport abstraction and a
-// summary-store abstraction:
+// The code is layered so each package depends only on the layer below it:
 //
-//	cmd/{p2psim,experiments,sumql}       CLIs (replica sweeps, figure sweeps)
-//	p2psum (api, simulation, experiments) public facade
-//	internal/experiments                  figure/ablation drivers + worker pool
+//	cmd/{p2psim,experiments,sumql}        CLIs (replica sweeps, figure sweeps, ad-hoc querying)
+//	p2psum (api, simulation, experiments) public facade, re-exports
+//	internal/experiments                  figure/ablation drivers + worker-pool sweeps
 //	internal/routing                      SQ router and baselines (§5.2, §6.2.3)
 //	internal/core                         summary management (§4.1–§4.3)
+//	internal/query                        flexible-query selection/answering (§5)
 //	internal/summarystore.Store           global-summary storage layer
 //	├── summarystore.Single               one tree, one RWMutex (the paper's layout)
 //	└── summarystore.Sharded              per-shard trees + locks, descriptor-range
+//	internal/saintetiq                    summary hierarchies (§3.2) over internal/cells,
+//	                                      internal/fuzzy, internal/bk, internal/data
 //	internal/p2p.Transport                overlay substrate interface
 //	├── p2p.Network                       deterministic, discrete-event (internal/sim)
-//	└── p2p.ChannelTransport              concurrent, real-time (goroutines)
+//	└── p2p.ChannelTransport              concurrent, real-time, sharded dispatch
+//	internal/topology                     overlay generators + graph partitions
+//	internal/par, internal/stats,         worker pool, counters/tables, churn and
+//	internal/workload, internal/costmodel query workloads, the paper's cost models
 //
 // internal/core and internal/routing depend only on the p2p.Transport
 // interface, never on a concrete transport. The sim-backed Network makes
 // every run reproducible bit-for-bit given a seed; the channel-based
 // transport trades that determinism for real concurrency, scaled per-link
 // latencies and optional packet loss. SimOptions.Transport selects one.
-// Transports also provide a serialized timer (Transport.After) that the
-// reconciliation protocol uses for loss recovery: a dropped §4.2.2 ring
-// token is retransmitted instead of wedging its summary peer.
+//
+// # The dispatcher-group execution model
+//
+// The channel transport executes all protocol logic on dispatcher
+// goroutines. Nodes are partitioned into dispatch groups
+// (ChannelConfig.Dispatchers, ChannelConfig.GroupBy / SetGroupBy); each
+// group owns an inbox channel and ONE dispatcher goroutine that drains it.
+// Every message is carried by a goroutine that sleeps the scaled link
+// latency and then enqueues the message on the inbox of the destination's
+// group. The serialization guarantees are:
+//
+//   - Per node: a node belongs to exactly one group, so its handler never
+//     runs twice concurrently and per-peer protocol state needs no locks.
+//
+//   - Per group: all handlers, fired timers (Transport.After routes the
+//     callback to the owner node's group) and rerouted drop callbacks of
+//     one group execute in one serial order.
+//
+//   - Drop callbacks run in the group of the message SENDER (msg.From):
+//     §4.3 failure detection mutates sender-side state, so that is the
+//     serialization it needs; the transport forwards the callback across
+//     groups when sender and receiver differ.
+//
+//   - Transport.Exec quiesces every group (single-group mode runs the
+//     closure on the dispatcher itself; sharded mode parks all dispatchers
+//     at a barrier), so driver-side mutations never interleave with any
+//     handler anywhere.
+//
+//   - Transport.Settle returns only after every in-flight message, relayed
+//     send, rerouted drop and fired timer — across all groups — has been
+//     handled, so drivers may read protocol state afterwards without
+//     synchronization.
+//
+// With Dispatchers <= 1 the transport collapses to the original single
+// dispatcher and behaves bit-identically to the pre-sharding
+// implementation. With more groups, internal/core aligns groups with the
+// paper's unit of independence: at summary-peer assignment it partitions
+// the overlay by hop distance to the elected summary peers
+// (topology.NearestSeeds) and maps every domain onto one group, so
+// independent domains — which the paper maintains independently by design
+// (§4: each domain keeps its own global summary) — construct, reconcile
+// and answer concurrently. Cross-domain traffic and find walks remain
+// correct for ANY grouping: the few cross-peer reads on handler paths
+// (walk-accept inspecting another peer's domain pointer) go through
+// atomics, and protocol Stats go through a lock.
+//
+// # Which lock protects what
+//
+// The full concurrency inventory, top of the stack to the bottom:
+//
+//	core.System.statsMu        protects System.stats: handler paths of
+//	                           different dispatch groups bump counters
+//	                           concurrently; Stats() snapshots under it.
+//	core.Peer.sp / spHops      atomics: written by the owning peer's
+//	                           handlers/Exec, read cross-group by find
+//	                           walks and join scans.
+//	core.Peer (everything else) NO lock — owned by the peer's dispatch
+//	                           group (handlers, routed timers) and by
+//	                           drivers under Transport.Exec; drivers read
+//	                           only after Settle.
+//	summarystore.Single.mu     one RWMutex around the single tree: queries
+//	                           take RLock, Merge/SwapFrom take Lock.
+//	summarystore.Sharded       one RWMutex PER SHARD: merges lock only the
+//	                           shards owning the delta's leaves, queries
+//	                           fan out under read locks — cross-domain and
+//	                           cross-shard querying never serializes on one
+//	                           lock.
+//	p2p.ChannelTransport.mu    the transport bookkeeping lock: online[],
+//	                           handler[], drop, counters, rng, pending,
+//	                           groupOf[], armed timers, closed. Held only
+//	                           for short critical sections, never across a
+//	                           handler call.
+//	p2p.ChannelTransport.cond  signals pending==0 to Settle/Close.
+//	p2p.ChannelTransport.execMu serializes concurrent Exec barriers so two
+//	                           drivers cannot interleave group parking.
+//	p2p.Network                NO locks: the discrete-event engine is
+//	                           single-threaded by construction.
+//	par.ForEach                owns its worker pool; results slots are
+//	                           index-addressed so workers never share.
+//
+// # Storage layer
 //
 // A summary peer's global summary lives behind summarystore.Store rather
 // than being one bare SaintEtiQ tree. The Single implementation is the
@@ -67,10 +151,16 @@
 // results. SimOptions.Shards (and -shards on the CLIs) selects the layout;
 // both layouts answer structure-invariant queries identically.
 //
+// Transports also provide a serialized timer (Transport.After) that the
+// reconciliation protocol uses for loss recovery: a dropped §4.2.2 ring
+// token is retransmitted instead of wedging its summary peer.
+//
 // Experiment sweeps fan their (α × size) grids across a worker pool
 // (ExperimentConfig.Workers); every grid point is an isolated simulation
 // seeded purely from (Seed, point parameters), so parallel sweeps render
-// tables bit-identical to sequential ones.
+// tables bit-identical to sequential ones. The concurrency experiment
+// (RunConcurrency) is the deliberate exception: it measures the wall-clock
+// effect of per-domain dispatchers on overlapping reconciliations.
 //
 // Everything uses only the standard library. Simulations on the
 // discrete-event transport are deterministic given a seed; distinct

@@ -94,3 +94,11 @@ func RunAblationLocality(cfg ExperimentConfig) (*ResultTable, error) {
 func RunCoverage(cfg ExperimentConfig) (*ResultTable, error) {
 	return experiments.CoverageExperiment(cfg)
 }
+
+// RunConcurrency sweeps the channel transport's dispatcher count over a
+// multi-domain reconciliation storm: independent domains reconcile in
+// parallel when dispatch groups align with domains. The rows are
+// wall-clock measurements (not deterministic); the signal is the trend.
+func RunConcurrency(cfg ExperimentConfig) (*ResultTable, error) {
+	return experiments.ConcurrencyExperiment(cfg)
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"p2psum/internal/p2p"
+	"p2psum/internal/topology"
 )
 
 // Domain construction (§4.1): summary-peer election, the sumpeer/localsum
@@ -44,7 +45,7 @@ func (s *System) AssignSummaryPeers(ids []p2p.NodeID) {
 	for _, id := range s.sps {
 		p := s.peers[id]
 		p.role = RoleSummaryPeer
-		p.sp = -1
+		p.clearSP()
 		p.cl = NewCooperationList(s.cfg.Mode)
 		p.gs = s.newStore()
 		var others []p2p.NodeID
@@ -55,6 +56,34 @@ func (s *System) AssignSummaryPeers(ids []p2p.NodeID) {
 		}
 		p.knownSPs = others
 	}
+	s.wireDispatchGroups()
+}
+
+// wireDispatchGroups aligns a sharded-dispatch transport with the domain
+// layout: every node maps to the dispatch group of its nearest summary
+// peer (ties to the lowest), so one domain's handlers share one serialized
+// dispatcher while distinct domains run concurrently — the per-domain
+// execution model of §4 ("each domain maintains its own global summary").
+// A transport without dispatch groups, or one that has already carried
+// traffic, is left untouched; any mapping is semantically valid, the
+// domain partition is the one that buys parallelism.
+func (s *System) wireDispatchGroups() {
+	gt, ok := s.net.(p2p.DispatchGrouper)
+	if !ok || gt.DispatchGroups() <= 1 || len(s.sps) == 0 {
+		return
+	}
+	seeds := make([]int, len(s.sps))
+	for i, sp := range s.sps {
+		seeds[i] = int(sp)
+	}
+	part := topology.NearestSeeds(gt.Graph(), seeds)
+	d := gt.DispatchGroups()
+	gt.SetGroupBy(func(id p2p.NodeID) int {
+		if part[id] < 0 {
+			return int(id) % d // unreachable from every SP: spread evenly
+		}
+		return part[id] % d
+	})
 }
 
 // Construct runs the §4.1 domain construction: every summary peer
@@ -79,7 +108,7 @@ func (s *System) Construct() error {
 	s.net.Exec(func() {
 		// Stragglers: peers outside every broadcast radius use find.
 		for _, p := range s.peers {
-			if p.role == RoleClient && p.sp < 0 && s.net.Online(p.id) {
+			if p.role == RoleClient && p.curSP() < 0 && s.net.Online(p.id) {
 				s.findDomain(p)
 			}
 		}
@@ -102,7 +131,10 @@ func (s *System) broadcastSumpeer(spID p2p.NodeID) {
 // findDomain runs the selective walk of the find protocol and adopts the
 // summary peer of the first partner reached.
 func (s *System) findDomain(p *Peer) {
-	s.stats.FindWalks++
+	s.addStat(func(st *Stats) { st.FindWalks++ })
+	// The accept callback reads other peers' domain pointers: on a
+	// sharded-dispatch transport those peers' handlers may be mutating
+	// them concurrently (sp is atomic for exactly this read).
 	res := s.net.SelectiveWalk(MsgFind, p.id, s.cfg.FindBudget, func(id p2p.NodeID) bool {
 		if id == p.id {
 			return false
@@ -111,7 +143,8 @@ func (s *System) findDomain(p *Peer) {
 		if o.role == RoleSummaryPeer {
 			return true
 		}
-		return o.sp >= 0 && s.net.Online(o.sp)
+		osp := o.curSP()
+		return osp >= 0 && s.net.Online(osp)
 	})
 	if res.Found < 0 {
 		return
@@ -119,7 +152,10 @@ func (s *System) findDomain(p *Peer) {
 	target := s.peers[res.Found]
 	spID := target.id
 	if target.role == RoleClient {
-		spID = target.sp
+		spID = target.curSP()
+		if spID < 0 {
+			return // the partner detached while the walk was in flight
+		}
 	}
 	p.adopt(spID, s.hopsTo(p.id, spID))
 }
@@ -136,8 +172,7 @@ func (s *System) hopsTo(a, b p2p.NodeID) int {
 
 // adopt makes p a partner of spID, shipping its local summary.
 func (p *Peer) adopt(spID p2p.NodeID, hops int) {
-	p.sp = spID
-	p.spHops = hops
+	p.setSP(spID, hops)
 	payload := localsumPayload{Rejoin: p.sys.built}
 	if p.sys.cfg.DataLevel && p.local != nil {
 		payload.Tree = p.local.Clone()
@@ -155,13 +190,14 @@ func (p *Peer) onSumpeer(msg *p2p.Message) {
 	p.seenRounds[key] = true
 
 	if p.role == RoleClient {
+		cur := p.curSP()
 		switch {
-		case p.sp < 0:
+		case cur < 0:
 			// First sumpeer message: become a partner.
 			p.adopt(pl.SP, pl.Hops)
-		case p.sp != pl.SP && pl.Hops < p.spHops:
+		case cur != pl.SP && pl.Hops < p.curSPHops():
 			// A strictly closer summary peer: drop the old partnership.
-			p.sys.net.SendNew(MsgDrop, p.id, p.sp, 0, nil)
+			p.sys.net.SendNew(MsgDrop, p.id, cur, 0, nil)
 			p.adopt(pl.SP, pl.Hops)
 		}
 	}

@@ -8,8 +8,8 @@ import "p2psum/internal/p2p"
 
 // onRelease reacts to a departing summary peer: find a new domain (§4.3).
 func (p *Peer) onRelease(msg *p2p.Message) {
-	if p.sp == msg.From {
-		p.sp = -1
+	if p.curSP() == msg.From {
+		p.clearSP()
 		p.sys.findDomain(p)
 	}
 }
@@ -30,20 +30,20 @@ func (s *System) leave(id p2p.NodeID, graceful bool) {
 	}
 	if graceful {
 		if p.role == RoleSummaryPeer {
-			s.stats.SPDepartures++
+			s.addStat(func(st *Stats) { st.SPDepartures++ })
 			for _, partner := range p.cl.Partners() {
 				s.net.SendNew(MsgRelease, id, partner, 0, nil)
 			}
-		} else if p.sp >= 0 {
-			s.stats.GracefulLeaves++
-			s.net.SendNew(MsgPush, id, p.sp, 0, pushPayload{V: Unavailable})
+		} else if sp := p.curSP(); sp >= 0 {
+			s.addStat(func(st *Stats) { st.GracefulLeaves++ })
+			s.net.SendNew(MsgPush, id, sp, 0, pushPayload{V: Unavailable})
 		}
 	} else {
-		s.stats.Failures++
+		s.addStat(func(st *Stats) { st.Failures++ })
 	}
 	s.net.SetOnline(id, false)
 	if p.role == RoleClient {
-		p.sp = -1
+		p.clearSP()
 	}
 }
 
@@ -61,19 +61,19 @@ func (s *System) join(id p2p.NodeID) {
 		return
 	}
 	s.net.SetOnline(id, true)
-	s.stats.Joins++
+	s.addStat(func(st *Stats) { st.Joins++ })
 	if p.role == RoleSummaryPeer {
 		return // returning summary peers resume their role
 	}
-	p.sp = -1
+	p.clearSP()
 	for _, nb := range s.net.Neighbors(id) {
 		o := s.peers[nb]
 		if o.role == RoleSummaryPeer {
 			p.adopt(nb, 1)
 			return
 		}
-		if o.sp >= 0 && s.net.Online(o.sp) {
-			p.adopt(o.sp, o.spHops+1)
+		if osp := o.curSP(); osp >= 0 && s.net.Online(osp) {
+			p.adopt(osp, o.curSPHops()+1)
 			return
 		}
 	}
@@ -81,15 +81,18 @@ func (s *System) join(id p2p.NodeID) {
 }
 
 // onDrop reacts to messages lost to offline receivers, implementing the
-// failure-detection paths of §4.3.
+// failure-detection paths of §4.3. The transport runs it serialized with
+// the handlers of msg.From's dispatch group (every mutation below touches
+// the sender's state), so it needs no extra locking even when dispatch is
+// sharded.
 func (s *System) onDrop(msg *p2p.Message) {
 	switch msg.Type {
 	case MsgPush, MsgLocalsum:
 		// The partner detects its summary peer's failure and searches for
 		// a new one.
 		p := s.peers[msg.From]
-		if p.role == RoleClient && s.net.Online(p.id) && p.sp == msg.To {
-			p.sp = -1
+		if p.role == RoleClient && s.net.Online(p.id) && p.curSP() == msg.To {
+			p.clearSP()
 			s.findDomain(p)
 		}
 	case MsgReconcile:

@@ -15,6 +15,19 @@ func (s *System) MarkModified(id p2p.NodeID) {
 	s.net.Exec(func() { s.markModified(id) })
 }
 
+// MarkModifiedAll signals a whole wave of local-summary modifications
+// under ONE Exec barrier. On a sharded-dispatch transport every Exec
+// quiesces all dispatch groups, so batching a storm of modifications costs
+// one barrier instead of one per peer — the pushes (and the ring
+// reconciliations they trigger) then run concurrently across domains.
+func (s *System) MarkModifiedAll(ids []p2p.NodeID) {
+	s.net.Exec(func() {
+		for _, id := range ids {
+			s.markModified(id)
+		}
+	})
+}
+
 func (s *System) markModified(id p2p.NodeID) {
 	p := s.peers[id]
 	if !s.net.Online(id) {
@@ -24,7 +37,7 @@ func (s *System) markModified(id p2p.NodeID) {
 	if sp < 0 {
 		return
 	}
-	s.stats.Pushes++
+	s.addStat(func(st *Stats) { st.Pushes++ })
 	if p.role == RoleSummaryPeer {
 		// A summary peer's own modification feeds its own list.
 		if p.cl.Has(p.id) {
@@ -104,7 +117,9 @@ func (p *Peer) armReconcileTimer(ringLen int) {
 		timeout = 30
 	}
 	seq := p.reconcileSeq
-	p.sys.net.After(timeout+0.5*float64(ringLen), func() { p.onReconcileTimeout(seq) })
+	// The summary peer owns the timer: the callback mutates its ring
+	// state, so it must run on its dispatch group.
+	p.sys.net.After(p.id, timeout+0.5*float64(ringLen), func() { p.onReconcileTimeout(seq) })
 }
 
 // onReconcileTimeout fires when ring generation seq has been in flight for
@@ -126,11 +141,11 @@ func (p *Peer) onReconcileTimeout(seq int) {
 	}
 	if p.retriesLeft <= 0 {
 		p.reconciling = false
-		p.sys.stats.ReconcileAborts++
+		p.sys.addStat(func(st *Stats) { st.ReconcileAborts++ })
 		return
 	}
 	p.retriesLeft--
-	p.sys.stats.ReconcileRetransmits++
+	p.sys.addStat(func(st *Stats) { st.ReconcileRetransmits++ })
 	p.startRing()
 }
 
@@ -232,7 +247,7 @@ func (p *Peer) completeReconcile(pl reconcilePayload) {
 		}
 	}
 	p.reconciling = false
-	p.sys.stats.Reconciliations++
+	p.sys.addStat(func(st *Stats) { st.Reconciliations++ })
 	if p.sys.OnReconcile != nil {
 		p.sys.OnReconcile(p.id, pl.Merged)
 	}

@@ -81,7 +81,7 @@ func (s *System) ReportAll() []DomainReport {
 func (s *System) Describe() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "system: %d peers (%d online), %d domains, coverage %.0f%%, %d reconciliations\n",
-		s.net.Len(), s.net.OnlineCount(), len(s.sps), 100*s.Coverage(), s.stats.Reconciliations)
+		s.net.Len(), s.net.OnlineCount(), len(s.sps), 100*s.Coverage(), s.Stats().Reconciliations)
 	for _, r := range s.ReportAll() {
 		sb.WriteString("  " + r.String() + "\n")
 	}

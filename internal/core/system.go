@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"p2psum/internal/bk"
 	"p2psum/internal/p2p"
@@ -93,15 +95,18 @@ func DefaultConfig() Config {
 	}
 }
 
-// Peer is the per-node protocol state.
+// Peer is the per-node protocol state. Each field is owned by the peer's
+// own handlers (serialized by its dispatch group) or by driver code under
+// Transport.Exec — except sp/spHops, which find walks launched from other
+// peers' handlers read across dispatch groups, so they are atomics.
 type Peer struct {
 	sys  *System
 	id   p2p.NodeID
 	role Role
 
 	// Client state.
-	sp         p2p.NodeID // current summary peer (-1 when none)
-	spHops     int        // distance to it, in hops
+	sp         atomic.Int64 // current summary peer (-1 when none)
+	spHops     atomic.Int32 // distance to it, in hops
 	local      *saintetiq.Tree
 	seenRounds map[sumpeerKey]bool
 
@@ -120,17 +125,33 @@ func (p *Peer) ID() p2p.NodeID { return p.id }
 // Role returns the peer's role.
 func (p *Peer) Role() Role { return p.role }
 
+// curSP reads the peer's summary-peer pointer (-1 when none). Safe from
+// any dispatch group.
+func (p *Peer) curSP() p2p.NodeID { return p2p.NodeID(p.sp.Load()) }
+
+// curSPHops reads the hop distance to the current summary peer.
+func (p *Peer) curSPHops() int { return int(p.spHops.Load()) }
+
+// setSP points the peer at a summary peer at the given hop distance.
+func (p *Peer) setSP(sp p2p.NodeID, hops int) {
+	p.sp.Store(int64(sp))
+	p.spHops.Store(int32(hops))
+}
+
+// clearSP detaches the peer from its domain.
+func (p *Peer) clearSP() { p.sp.Store(-1) }
+
 // SummaryPeer returns the peer's current summary peer (-1 when none; a
 // summary peer is its own).
 func (p *Peer) SummaryPeer() p2p.NodeID {
 	if p.role == RoleSummaryPeer {
 		return p.id
 	}
-	return p.sp
+	return p.curSP()
 }
 
 // IsPartner reports whether the peer currently belongs to a domain.
-func (p *Peer) IsPartner() bool { return p.role == RoleSummaryPeer || p.sp >= 0 }
+func (p *Peer) IsPartner() bool { return p.role == RoleSummaryPeer || p.curSP() >= 0 }
 
 // LocalTree returns the peer's local summary (nil at protocol level).
 func (p *Peer) LocalTree() *saintetiq.Tree { return p.local }
@@ -229,8 +250,12 @@ type Stats struct {
 // Concurrency contract: the mutating entry points (Construct, Leave, Join,
 // MarkModified) serialize themselves with message handlers via
 // Transport.Exec, so they are safe to call while messages are in flight on
-// a concurrent transport. Read accessors (Coverage, DomainOf, Peer state,
-// Stats) are not synchronized — settle the transport first.
+// a concurrent transport. Read accessors (Coverage, DomainOf, Peer state)
+// are not synchronized — settle the transport first; Stats locks
+// internally and may be read at any time. When the transport shards
+// dispatch (p2p.DispatchGrouper), AssignSummaryPeers maps every domain
+// onto one dispatch group, so each peer's handlers stay serialized while
+// independent domains run concurrently.
 type System struct {
 	cfg   Config
 	net   p2p.Transport
@@ -238,9 +263,14 @@ type System struct {
 	sps   []p2p.NodeID
 	round int
 	built bool
-	stats Stats
+
+	statsMu sync.Mutex
+	stats   Stats
+
 	// OnReconcile, if set, observes every completed reconciliation with
-	// the set of merged partners (experiments hook this).
+	// the set of merged partners (experiments hook this). On a
+	// sharded-dispatch transport it is invoked concurrently from
+	// different dispatch groups; hooks must be safe for that.
 	OnReconcile func(sp p2p.NodeID, merged []p2p.NodeID)
 }
 
@@ -262,7 +292,8 @@ func NewSystem(net p2p.Transport, cfg Config) (*System, error) {
 	s := &System{cfg: cfg, net: net}
 	s.peers = make([]*Peer, net.Len())
 	for i := range s.peers {
-		p := &Peer{sys: s, id: p2p.NodeID(i), sp: -1, seenRounds: make(map[sumpeerKey]bool)}
+		p := &Peer{sys: s, id: p2p.NodeID(i), seenRounds: make(map[sumpeerKey]bool)}
+		p.clearSP()
 		s.peers[i] = p
 		net.SetHandler(p.id, p.handle)
 	}
@@ -276,8 +307,23 @@ func (s *System) Transport() p2p.Transport { return s.net }
 // Config returns the active configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Stats returns the protocol event counters.
-func (s *System) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the protocol event counters. The counters
+// are updated from handler paths, which run concurrently across dispatch
+// groups on a sharded transport, so reads go through the same lock.
+func (s *System) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// addStat applies one counter update under the stats lock. Handlers of
+// different dispatch groups (e.g. two summary peers completing
+// reconciliations concurrently) bump these counters in parallel.
+func (s *System) addStat(f func(*Stats)) {
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
+}
 
 // Peer returns the protocol state of a node.
 func (s *System) Peer(id p2p.NodeID) *Peer { return s.peers[id] }

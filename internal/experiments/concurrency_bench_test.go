@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkMultiDomainReconcile measures the wall-clock time of one
+// multi-domain reconciliation storm (8 independent domains, data-level
+// ring merges of real SaintEtiQ hierarchies) at increasing dispatcher
+// counts. storm-ms is the headline metric: it should fall as dispatchers
+// grow, because each domain's ring runs on its own dispatch group.
+func BenchmarkMultiDomainReconcile(b *testing.B) {
+	cfg := Quick()
+	cfg.Seed = 7
+	for _, d := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("dispatchers=%d", d), func(b *testing.B) {
+			var stormMS float64
+			for i := 0; i < b.N; i++ {
+				pt, err := runConcurrencyPoint(cfg, 8, 10, 30, 1, d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pt.reconciliations == 0 {
+					b.Fatal("storm triggered no reconciliation")
+				}
+				stormMS += pt.wallMS
+			}
+			b.ReportMetric(stormMS/float64(b.N), "storm-ms")
+		})
+	}
+}

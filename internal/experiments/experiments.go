@@ -54,6 +54,10 @@ type Config struct {
 	// protocol-level and layout-invariant; the knob exists so data-level
 	// sweeps and ablations run against the same layout the CLIs select.
 	Shards int
+	// Dispatchers caps the dispatcher-count sweep of the concurrency
+	// experiment (0 = sweep up to one dispatcher per domain). The figure
+	// sweeps run on the single-threaded event engine and ignore it.
+	Dispatchers int
 }
 
 // Default returns the paper's Table 3 parameters.

@@ -25,7 +25,7 @@ func TestNetworkAfter(t *testing.T) {
 	e := sim.New()
 	n := NewNetwork(e, afterGraph(t, 3), 3)
 	var firedAt sim.Time
-	n.After(5, func() { firedAt = e.Now() })
+	n.After(0, 5, func() { firedAt = e.Now() })
 	e.Run()
 	if firedAt != sim.Seconds(5) {
 		t.Errorf("timer fired at %v, want %v", firedAt, sim.Seconds(5))
@@ -39,7 +39,7 @@ func TestChannelAfterFires(t *testing.T) {
 	ct := NewChannelTransport(afterGraph(t, 4), 4, DefaultChannelConfig())
 	defer ct.Close()
 	var fired atomic.Bool
-	ct.After(1, func() { fired.Store(true) }) // 1 virtual s -> 1ms real
+	ct.After(0, 1, func() { fired.Store(true) }) // 1 virtual s -> 1ms real
 	deadline := time.Now().Add(5 * time.Second)
 	for !fired.Load() {
 		if time.Now().After(deadline) {
@@ -55,7 +55,7 @@ func TestChannelAfterFires(t *testing.T) {
 func TestChannelSettleDoesNotWaitForPendingTimer(t *testing.T) {
 	ct := NewChannelTransport(afterGraph(t, 5), 5, DefaultChannelConfig())
 	defer ct.Close()
-	ct.After(60_000, func() {}) // one virtual minute -> 60s real: never fires in-test
+	ct.After(0, 60_000, func() {}) // one virtual minute -> 60s real: never fires in-test
 	start := time.Now()
 	ct.Settle()
 	if el := time.Since(start); el > 2*time.Second {
@@ -68,7 +68,7 @@ func TestChannelSettleDoesNotWaitForPendingTimer(t *testing.T) {
 func TestChannelAfterDroppedOnClose(t *testing.T) {
 	ct := NewChannelTransport(afterGraph(t, 6), 6, DefaultChannelConfig())
 	var fired atomic.Bool
-	ct.After(20, func() { fired.Store(true) }) // ~20ms real
+	ct.After(0, 20, func() { fired.Store(true) }) // ~20ms real
 	ct.Close()
 	time.Sleep(60 * time.Millisecond)
 	if fired.Load() {
@@ -84,7 +84,7 @@ func TestChannelAfterZeroScale(t *testing.T) {
 	defer ct.Close()
 	var seq, msgAt, timerAt atomic.Int32
 	ct.SetHandler(1, func(*Message) { msgAt.Store(seq.Add(1)) })
-	ct.After(5, func() { timerAt.Store(seq.Add(1)) })
+	ct.After(0, 5, func() { timerAt.Store(seq.Add(1)) })
 	ct.SendNew("ping", 0, 1, 0, nil)
 	ct.Settle()
 	deadline := time.Now().Add(5 * time.Second)

@@ -3,6 +3,7 @@ package p2p
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -28,6 +29,18 @@ type ChannelConfig struct {
 	// DirectLatency (virtual seconds) is used for node pairs without an
 	// overlay edge. Defaults to 0.100, matching Network.
 	DirectLatency float64
+	// Dispatchers is the number of dispatch groups: every node belongs to
+	// exactly one group, each group has its own serialized dispatcher
+	// goroutine, inbox and timer set, and distinct groups run their
+	// handlers concurrently. 0 or 1 keeps the original single-dispatcher
+	// layout (bit-identical behaviour to the pre-sharding transport);
+	// values above the node count are clamped.
+	Dispatchers int
+	// GroupBy maps a node to its dispatch group (reduced modulo
+	// Dispatchers). Nil partitions the id space into contiguous blocks.
+	// internal/core installs a domain-based mapping via SetGroupBy before
+	// construction, so independent domains land on distinct dispatchers.
+	GroupBy func(NodeID) int
 }
 
 // DefaultChannelConfig returns the defaults described on ChannelConfig.
@@ -37,10 +50,21 @@ func DefaultChannelConfig() ChannelConfig {
 
 // ChannelTransport is the concurrent, real-time Transport: every unicast is
 // carried by its own goroutine that sleeps the scaled link latency and then
-// hands the message to a single dispatcher goroutine. The dispatcher runs
-// node handlers sequentially, so protocol handlers (which mutate shared
-// protocol state) need no internal locking — the same contract the
-// discrete-event Network gives them.
+// hands the message to the dispatcher goroutine owning the destination's
+// dispatch group. Each group's dispatcher runs its nodes' handlers
+// sequentially, so protocol handlers (which mutate per-node protocol state)
+// need no internal locking — the same contract the discrete-event Network
+// gives them, narrowed from "one global serial order" to "one serial order
+// per group". With Dispatchers <= 1 (the default) there is a single group
+// and the transport behaves exactly like the original single-dispatcher
+// implementation.
+//
+// Sharded dispatch exists for multi-domain scale-out: partition the nodes
+// by domain (SetGroupBy) and independent domains reconcile and answer
+// queries truly in parallel, while handler serialization per node — and
+// therefore per domain — is preserved. Cross-group sends are routed through
+// the destination group's inbox; drop callbacks are routed to the sender's
+// group (they mutate sender-side protocol state, see SetDrop).
 //
 // Unlike Network, runs are not deterministic: wall-clock scheduling decides
 // the delivery interleaving of same-window messages. Use it for scenarios
@@ -48,7 +72,7 @@ func DefaultChannelConfig() ChannelConfig {
 // concurrent load); use Network when bit-for-bit reproducibility matters.
 //
 // Close must be called when the transport is no longer needed, or the
-// dispatcher goroutine leaks.
+// dispatcher goroutines leak.
 type ChannelTransport struct {
 	graph *topology.Graph
 	cfg   ChannelConfig
@@ -64,21 +88,42 @@ type ChannelTransport struct {
 	nextMsg uint64
 	pending int // messages sent but not yet fully handled
 	closed  bool
+	groupOf []int                    // node -> dispatch group index
+	timers  map[*time.Timer]struct{} // armed After timers, stopped on Close
+	dispIDs map[uint64]struct{}      // goroutine ids of the dispatchers
 
-	deliver chan envelope
+	groups []*dispatchGroup
+	execMu sync.Mutex // serializes Exec barriers across groups
 }
 
-// envelope is one dispatcher work item: a delivered message, a driver
-// closure submitted through Exec, or a fired timer callback.
+// dispatchGroup is one serialized execution lane: an inbox drained by a
+// dedicated dispatcher goroutine.
+type dispatchGroup struct {
+	inbox chan envelope
+}
+
+// envelope is one dispatcher work item: a delivered message, a rerouted
+// drop notification, a driver closure submitted through Exec (single-group
+// fast path), a fired timer callback, or an Exec barrier.
 type envelope struct {
-	msg   *Message
-	fn    func()
-	done  chan struct{}
-	timer func()
+	msg     *Message
+	isDrop  bool // msg was dropped; run the drop callback in this group
+	fn      func()
+	done    chan struct{}
+	timer   func()
+	barrier *execBarrier
+}
+
+// execBarrier parks every dispatch group so an Exec closure can run without
+// interleaving with any handler.
+type execBarrier struct {
+	arrived chan struct{} // one token per parked group
+	release chan struct{} // closed once the closure has run
 }
 
 // NewChannelTransport builds a concurrent transport over the graph. All
-// nodes start online. The dispatcher goroutine starts immediately.
+// nodes start online. The dispatcher goroutines (one per dispatch group)
+// start immediately.
 func NewChannelTransport(graph *topology.Graph, seed int64, cfg ChannelConfig) *ChannelTransport {
 	if cfg.LatencyScale < 0 {
 		cfg.LatencyScale = 0
@@ -86,111 +131,289 @@ func NewChannelTransport(graph *topology.Graph, seed int64, cfg ChannelConfig) *
 	if cfg.DirectLatency == 0 {
 		cfg.DirectLatency = 0.100
 	}
+	n := graph.Len()
+	d := cfg.Dispatchers
+	if d < 1 {
+		d = 1
+	}
+	if n > 0 && d > n {
+		d = n
+	}
+	cfg.Dispatchers = d
 	t := &ChannelTransport{
 		graph:   graph,
 		cfg:     cfg,
-		online:  make([]bool, graph.Len()),
-		handler: make([]Handler, graph.Len()),
+		online:  make([]bool, n),
+		handler: make([]Handler, n),
 		counter: stats.NewCounter(),
 		volume:  stats.NewCounter(),
 		rng:     rand.New(rand.NewSource(seed)),
-		deliver: make(chan envelope, graph.Len()),
+		groupOf: make([]int, n),
+		timers:  make(map[*time.Timer]struct{}),
+		dispIDs: make(map[uint64]struct{}),
+		groups:  make([]*dispatchGroup, d),
 	}
 	t.cond = sync.NewCond(&t.mu)
 	for i := range t.online {
 		t.online[i] = true
 	}
-	go t.dispatch()
+	groupBy := cfg.GroupBy
+	if groupBy == nil {
+		// Contiguous id blocks: an even split that keeps single-group mode
+		// trivially identical to the unsharded transport.
+		groupBy = func(id NodeID) int { return int(id) * d / n }
+	}
+	t.assignGroups(groupBy)
+	for g := range t.groups {
+		t.groups[g] = &dispatchGroup{inbox: make(chan envelope, n)}
+	}
+	started := make(chan struct{})
+	for g := range t.groups {
+		go t.dispatch(g, started)
+	}
+	for range t.groups {
+		<-started // dispatcher ids registered before any send can race them
+	}
 	return t
 }
 
-// dispatch serializes all protocol-state access: message handlers, drop
-// callbacks and Exec closures run here one at a time, in arrival order, so
-// protocol state sees no concurrent mutation.
-func (t *ChannelTransport) dispatch() {
-	for env := range t.deliver {
-		if env.fn != nil {
-			env.fn()
-			close(env.done)
-			continue
-		}
-		if env.timer != nil {
-			env.timer()
-			t.mu.Lock()
-			t.pending--
-			if t.pending == 0 {
-				t.cond.Broadcast()
-			}
-			t.mu.Unlock()
-			continue
-		}
-		msg := env.msg
-		t.mu.Lock()
-		up := t.online[msg.To]
-		h := t.handler[msg.To]
-		drop := t.drop
-		t.mu.Unlock()
-		if !up || h == nil {
-			if drop != nil {
-				drop(msg)
-			}
-		} else {
-			h(msg)
-		}
-		t.mu.Lock()
-		t.pending--
-		if t.pending == 0 {
-			t.cond.Broadcast()
-		}
-		t.mu.Unlock()
+// assignGroups recomputes the node -> group mapping. Caller holds t.mu (or
+// is the constructor).
+func (t *ChannelTransport) assignGroups(fn func(NodeID) int) {
+	d := len(t.groups)
+	for i := range t.groupOf {
+		g := fn(NodeID(i))
+		t.groupOf[i] = ((g % d) + d) % d
 	}
 }
 
-// Exec submits fn to the dispatcher and blocks until it has run. Driver
-// code that mutates protocol state (leave, join, construction) goes
-// through here so it never interleaves with a handler. Calling Exec from
-// inside a handler or an Exec'd closure deadlocks the dispatcher.
-func (t *ChannelTransport) Exec(fn func()) {
-	done := make(chan struct{})
-	t.deliver <- envelope{fn: fn, done: done}
-	<-done
+// DispatchGroups returns the number of dispatch groups (>= 1).
+func (t *ChannelTransport) DispatchGroups() int { return len(t.groups) }
+
+// GroupOf returns the dispatch group currently owning the node.
+func (t *ChannelTransport) GroupOf(id NodeID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.groupOf[id]
 }
 
-// After schedules fn on the dispatcher, delaySeconds of virtual time from
-// now (scaled by LatencyScale like link latencies; with LatencyScale 0 —
-// deliver-as-fast-as-possible mode — timers fall back to the default
-// 1ms/virtual-second scale so a timeout still fires after, not before, the
-// messages it guards). A pending timer does not count as in-flight —
+// SetGroupBy replaces the node -> dispatch-group mapping (reduced modulo
+// DispatchGroups). The mapping can only change while the transport is
+// still pristine — before the first Send — because remapping a node with
+// messages in flight would break its serialization guarantee; later calls
+// return false and keep the current mapping. Any mapping is semantically
+// valid (per-node serialization holds regardless); the choice only decides
+// which nodes can run concurrently. internal/core calls this with a
+// domain-based partition so independent domains get independent
+// dispatchers.
+func (t *ChannelTransport) SetGroupBy(fn func(NodeID) int) bool {
+	if fn == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.nextMsg != 0 || t.pending != 0 {
+		return false
+	}
+	t.assignGroups(fn)
+	return true
+}
+
+// dispatch drains one group's inbox: message handlers, rerouted drop
+// callbacks and fired timers of the group's nodes run here one at a time,
+// in arrival order, so their protocol state sees no concurrent mutation.
+// Distinct groups run concurrently.
+func (t *ChannelTransport) dispatch(g int, started chan<- struct{}) {
+	t.mu.Lock()
+	t.dispIDs[goid()] = struct{}{}
+	t.mu.Unlock()
+	started <- struct{}{}
+	for env := range t.groups[g].inbox {
+		switch {
+		case env.barrier != nil:
+			// Park until the Exec closure has run on the caller.
+			env.barrier.arrived <- struct{}{}
+			<-env.barrier.release
+		case env.fn != nil:
+			env.fn()
+			close(env.done)
+		case env.timer != nil:
+			env.timer()
+			t.finish()
+		case env.isDrop:
+			t.mu.Lock()
+			drop := t.drop
+			t.mu.Unlock()
+			if drop != nil {
+				drop(env.msg)
+			}
+			t.finish()
+		default:
+			t.deliver(g, env.msg)
+		}
+	}
+}
+
+// deliver hands one message to its destination handler, or routes the drop
+// callback: callbacks mutate the *sender's* protocol state (§4.3 failure
+// detection), so when sender and receiver live in different groups the
+// callback is forwarded to the sender's dispatcher instead of running
+// here. The forward rides its own goroutine so two dispatchers can never
+// deadlock on each other's full inboxes; the message stays accounted as
+// pending until the owning group has run the callback.
+func (t *ChannelTransport) deliver(g int, msg *Message) {
+	t.mu.Lock()
+	up := t.online[msg.To]
+	h := t.handler[msg.To]
+	drop := t.drop
+	gFrom := g
+	if msg.From >= 0 && int(msg.From) < len(t.groupOf) {
+		gFrom = t.groupOf[msg.From]
+	}
+	t.mu.Unlock()
+	switch {
+	case up && h != nil:
+		h(msg)
+	case drop == nil:
+	case gFrom == g:
+		drop(msg)
+	default:
+		go func() { t.groups[gFrom].inbox <- envelope{msg: msg, isDrop: true} }()
+		return // pending is settled by the sender's group
+	}
+	t.finish()
+}
+
+// finish retires one pending work item, waking Settle/Close at quiescence.
+func (t *ChannelTransport) finish() {
+	t.mu.Lock()
+	t.pending--
+	if t.pending == 0 {
+		t.cond.Broadcast()
+	}
+	t.mu.Unlock()
+}
+
+// onDispatcher reports whether the calling goroutine is one of the
+// transport's dispatcher goroutines (i.e. we are inside a handler, a drop
+// callback or a timer callback).
+func (t *ChannelTransport) onDispatcher() bool {
+	id := goid()
+	t.mu.Lock()
+	_, ok := t.dispIDs[id]
+	t.mu.Unlock()
+	return ok
+}
+
+// goid parses the calling goroutine's id from its stack header. It is only
+// used on driver entry points (Exec, Settle) to turn silent deadlocks into
+// a diagnosable panic, never on the per-message path.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// Exec submits fn to the dispatch layer and blocks until it has run,
+// serialized against every handler: with a single group fn runs on the
+// dispatcher goroutine between deliveries; with sharded dispatch every
+// group is parked at a barrier and fn runs on the caller while no handler
+// anywhere is executing. Driver code that mutates protocol state (leave,
+// join, construction) goes through here so it never interleaves with a
+// handler.
+//
+// Calling Exec from inside a handler, drop callback or timer callback
+// would deadlock the dispatcher — the current work item can never finish
+// while Exec waits for it — so that misuse panics instead. Nesting Exec
+// inside an Exec'd closure still deadlocks (documented contract).
+func (t *ChannelTransport) Exec(fn func()) {
+	if t.onDispatcher() {
+		panic("p2p: Exec called from a handler/timer on the dispatcher (would deadlock); drivers only")
+	}
+	t.execMu.Lock()
+	defer t.execMu.Unlock()
+	if len(t.groups) == 1 {
+		// Fast path: identical to the pre-sharding single dispatcher.
+		done := make(chan struct{})
+		t.groups[0].inbox <- envelope{fn: fn, done: done}
+		<-done
+		return
+	}
+	b := &execBarrier{
+		arrived: make(chan struct{}, len(t.groups)),
+		release: make(chan struct{}),
+	}
+	for _, g := range t.groups {
+		g.inbox <- envelope{barrier: b}
+	}
+	for range t.groups {
+		<-b.arrived
+	}
+	defer close(b.release) // release even if fn panics
+	fn()
+}
+
+// After schedules fn on the dispatcher of owner's group, delaySeconds of
+// virtual time from now (scaled by LatencyScale like link latencies; with
+// LatencyScale 0 — deliver-as-fast-as-possible mode — timers fall back to
+// the default 1ms/virtual-second scale so a timeout still fires after, not
+// before, the messages it guards). fn is serialized with the handlers of
+// owner's group, which is what protocol timers need: they mutate the
+// arming node's state. A pending timer does not count as in-flight —
 // Settle does not wait for it — but once the real-time delay elapses, fn
-// runs on the dispatcher goroutine, serialized with handlers, and a
-// concurrent Settle blocks until it has run. Timers that fire after Close
-// are dropped.
-func (t *ChannelTransport) After(delaySeconds float64, fn func()) {
+// runs on the owning dispatcher and a concurrent Settle blocks until it
+// has run. Close cancels every armed timer; timers that already fired
+// observe the closed transport and are dropped.
+func (t *ChannelTransport) After(owner NodeID, delaySeconds float64, fn func()) {
 	scale := t.cfg.LatencyScale
 	if scale <= 0 {
 		scale = time.Millisecond
 	}
 	delay := time.Duration(delaySeconds * float64(scale))
-	time.AfterFunc(delay, func() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(delay, func() {
 		t.mu.Lock()
+		delete(t.timers, tm)
 		if t.closed {
 			t.mu.Unlock()
 			return
 		}
 		// Count the callback as pending before releasing the lock: Close
-		// settles before closing the channel, so the dispatcher stays alive
-		// until this envelope has been handled.
+		// settles before closing the inboxes, so the owning dispatcher
+		// stays alive until this envelope has been handled.
 		t.pending++
+		g := 0
+		if owner >= 0 && int(owner) < len(t.groupOf) {
+			g = t.groupOf[owner]
+		}
 		t.mu.Unlock()
-		t.deliver <- envelope{timer: fn}
+		t.groups[g].inbox <- envelope{timer: fn}
 	})
+	t.timers[tm] = struct{}{}
+	t.mu.Unlock()
 }
 
-// Close shuts the dispatcher down after draining in-flight messages and
-// fired timers. The drain and the shutdown happen under one lock
-// acquisition, so a timer firing concurrently either lands before the
-// channel closes (pending was incremented first) or observes closed and
-// drops. Sending on a closed transport panics.
+// Close shuts every dispatcher down after draining in-flight messages and
+// fired timers, and cancels timers that have not fired yet — an idle group
+// holds no in-flight work, so its armed timers would otherwise linger in
+// the runtime until they fire just to observe the closed flag. The drain
+// and the shutdown happen under one lock acquisition, so a timer firing
+// concurrently either lands before its inbox closes (pending was
+// incremented first) or observes closed and drops. Sending on a closed
+// transport panics.
 func (t *ChannelTransport) Close() {
 	t.mu.Lock()
 	for t.pending > 0 {
@@ -198,7 +421,13 @@ func (t *ChannelTransport) Close() {
 	}
 	if !t.closed {
 		t.closed = true
-		close(t.deliver)
+		for tm := range t.timers {
+			tm.Stop()
+		}
+		t.timers = make(map[*time.Timer]struct{})
+		for _, g := range t.groups {
+			close(g.inbox)
+		}
 	}
 	t.mu.Unlock()
 }
@@ -210,7 +439,7 @@ func (t *ChannelTransport) Graph() *topology.Graph { return t.graph }
 func (t *ChannelTransport) Len() int { return t.graph.Len() }
 
 // Counter exposes the per-type message counters. Read it only after
-// Settle; the dispatcher writes to it concurrently while messages fly.
+// Settle; the dispatchers write to it concurrently while messages fly.
 func (t *ChannelTransport) Counter() *stats.Counter { return t.counter }
 
 // Bytes exposes the per-type traffic volume counters (same caveat as
@@ -225,7 +454,11 @@ func (t *ChannelTransport) SetHandler(id NodeID, h Handler) {
 }
 
 // SetDrop installs the drop callback (§4.3 failure detection). The
-// callback runs on the dispatcher goroutine, serialized with handlers.
+// callback runs serialized with the handlers of the dispatch group of the
+// *sender* (msg.From): failure detection mutates sender-side protocol
+// state, so that is the serialization it needs. With a single group this
+// is indistinguishable from the old "serialized with all handlers"
+// contract.
 func (t *ChannelTransport) SetDrop(fn func(*Message)) {
 	t.mu.Lock()
 	t.drop = fn
@@ -317,8 +550,9 @@ func (t *ChannelTransport) charge(typ string, n int64) {
 }
 
 // Send counts the message and launches its delivery: a goroutine sleeps
-// the scaled link latency and hands the message to the dispatcher. Lossy
-// links (LossRate > 0) may swallow it silently after counting.
+// the scaled link latency and hands the message to the dispatcher of the
+// destination's group. Lossy links (LossRate > 0) may swallow it silently
+// after counting.
 func (t *ChannelTransport) Send(msg *Message) {
 	if msg.To < 0 || int(msg.To) >= t.graph.Len() {
 		panic(fmt.Sprintf("p2p: send to out-of-range node %d", msg.To))
@@ -344,6 +578,9 @@ func (t *ChannelTransport) Send(msg *Message) {
 	}
 	t.pending++
 	lat := t.latencyBetween(msg.From, msg.To)
+	// The mapping is frozen once traffic flows (SetGroupBy), so the group
+	// resolved here is still correct when the carrier goroutine delivers.
+	g := t.groupOf[msg.To]
 	t.mu.Unlock()
 
 	delay := time.Duration(lat * float64(t.cfg.LatencyScale))
@@ -351,7 +588,7 @@ func (t *ChannelTransport) Send(msg *Message) {
 		if delay > 0 {
 			time.Sleep(delay)
 		}
-		t.deliver <- envelope{msg: msg}
+		t.groups[g].inbox <- envelope{msg: msg}
 	}()
 }
 
@@ -381,10 +618,16 @@ func (t *ChannelTransport) RandomWalk(typ string, src NodeID, maxHops int, accep
 }
 
 // Settle blocks until every in-flight message — including messages sent by
-// handlers while delivering — has been handled. The condition-variable
-// handshake orders all handler effects before Settle returns, so callers
-// may read protocol state without further synchronization.
+// handlers while delivering, rerouted drop callbacks and fired timers —
+// has been handled. The condition-variable handshake orders all handler
+// effects (across every dispatch group) before Settle returns, so callers
+// may read protocol state without further synchronization. Calling Settle
+// from a handler would deadlock (the current message never finishes) and
+// panics instead.
 func (t *ChannelTransport) Settle() {
+	if t.onDispatcher() {
+		panic("p2p: Settle called from a handler/timer on the dispatcher (would deadlock); drivers only")
+	}
 	t.mu.Lock()
 	for t.pending > 0 {
 		t.cond.Wait()

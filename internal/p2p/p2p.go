@@ -163,8 +163,11 @@ func (n *Network) HopsWithin(src NodeID, radius int) map[NodeID]int {
 func (n *Network) Exec(fn func()) { fn() }
 
 // After schedules fn on the event engine, delaySeconds of virtual time from
-// now. The engine is single-threaded, so fn is serialized with handlers.
-func (n *Network) After(delaySeconds float64, fn func()) {
+// now. The engine is single-threaded, so fn is serialized with handlers
+// regardless of which node owns the timer; owner exists for the sharded
+// channel transport, which routes the callback to the owning node's
+// dispatch group.
+func (n *Network) After(owner NodeID, delaySeconds float64, fn func()) {
 	n.engine.After(sim.Seconds(delaySeconds), fn)
 }
 

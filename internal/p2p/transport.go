@@ -1,6 +1,9 @@
 package p2p
 
-import "p2psum/internal/stats"
+import (
+	"p2psum/internal/stats"
+	"p2psum/internal/topology"
+)
 
 // Transport is the overlay substrate the protocol stack (internal/core,
 // internal/routing) runs on: it moves messages between nodes, walks and
@@ -71,30 +74,57 @@ type Transport interface {
 	// Exec runs fn serialized with message handlers and returns when fn
 	// has run. Protocol drivers wrap state mutations in it so they never
 	// race with handler-side mutation: on the single-threaded event
-	// engine it is a direct call; on the channel transport fn runs on the
-	// dispatcher goroutine, between message deliveries. fn must not call
-	// Exec or Settle (it would deadlock the dispatcher).
+	// engine it is a direct call; on the channel transport fn runs with
+	// every dispatch group quiesced (on the dispatcher goroutine itself
+	// in single-group mode, behind a barrier parking all dispatchers
+	// otherwise). fn must not call Exec or Settle (it would deadlock the
+	// dispatcher; the channel transport panics on the detectable cases).
 	Exec(fn func())
 	// After schedules fn to run once, delaySeconds of virtual time from
-	// now, serialized with message handlers like a delivery (on the
-	// channel transport virtual seconds are scaled like link latencies and
-	// elapse in real time; on the event engine the timer is a regular
-	// event, so Settle's run-to-quiescence executes it as virtual time
-	// advances). Protocols use it for loss-recovery timeouts (e.g.
-	// retransmitting a lost §4.2.2 reconciliation token). On the channel
-	// transport a pending timer does not count as an in-flight message —
-	// Settle does not wait for it. fn must not call Exec or Settle.
-	After(delaySeconds float64, fn func())
+	// now, serialized with the message handlers of owner's dispatch group
+	// like a delivery (on the channel transport virtual seconds are
+	// scaled like link latencies and elapse in real time; on the event
+	// engine the timer is a regular event, so Settle's run-to-quiescence
+	// executes it as virtual time advances). owner names the node whose
+	// protocol state fn mutates — timers must be serialized with that
+	// node's handlers, and on a sharded-dispatch transport that means
+	// running in its group. Protocols use After for loss-recovery
+	// timeouts (e.g. retransmitting a lost §4.2.2 reconciliation token).
+	// On the channel transport a pending timer does not count as an
+	// in-flight message — Settle does not wait for it — and Close cancels
+	// timers that have not fired. fn must not call Exec or Settle.
+	After(owner NodeID, delaySeconds float64, fn func())
 	// Settle blocks until every in-flight message (and everything sent
 	// while delivering it) has been handled. Protocol drivers call it to
 	// reach quiescence before reading protocol state.
 	Settle()
 }
 
+// DispatchGrouper is the optional interface of transports that shard
+// handler dispatch into concurrently running groups (ChannelTransport with
+// ChannelConfig.Dispatchers > 1). Protocol wiring uses it to align dispatch
+// groups with protocol regions — internal/core maps every domain onto one
+// group (via topology.NearestSeeds over Graph), so independent domains
+// reconcile and answer queries in parallel while each domain's handlers
+// stay serialized.
+type DispatchGrouper interface {
+	// DispatchGroups returns the number of dispatch groups (>= 1).
+	DispatchGroups() int
+	// SetGroupBy replaces the node -> group mapping (reduced modulo
+	// DispatchGroups). It reports whether the mapping was applied: a
+	// transport that has already carried traffic keeps its mapping and
+	// returns false, which is safe — any mapping preserves per-node
+	// serialization; the choice only affects parallelism.
+	SetGroupBy(fn func(NodeID) int) bool
+	// Graph exposes the overlay topology the grouping is computed from.
+	Graph() *topology.Graph
+}
+
 // Compile-time conformance of both implementations.
 var (
-	_ Transport = (*Network)(nil)
-	_ Transport = (*ChannelTransport)(nil)
+	_ Transport       = (*Network)(nil)
+	_ Transport       = (*ChannelTransport)(nil)
+	_ DispatchGrouper = (*ChannelTransport)(nil)
 )
 
 // linkView is the minimal overlay view the shared walk and flood

@@ -1,0 +1,33 @@
+package par_test
+
+import (
+	"errors"
+	"fmt"
+
+	"p2psum/internal/par"
+)
+
+// ForEach fans index-addressed jobs across a bounded worker pool; callers
+// write into pre-sized slots so output order never depends on scheduling.
+func ExampleForEach() {
+	squares := make([]int, 6)
+	err := par.ForEach(3, len(squares), func(i int) error {
+		squares[i] = i * i
+		return nil
+	})
+	fmt.Println(squares, err)
+	// Output: [0 1 4 9 16 25] <nil>
+}
+
+// A failing job stops dispatch, and the lowest-index error wins
+// deterministically regardless of which worker hit it first.
+func ExampleForEach_error() {
+	err := par.ForEach(4, 8, func(i int) error {
+		if i%3 == 2 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	})
+	fmt.Println(errors.Unwrap(err) == nil, err)
+	// Output: true job 2 failed
+}
