@@ -1,0 +1,331 @@
+// Command p2pnode runs one process of a TCP-deployed summary domain: it
+// hosts a subset of the overlay's nodes on a real socket, joins the other
+// processes listed on the command line, drives its local share of domain
+// construction, pushes modifications so the domain reconciles, optionally
+// asks a data-level query through the remote query service, and prints the
+// message/byte report. Two terminals are enough for a complete end-to-end
+// domain — see cmd/README.md for the walkthrough.
+//
+// Usage:
+//
+//	p2pnode -listen 127.0.0.1:7701 -n 4 -local 0,1 \
+//	        -hosts 2=127.0.0.1:7702,3=127.0.0.1:7702 \
+//	        [-sps 0] [-records 30] [-alpha 0.3] [-seed 1]
+//	        [-topology star|full] [-query disease] [-connect-wait 30s]
+//	        [-linger]
+//
+// Flags:
+//
+//	-listen        TCP listen address of this process (required)
+//	-n             total overlay size, shared by every process
+//	-local         comma-separated node ids hosted in this process
+//	-hosts         id=addr pairs mapping every remote node to the listen
+//	               address of the process hosting it
+//	-sps           comma-separated summary-peer ids (default "0"); every
+//	               process must pass the same set
+//	-records       synthetic patient records per local node (default 30)
+//	-alpha         freshness threshold α gating reconciliation (§6.1.1)
+//	-seed          base seed for the per-node synthetic databases
+//	-topology      shared overlay shape: star (spokes around the first
+//	               summary peer, the §3.1 super-peer picture) or full
+//	-query         disease name to query after reconciliation (through the
+//	               summary peer's process over TCP); empty skips the query
+//	-connect-wait  budget for dialing the other processes at startup
+//	-linger        keep serving after the scripted phases (Ctrl-C exits)
+//
+// Every process must agree on -n, -sps, -alpha and -topology (the overlay
+// is shared knowledge); -local/-hosts partition the nodes across
+// processes. The scripted phases are aligned with transport barriers, so
+// the processes may be started in any order within -connect-wait.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"p2psum"
+	"p2psum/internal/bk"
+	"p2psum/internal/core"
+	"p2psum/internal/p2p"
+	"p2psum/internal/routing"
+	"p2psum/internal/topology"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "", "TCP listen address (required)")
+		n           = flag.Int("n", 4, "total overlay size")
+		localFlag   = flag.String("local", "", "comma-separated local node ids (required)")
+		hostsFlag   = flag.String("hosts", "", "id=addr pairs for remote nodes")
+		spsFlag     = flag.String("sps", "0", "comma-separated summary-peer ids")
+		records     = flag.Int("records", 30, "synthetic patient records per local node")
+		alpha       = flag.Float64("alpha", 0.3, "freshness threshold α")
+		seed        = flag.Int64("seed", 1, "base seed for synthetic databases")
+		topo        = flag.String("topology", "star", "shared overlay shape: star or full")
+		queryFlag   = flag.String("query", "", "disease to query after reconciliation (empty: skip)")
+		connectWait = flag.Duration("connect-wait", 30*time.Second, "budget for dialing peer processes")
+		linger      = flag.Bool("linger", false, "keep serving after the scripted phases")
+	)
+	flag.Parse()
+	if err := run(options{
+		listen: *listen, n: *n, local: *localFlag, hosts: *hostsFlag,
+		sps: *spsFlag, records: *records, alpha: *alpha, seed: *seed,
+		topo: *topo, query: *queryFlag, connectWait: *connectWait, linger: *linger,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "p2pnode:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	listen, local, hosts, sps, topo, query string
+	n, records                             int
+	alpha                                  float64
+	seed                                   int64
+	connectWait                            time.Duration
+	linger                                 bool
+}
+
+// parseIDs parses "0,3,5".
+func parseIDs(s string) ([]p2p.NodeID, error) {
+	var out []p2p.NodeID
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", part)
+		}
+		out = append(out, p2p.NodeID(id))
+	}
+	return out, nil
+}
+
+// parseHosts parses "2=127.0.0.1:7702,3=127.0.0.1:7702".
+func parseHosts(s string) (map[p2p.NodeID]string, error) {
+	out := make(map[p2p.NodeID]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad host mapping %q (want id=addr)", part)
+		}
+		node, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", id)
+		}
+		out[p2p.NodeID(node)] = strings.TrimSpace(addr)
+	}
+	return out, nil
+}
+
+// buildGraph constructs the shared overlay every process derives
+// identically from the flags.
+func buildGraph(o options, sps []p2p.NodeID) (*topology.Graph, error) {
+	g := topology.NewGraph(o.n)
+	switch o.topo {
+	case "star":
+		hub := int(sps[0])
+		for i := 0; i < o.n; i++ {
+			if i == hub {
+				continue
+			}
+			if err := g.AddEdge(hub, i, 0.01); err != nil {
+				return nil, err
+			}
+		}
+	case "full":
+		for i := 0; i < o.n; i++ {
+			for j := i + 1; j < o.n; j++ {
+				if err := g.AddEdge(i, j, 0.01); err != nil {
+					return nil, err
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown topology %q", o.topo)
+	}
+	return g, nil
+}
+
+// Barrier tags of the scripted phases.
+const (
+	phaseConnected = 1
+	phaseBuilt     = 2
+	phaseReconcile = 3
+	phaseReported  = 4
+)
+
+func run(o options) error {
+	if o.listen == "" || o.local == "" {
+		return fmt.Errorf("-listen and -local are required (see -h)")
+	}
+	local, err := parseIDs(o.local)
+	if err != nil || len(local) == 0 {
+		return fmt.Errorf("parse -local: %v", err)
+	}
+	sps, err := parseIDs(o.sps)
+	if err != nil || len(sps) == 0 {
+		return fmt.Errorf("parse -sps: %v", err)
+	}
+	hosts, err := parseHosts(o.hosts)
+	if err != nil {
+		return err
+	}
+	g, err := buildGraph(o, sps)
+	if err != nil {
+		return err
+	}
+
+	tr, err := p2p.NewTCPTransport(g, p2p.TCPConfig{Listen: o.listen, Local: local, Hosts: hosts})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	logf := func(format string, args ...any) {
+		fmt.Printf("p2pnode[%s]: "+format+"\n", append([]any{tr.ListenAddr()}, args...)...)
+	}
+
+	b := bk.Medical()
+	cfg := core.DefaultConfig()
+	cfg.DataLevel = true
+	cfg.BK = b
+	cfg.Alpha = o.alpha
+	cfg.ReconcileTimeout = 2000 // 2s real time at the default scale: no spurious retransmits on slow CI
+	sys, err := core.NewSystem(tr, cfg)
+	if err != nil {
+		return err
+	}
+	qs := routing.NewQueryService(sys)
+	for _, id := range local {
+		rel := p2psum.GeneratePatients(o.seed+int64(id), o.records)
+		tree, err := p2psum.Summarize(rel, b, p2psum.PeerID(id))
+		if err != nil {
+			return fmt.Errorf("summarize node %d: %w", id, err)
+		}
+		sys.SetLocalTree(id, tree)
+	}
+	sys.AssignSummaryPeers(sps)
+
+	// Phase 0: connect the deployment.
+	if err := tr.DialPeers(o.connectWait); err != nil {
+		return err
+	}
+	if err := tr.Barrier(phaseConnected, o.connectWait); err != nil {
+		return err
+	}
+	logf("connected; hosting nodes %v", local)
+
+	// Phase 1: construction — each process drives its local share.
+	if err := sys.Construct(); err != nil {
+		return err
+	}
+	tr.Settle()
+	if err := tr.Barrier(phaseBuilt, o.connectWait); err != nil {
+		return err
+	}
+	inDomain := 0
+	for _, id := range local {
+		if sys.DomainOf(id) >= 0 {
+			inDomain++
+		}
+	}
+	logf("construct done; local nodes in a domain: %d/%d", inDomain, len(local))
+	if inDomain != len(local) {
+		return fmt.Errorf("construction left local nodes without a domain")
+	}
+
+	// Phase 2: every local client pushes a modification; the summary
+	// peer's α trigger launches the ring reconciliation across processes.
+	var clients []p2p.NodeID
+	for _, id := range local {
+		if sys.Peer(id).Role() == core.RoleClient {
+			clients = append(clients, id)
+		}
+	}
+	sys.MarkModifiedAll(clients)
+	tr.Settle()
+	if err := tr.Barrier(phaseReconcile, o.connectWait); err != nil {
+		return err
+	}
+	tr.Settle() // drain rings triggered by the other processes' pushes
+	logf("reconciliations=%d", sys.Stats().Reconciliations)
+	for _, sp := range sps {
+		if !tr.IsLocal(sp) {
+			continue
+		}
+		gs := sys.Peer(sp).GlobalSummary()
+		if gs == nil {
+			return fmt.Errorf("summary peer %d has no global summary", sp)
+		}
+		if err := gs.Validate(); err != nil {
+			return fmt.Errorf("summary peer %d: %w", sp, err)
+		}
+		logf("summary peer %d: global summary weight=%.1f nodes=%d", sp, gs.Root().Count(), gs.NodeCount())
+	}
+
+	// Phase 3: the optional query, asked from a local node and answered in
+	// whichever process hosts the summary peer.
+	if o.query != "" {
+		q, err := p2psum.Reformulate(b, []string{"age"}, []p2psum.Predicate{
+			{Attr: "disease", Op: p2psum.Eq, Strs: []string{o.query}},
+		})
+		if err != nil {
+			return err
+		}
+		origin := local[0]
+		ans, err := qs.Ask(origin, q, o.connectWait)
+		if err != nil {
+			return err
+		}
+		var weight float64
+		for _, c := range ans.Answer.Classes {
+			weight += c.Weight
+		}
+		logf("query disease=%s from node %d: classes=%d peers=%v weight=%.1f",
+			o.query, origin, len(ans.Answer.Classes), ans.Peers, weight)
+	}
+	if err := tr.Barrier(phaseReported, o.connectWait); err != nil {
+		return err
+	}
+	tr.Settle()
+
+	// Final report: message counts and frame-exact byte volumes.
+	counts, bytes := tr.Counter(), tr.Bytes()
+	var names []string
+	names = append(names, counts.Names()...)
+	sort.Strings(names)
+	for _, name := range names {
+		logf("traffic %-16s msgs=%-6d bytes=%d", name, counts.Get(name), bytes.Get(name))
+	}
+	ws := tr.WireStats()
+	logf("wire frames: sent=%d (%d B) recv=%d (%d B) local=%d (%d B) frameless=%d (%d B)",
+		ws.SentFrames, ws.SentBytes, ws.RecvFrames, ws.RecvBytes,
+		ws.LocalFrames, ws.LocalBytes, ws.ChargedMsgs, ws.ChargedBytes)
+	if total, frames := bytes.Total(), ws.SentBytes+ws.LocalBytes+ws.ChargedBytes; total != frames {
+		return fmt.Errorf("byte accounting mismatch: Bytes()=%d, frames+frameless=%d", total, frames)
+	}
+	logf("byte accounting exact: Bytes() total %d = sent %d + local %d + frameless %d",
+		bytes.Total(), ws.SentBytes, ws.LocalBytes, ws.ChargedBytes)
+	logf("done")
+
+	if o.linger {
+		logf("lingering; Ctrl-C to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+	return nil
+}

@@ -34,10 +34,12 @@
 //
 // The code is layered so each package depends only on the layer below it:
 //
-//	cmd/{p2psim,experiments,sumql}        CLIs (replica sweeps, figure sweeps, ad-hoc querying)
+//	cmd/{p2psim,experiments,sumql,p2pnode} CLIs (replica sweeps, figure sweeps, ad-hoc
+//	                                      querying, one process of a TCP deployment)
 //	p2psum (api, simulation, experiments) public facade, re-exports
 //	internal/experiments                  figure/ablation drivers + worker-pool sweeps
-//	internal/routing                      SQ router and baselines (§5.2, §6.2.3)
+//	internal/routing                      SQ router, baselines (§5.2, §6.2.3), remote
+//	                                      query service (QueryService over MsgQuery)
 //	internal/core                         summary management (§4.1–§4.3)
 //	internal/query                        flexible-query selection/answering (§5)
 //	internal/summarystore.Store           global-summary storage layer
@@ -47,7 +49,10 @@
 //	                                      internal/fuzzy, internal/bk, internal/data
 //	internal/p2p.Transport                overlay substrate interface
 //	├── p2p.Network                       deterministic, discrete-event (internal/sim)
-//	└── p2p.ChannelTransport              concurrent, real-time, sharded dispatch
+//	├── p2p.ChannelTransport              concurrent, real-time, sharded dispatch
+//	└── p2p.TCPTransport                  real sockets: one process hosts part of the
+//	                                      overlay, frames cross the wire (internal/wire)
+//	internal/wire                         frame encoding + message-type codec registry
 //	internal/topology                     overlay generators + graph partitions
 //	internal/par, internal/stats,         worker pool, counters/tables, churn and
 //	internal/workload, internal/costmodel query workloads, the paper's cost models
@@ -56,7 +61,47 @@
 // interface, never on a concrete transport. The sim-backed Network makes
 // every run reproducible bit-for-bit given a seed; the channel-based
 // transport trades that determinism for real concurrency, scaled per-link
-// latencies and optional packet loss. SimOptions.Transport selects one.
+// latencies and optional packet loss; the TCP transport runs the same
+// protocol stack across real OS processes. SimOptions.Transport selects
+// between the in-memory two for simulations; cmd/p2pnode deploys the TCP
+// one.
+//
+// # The wire layer and the codec-registration contract
+//
+// internal/wire turns protocol messages into bytes: a versioned,
+// self-delimiting frame encoding (header + payload blob, varint integers,
+// compact varint floats) plus a registry mapping each message type to a
+// PayloadCodec. The protocol packages register their payloads from init —
+// core registers sumpeer/localsum/push/reconcile, routing registers
+// query/query-response — so importing a protocol layer makes its messages
+// serializable everywhere.
+//
+// The contract when adding a message type: export the payload struct,
+// register exactly one PayloadCodec for the type, make Decode return the
+// same concrete type handlers assert on, and add the type to the
+// round-trip + truncation suites (internal/routing's
+// TestEveryRegisteredTypeCovered fails any registered type without a test
+// sample). Payload-less messages need no codec — the frame alone carries
+// them.
+//
+// Registration buys two things. First, byte accounting becomes exact on
+// every transport: a Send whose payload is serializable is charged the
+// real encoded frame length (identical across Network, ChannelTransport
+// and TCPTransport), and only unregistered payloads fall back to the
+// Sizer estimate — so the paper's §6 byte figures are measured, not
+// modeled. Second, the TCP transport can carry the message between
+// processes: frames for remote nodes cross a persistent per-peer
+// connection (length-prefixed units, one writer goroutine per peer, a
+// hello handshake advertising the hosted node ids), frames for local
+// nodes round-trip through encode/decode in-process so both deployments
+// exercise one serialization pipeline. Drop callbacks for dead
+// connections and offline remote nodes echo the frame back to the
+// sender's process (§4.3 failure detection); TCPTransport.Settle extends
+// quiescence across processes with a status exchange (sent/handled frame
+// counters, stable over two rounds); Barrier aligns driver phases.
+// Drivers on a partial-overlay transport consult p2p.Localizer — core's
+// Construct broadcasts only local summary peers and walks only local
+// stragglers, so every process drives exactly its share.
 //
 // # The dispatcher-group execution model
 //
@@ -124,14 +169,28 @@
 //	                           fan out under read locks — cross-domain and
 //	                           cross-shard querying never serializes on one
 //	                           lock.
-//	p2p.ChannelTransport.mu    the transport bookkeeping lock: online[],
-//	                           handler[], drop, counters, rng, pending,
-//	                           groupOf[], armed timers, closed. Held only
+//	p2p dispatchGroup.mu       PER-GROUP bookkeeping (one per dispatch
+//	                           group, shared by ChannelTransport and
+//	                           TCPTransport through the dispatch engine):
+//	                           the group's pending-work count and its
+//	                           message/byte counters. Groups never contend
+//	                           on shared accounting; Counter/Bytes merge
+//	                           the shards into a snapshot on read, and
+//	                           Settle/Close verify quiescence under all
+//	                           group locks at once.
+//	p2p dispatchGroup.cond     signals the group's pending==0 to
+//	                           Settle/Close.
+//	p2p dispatchEngine.mu      the engine lock: groupOf[], armed timers,
+//	                           dispatcher goroutine ids, closed.
+//	p2p dispatchEngine.execMu  serializes concurrent Exec barriers so two
+//	                           drivers cannot interleave group parking.
+//	p2p.ChannelTransport.mu    online[], handler[], drop, rng. Held only
 //	                           for short critical sections, never across a
 //	                           handler call.
-//	p2p.ChannelTransport.cond  signals pending==0 to Settle/Close.
-//	p2p.ChannelTransport.execMu serializes concurrent Exec barriers so two
-//	                           drivers cannot interleave group parking.
+//	p2p.TCPTransport.mu        same inventory as ChannelTransport.mu, plus
+//	                           connMu (connection table), wireMu (socket
+//	                           frame counters), statusMu/barrierMu (the
+//	                           distributed settle and barrier exchanges).
 //	p2p.Network                NO locks: the discrete-event engine is
 //	                           single-threaded by construction.
 //	par.ForEach                owns its worker pool; results slots are

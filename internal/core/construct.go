@@ -91,6 +91,12 @@ func (s *System) wireDispatchGroups() {
 // closest summary peer and ship their local summaries, and stragglers that
 // no broadcast reached locate a domain with a selective walk. The transport
 // is settled to quiescence.
+//
+// On a transport that hosts only part of the overlay (p2p.Localizer, i.e.
+// TCPTransport), Construct drives the local share only: local summary
+// peers broadcast, local stragglers walk — every process of the deployment
+// calls Construct and each drives its own half, while remote peers react
+// purely through their message handlers in their own process.
 func (s *System) Construct() error {
 	if len(s.sps) == 0 {
 		return errors.New("core: no summary peers assigned")
@@ -101,14 +107,16 @@ func (s *System) Construct() error {
 	s.net.Exec(func() {
 		s.round++
 		for _, id := range s.sps {
-			s.broadcastSumpeer(id)
+			if p2p.IsLocal(s.net, id) {
+				s.broadcastSumpeer(id)
+			}
 		}
 	})
 	s.net.Settle()
 	s.net.Exec(func() {
 		// Stragglers: peers outside every broadcast radius use find.
 		for _, p := range s.peers {
-			if p.role == RoleClient && p.curSP() < 0 && s.net.Online(p.id) {
+			if p.role == RoleClient && p.curSP() < 0 && s.net.Online(p.id) && p2p.IsLocal(s.net, p.id) {
 				s.findDomain(p)
 			}
 		}
@@ -124,7 +132,7 @@ func (s *System) broadcastSumpeer(spID p2p.NodeID) {
 	sp.seenRounds[sumpeerKey{spID, s.round}] = true
 	for _, nb := range s.net.Neighbors(spID) {
 		s.net.SendNew(MsgSumpeer, spID, nb, s.cfg.ConstructionTTL-1,
-			sumpeerPayload{SP: spID, Round: s.round, Hops: 1})
+			SumpeerPayload{SP: spID, Round: s.round, Hops: 1})
 	}
 }
 
@@ -173,7 +181,7 @@ func (s *System) hopsTo(a, b p2p.NodeID) int {
 // adopt makes p a partner of spID, shipping its local summary.
 func (p *Peer) adopt(spID p2p.NodeID, hops int) {
 	p.setSP(spID, hops)
-	payload := localsumPayload{Rejoin: p.sys.built}
+	payload := LocalsumPayload{Rejoin: p.sys.built}
 	if p.sys.cfg.DataLevel && p.local != nil {
 		payload.Tree = p.local.Clone()
 	}
@@ -182,7 +190,7 @@ func (p *Peer) adopt(spID p2p.NodeID, hops int) {
 
 // onSumpeer implements the §4.1 construction rules at a receiving peer.
 func (p *Peer) onSumpeer(msg *p2p.Message) {
-	pl := msg.Payload.(sumpeerPayload)
+	pl := msg.Payload.(SumpeerPayload)
 	key := sumpeerKey{pl.SP, pl.Round}
 	if p.seenRounds[key] {
 		return // duplicate broadcast copy
@@ -204,7 +212,7 @@ func (p *Peer) onSumpeer(msg *p2p.Message) {
 
 	// Forward the broadcast while TTL remains.
 	if msg.TTL > 0 {
-		fwd := sumpeerPayload{SP: pl.SP, Round: pl.Round, Hops: pl.Hops + 1}
+		fwd := SumpeerPayload{SP: pl.SP, Round: pl.Round, Hops: pl.Hops + 1}
 		for _, nb := range p.sys.net.Neighbors(p.id) {
 			if nb != msg.From {
 				p.sys.net.SendNew(MsgSumpeer, p.id, nb, msg.TTL-1, fwd)
@@ -218,7 +226,7 @@ func (p *Peer) onLocalsum(msg *p2p.Message) {
 	if p.role != RoleSummaryPeer {
 		return
 	}
-	pl := msg.Payload.(localsumPayload)
+	pl := msg.Payload.(LocalsumPayload)
 	if !pl.Rejoin || p.sys.cfg.MergeOnJoin {
 		// Construction-time localsum (or the merge-on-join ablation):
 		// merge immediately, descriptions are fresh. The store routes the

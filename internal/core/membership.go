@@ -36,7 +36,7 @@ func (s *System) leave(id p2p.NodeID, graceful bool) {
 			}
 		} else if sp := p.curSP(); sp >= 0 {
 			s.addStat(func(st *Stats) { st.GracefulLeaves++ })
-			s.net.SendNew(MsgPush, id, sp, 0, pushPayload{V: Unavailable})
+			s.net.SendNew(MsgPush, id, sp, 0, PushPayload{V: Unavailable})
 		}
 	} else {
 		s.addStat(func(st *Stats) { st.Failures++ })
@@ -96,7 +96,7 @@ func (s *System) onDrop(msg *p2p.Message) {
 			s.findDomain(p)
 		}
 	case MsgReconcile:
-		pl := msg.Payload.(reconcilePayload)
+		pl := msg.Payload.(ReconcilePayload)
 		if msg.To == pl.SP {
 			// The summary peer itself is gone: the round dies with the
 			// token instead of ping-ponging between the resend and this

@@ -46,7 +46,7 @@ func (s *System) markModified(id p2p.NodeID) {
 		}
 		return
 	}
-	s.net.SendNew(MsgPush, id, sp, 0, pushPayload{V: Stale})
+	s.net.SendNew(MsgPush, id, sp, 0, PushPayload{V: Stale})
 }
 
 // onPush updates the pushing partner's freshness value and checks the
@@ -55,7 +55,7 @@ func (p *Peer) onPush(msg *p2p.Message) {
 	if p.role != RoleSummaryPeer || !p.cl.Has(msg.From) {
 		return
 	}
-	pl := msg.Payload.(pushPayload)
+	pl := msg.Payload.(PushPayload)
 	v := pl.V
 	if p.sys.cfg.Mode == TwoBit && v == Unavailable && p.sys.cfg.KeepUnavailable {
 		// First alternative of §4.3: keep the descriptions and keep using
@@ -88,7 +88,7 @@ func (p *Peer) startRing() {
 	p.reconcileSeq++
 	remaining := p.onlinePartners()
 	p.armReconcileTimer(len(remaining))
-	pl := reconcilePayload{SP: p.id, Seq: p.reconcileSeq, NewGS: p.sys.newTree()}
+	pl := ReconcilePayload{SP: p.id, Seq: p.reconcileSeq, NewGS: p.sys.newTree()}
 	p.forwardReconcile(pl, remaining)
 }
 
@@ -162,7 +162,7 @@ func (p *Peer) onlinePartners() []p2p.NodeID {
 
 // forwardReconcile sends the reconciliation token to the next online
 // partner, or back to the summary peer when the ring is exhausted.
-func (p *Peer) forwardReconcile(pl reconcilePayload, remaining []p2p.NodeID) {
+func (p *Peer) forwardReconcile(pl ReconcilePayload, remaining []p2p.NodeID) {
 	for len(remaining) > 0 {
 		next := remaining[0]
 		rest := remaining[1:]
@@ -186,7 +186,7 @@ func (p *Peer) forwardReconcile(pl reconcilePayload, remaining []p2p.NodeID) {
 // onReconcile is executed by each partner on the ring, and by the summary
 // peer when the token returns.
 func (p *Peer) onReconcile(msg *p2p.Message) {
-	pl := msg.Payload.(reconcilePayload)
+	pl := msg.Payload.(ReconcilePayload)
 	if p.role == RoleSummaryPeer && p.id == pl.SP {
 		p.completeReconcile(pl)
 		return
@@ -210,7 +210,7 @@ func (p *Peer) onReconcile(msg *p2p.Message) {
 // changed (per-shard deltas), so concurrent readers are never stalled on
 // the whole summary. Tokens of a superseded ring generation (retransmit
 // already launched a newer one) are dropped.
-func (p *Peer) completeReconcile(pl reconcilePayload) {
+func (p *Peer) completeReconcile(pl ReconcilePayload) {
 	if !p.reconciling || pl.Seq != p.reconcileSeq {
 		return // stale token: a retransmitted ring owns this round now
 	}

@@ -122,7 +122,7 @@ func TestStaleTokenIgnored(t *testing.T) {
 	p.reconciling = true
 	p.retriesLeft = 1
 	p.reconcileSeq = 5
-	stale := reconcilePayload{SP: sp, Seq: 4, Merged: p.onlinePartners()}
+	stale := ReconcilePayload{SP: sp, Seq: 4, Merged: p.onlinePartners()}
 	p.completeReconcile(stale)
 	if !p.reconciling {
 		t.Fatal("stale token completed the newer ring")
@@ -131,7 +131,7 @@ func TestStaleTokenIgnored(t *testing.T) {
 		t.Errorf("stale token counted as a reconciliation")
 	}
 	// The live generation still completes normally.
-	p.completeReconcile(reconcilePayload{SP: sp, Seq: 5, Merged: p.onlinePartners()})
+	p.completeReconcile(ReconcilePayload{SP: sp, Seq: 5, Merged: p.onlinePartners()})
 	e.Run()
 	if p.reconciling || sys.Stats().Reconciliations != 1 {
 		t.Errorf("live token did not complete: reconciling=%v stats=%+v", p.reconciling, sys.Stats())

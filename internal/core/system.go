@@ -180,15 +180,28 @@ type sumpeerKey struct {
 	round int
 }
 
-// Payloads.
-type sumpeerPayload struct {
-	SP    p2p.NodeID
+// Protocol payloads. They are exported because the wire codec layer
+// (internal/wire, registrations in wirecodec.go) serializes them onto real
+// sockets: handlers must be able to type-assert the concrete type a remote
+// process decoded. Protocol logic outside this package should still treat
+// them as core's own.
+
+// SumpeerPayload announces a summary peer during §4.1 domain construction.
+type SumpeerPayload struct {
+	// SP is the broadcasting summary peer.
+	SP p2p.NodeID
+	// Round is the construction round (duplicate-broadcast suppression).
 	Round int
-	Hops  int
+	// Hops is the distance the announcement has travelled.
+	Hops int
 }
 
-type localsumPayload struct {
-	Tree   *saintetiq.Tree
+// LocalsumPayload ships a partner's local summary to its summary peer.
+type LocalsumPayload struct {
+	// Tree is the local summary (nil at protocol level).
+	Tree *saintetiq.Tree
+	// Rejoin marks a post-construction join (§4.3): the merge defers to
+	// the next reconciliation.
 	Rejoin bool
 }
 
@@ -197,29 +210,42 @@ type localsumPayload struct {
 // each summary").
 const SummaryNodeBytes = 512
 
-// WireSize charges a localsum message for the local summary it carries.
-func (p localsumPayload) WireSize() int {
+// WireSize charges a localsum message for the local summary it carries
+// (the §6.1.1 estimate; the wire codec reports exact encoded sizes when
+// registered).
+func (p LocalsumPayload) WireSize() int {
 	if p.Tree == nil {
 		return 0
 	}
 	return SummaryNodeBytes * p.Tree.NodeCount()
 }
 
-type pushPayload struct {
+// PushPayload carries a §4.2.1 freshness notification.
+type PushPayload struct {
+	// V is the pushed freshness value.
 	V Freshness
 }
 
-type reconcilePayload struct {
-	SP        p2p.NodeID
-	Seq       int // ring generation; stale tokens (pre-retransmit) are ignored
-	NewGS     *saintetiq.Tree
+// ReconcilePayload is the §4.2.2 ring token.
+type ReconcilePayload struct {
+	// SP is the summary peer that launched the ring.
+	SP p2p.NodeID
+	// Seq is the ring generation; stale tokens (pre-retransmit) are
+	// ignored.
+	Seq int
+	// NewGS is the new global summary under construction (nil at protocol
+	// level).
+	NewGS *saintetiq.Tree
+	// Remaining lists the partners the token has yet to visit.
 	Remaining []p2p.NodeID
-	Merged    []p2p.NodeID
+	// Merged lists the partners that merged their local summaries in.
+	Merged []p2p.NodeID
 }
 
 // WireSize charges a reconciliation token for the in-flight new global
-// summary plus the ring bookkeeping.
-func (p reconcilePayload) WireSize() int {
+// summary plus the ring bookkeeping (the §6.1.1 estimate; the wire codec
+// reports exact encoded sizes when registered).
+func (p ReconcilePayload) WireSize() int {
 	size := 8 * (len(p.Remaining) + len(p.Merged))
 	if p.NewGS != nil {
 		size += SummaryNodeBytes * p.NewGS.NodeCount()
@@ -272,6 +298,10 @@ type System struct {
 	// sharded-dispatch transport it is invoked concurrently from
 	// different dispatch groups; hooks must be safe for that.
 	OnReconcile func(sp p2p.NodeID, merged []p2p.NodeID)
+
+	// extension handles message types the core protocol does not own
+	// (SetExtension).
+	extension func(p *Peer, msg *p2p.Message)
 }
 
 // NewSystem wires a system onto the transport. Every node starts as a
@@ -350,6 +380,14 @@ func (s *System) newStore() summarystore.Store {
 	return summarystore.New(s.cfg.BK, s.cfg.TreeCfg, s.cfg.Shards)
 }
 
+// SetExtension installs a handler for message types outside the core
+// protocol (e.g. routing's remote query service): any message whose type
+// core does not own is forwarded to fn with the receiving peer. fn runs on
+// the peer's dispatch group like a protocol handler — same serialization,
+// same "no Exec/Settle from handlers" contract. Install it before traffic
+// flows; a second call replaces the first.
+func (s *System) SetExtension(fn func(p *Peer, msg *p2p.Message)) { s.extension = fn }
+
 // handle dispatches incoming protocol messages.
 func (p *Peer) handle(msg *p2p.Message) {
 	switch msg.Type {
@@ -367,5 +405,9 @@ func (p *Peer) handle(msg *p2p.Message) {
 		p.onReconcile(msg)
 	case MsgRelease:
 		p.onRelease(msg)
+	default:
+		if p.sys.extension != nil {
+			p.sys.extension(p, msg)
+		}
 	}
 }

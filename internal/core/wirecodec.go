@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"p2psum/internal/p2p"
+	"p2psum/internal/saintetiq"
+	"p2psum/internal/wire"
+)
+
+// Wire codecs for the core protocol payloads. Registering them (from init,
+// so importing core is enough) makes every transport charge these message
+// types their real encoded frame length, and lets the TCP transport carry
+// them between processes. The encodings are versioned at the frame layer
+// (wire.FrameVersion); summaries travel as their saintetiq gob encoding
+// embedded as a blob — one serialization for summaries everywhere.
+//
+// Contract for adding a payload: register exactly one codec per message
+// type, encode every field (the round-trip tests in wirecodec_test.go
+// enforce Encode(Decode(x)) == x field-by-field), and return the concrete
+// value type handlers assert on.
+
+func init() {
+	wire.Register(MsgSumpeer, wire.PayloadCodec{Encode: encodeSumpeer, Decode: decodeSumpeer})
+	wire.Register(MsgLocalsum, wire.PayloadCodec{Encode: encodeLocalsum, Decode: decodeLocalsum})
+	wire.Register(MsgPush, wire.PayloadCodec{Encode: encodePush, Decode: decodePush})
+	wire.Register(MsgReconcile, wire.PayloadCodec{Encode: encodeReconcile, Decode: decodeReconcile})
+}
+
+// badPayload reports a payload whose concrete type does not match its
+// message type's codec.
+func badPayload(typ string, payload any) error {
+	return fmt.Errorf("core: %s codec got %T", typ, payload)
+}
+
+func encodeSumpeer(e *wire.Enc, payload any) error {
+	p, ok := payload.(SumpeerPayload)
+	if !ok {
+		return badPayload(MsgSumpeer, payload)
+	}
+	e.Varint(int64(p.SP))
+	e.Varint(int64(p.Round))
+	e.Varint(int64(p.Hops))
+	return nil
+}
+
+func decodeSumpeer(data []byte) (any, error) {
+	d := wire.NewDec(data)
+	p := SumpeerPayload{
+		SP:    p2p.NodeID(d.Varint()),
+		Round: int(d.Varint()),
+		Hops:  int(d.Varint()),
+	}
+	return p, d.Done()
+}
+
+// encodeTree embeds an optional summary as a presence flag plus its
+// compact wire encoding (saintetiq.AppendWire — reflection-free, this runs
+// on the Send hot path of every data-level message).
+func encodeTree(e *wire.Enc, t *saintetiq.Tree) error {
+	if t == nil {
+		e.Bool(false)
+		return nil
+	}
+	e.Bool(true)
+	t.AppendWire(e)
+	return nil
+}
+
+// decodeTree reverses encodeTree.
+func decodeTree(d *wire.Dec) (*saintetiq.Tree, error) {
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	return saintetiq.DecodeWire(d)
+}
+
+func encodeLocalsum(e *wire.Enc, payload any) error {
+	p, ok := payload.(LocalsumPayload)
+	if !ok {
+		return badPayload(MsgLocalsum, payload)
+	}
+	e.Bool(p.Rejoin)
+	return encodeTree(e, p.Tree)
+}
+
+func decodeLocalsum(data []byte) (any, error) {
+	d := wire.NewDec(data)
+	p := LocalsumPayload{Rejoin: d.Bool()}
+	tree, err := decodeTree(d)
+	if err != nil {
+		return nil, err
+	}
+	p.Tree = tree
+	return p, d.Done()
+}
+
+func encodePush(e *wire.Enc, payload any) error {
+	p, ok := payload.(PushPayload)
+	if !ok {
+		return badPayload(MsgPush, payload)
+	}
+	e.Uint8(uint8(p.V))
+	return nil
+}
+
+func decodePush(data []byte) (any, error) {
+	d := wire.NewDec(data)
+	p := PushPayload{V: Freshness(d.Uint8())}
+	return p, d.Done()
+}
+
+// encodeNodeIDs appends a length-prefixed node id list.
+func encodeNodeIDs(e *wire.Enc, ids []p2p.NodeID) {
+	e.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		e.Varint(int64(id))
+	}
+}
+
+// decodeNodeIDs reverses encodeNodeIDs (nil for an empty list, matching
+// the zero value the protocol builds with append).
+func decodeNodeIDs(d *wire.Dec) []p2p.NodeID {
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	var out []p2p.NodeID
+	for i := uint64(0); i < n; i++ {
+		out = append(out, p2p.NodeID(d.Varint()))
+		if d.Err() != nil {
+			return nil // truncated list: the latched error reaches Done
+		}
+	}
+	return out
+}
+
+func encodeReconcile(e *wire.Enc, payload any) error {
+	p, ok := payload.(ReconcilePayload)
+	if !ok {
+		return badPayload(MsgReconcile, payload)
+	}
+	e.Varint(int64(p.SP))
+	e.Varint(int64(p.Seq))
+	encodeNodeIDs(e, p.Remaining)
+	encodeNodeIDs(e, p.Merged)
+	return encodeTree(e, p.NewGS)
+}
+
+func decodeReconcile(data []byte) (any, error) {
+	d := wire.NewDec(data)
+	p := ReconcilePayload{
+		SP:        p2p.NodeID(d.Varint()),
+		Seq:       int(d.Varint()),
+		Remaining: decodeNodeIDs(d),
+		Merged:    decodeNodeIDs(d),
+	}
+	tree, err := decodeTree(d)
+	if err != nil {
+		return nil, err
+	}
+	p.NewGS = tree
+	return p, d.Done()
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"p2psum/internal/bk"
+	"p2psum/internal/cells"
+	"p2psum/internal/data"
+	"p2psum/internal/p2p"
+	"p2psum/internal/saintetiq"
+	"p2psum/internal/wire"
+)
+
+// The codec round-trip suite: every core payload must survive
+// encode -> decode with full fidelity (trees compare by canonical
+// re-encoding, ids and flags field-by-field), and every truncated prefix
+// of a valid encoding must decode to an error — never a panic, never a
+// silently wrong payload.
+
+// randTree summarizes a random patient relation into a real hierarchy.
+func randTree(t testing.TB, seed int64, records int, peer saintetiq.PeerID) *saintetiq.Tree {
+	t.Helper()
+	b := bk.Medical()
+	mapper, err := cells.NewMapper(b, data.PatientSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cells.NewStore(mapper)
+	st.AddRelation(data.NewPatientGenerator(seed, nil).Generate("db", records))
+	tr := saintetiq.New(b, saintetiq.DefaultConfig())
+	if err := tr.IncorporateStore(st, peer); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// wireBytes canonicalizes a tree for comparison.
+func wireBytes(tr *saintetiq.Tree) []byte {
+	if tr == nil {
+		return nil
+	}
+	var e wire.Enc
+	tr.AppendWire(&e)
+	return e.Bytes()
+}
+
+func treesEqual(a, b *saintetiq.Tree) bool {
+	return string(wireBytes(a)) == string(wireBytes(b))
+}
+
+// roundTrip pushes one payload through its registered codec.
+func roundTrip(t *testing.T, typ string, payload any) any {
+	t.Helper()
+	c, ok := wire.Lookup(typ)
+	if !ok {
+		t.Fatalf("no codec registered for %q", typ)
+	}
+	var e wire.Enc
+	if err := c.Encode(&e, payload); err != nil {
+		t.Fatalf("encode %q: %v", typ, err)
+	}
+	got, err := c.Decode(e.Bytes())
+	if err != nil {
+		t.Fatalf("decode %q: %v", typ, err)
+	}
+	return got
+}
+
+func TestSumpeerCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		p := SumpeerPayload{SP: p2p.NodeID(rng.Intn(1 << 16)), Round: rng.Intn(1 << 10), Hops: rng.Intn(8)}
+		if got := roundTrip(t, MsgSumpeer, p); got != any(p) {
+			t.Fatalf("round-trip %+v -> %+v", p, got)
+		}
+	}
+}
+
+func TestPushCodecRoundTrip(t *testing.T) {
+	for _, v := range []Freshness{Fresh, Stale, Unavailable} {
+		p := PushPayload{V: v}
+		if got := roundTrip(t, MsgPush, p); got != any(p) {
+			t.Fatalf("round-trip %+v -> %+v", p, got)
+		}
+	}
+}
+
+func TestLocalsumCodecRoundTrip(t *testing.T) {
+	for i, p := range []LocalsumPayload{
+		{Rejoin: false},
+		{Rejoin: true},
+		{Rejoin: true, Tree: randTree(t, 11, 40, 3)},
+		{Rejoin: false, Tree: randTree(t, 12, 5, 0)},
+	} {
+		got := roundTrip(t, MsgLocalsum, p).(LocalsumPayload)
+		if got.Rejoin != p.Rejoin || !treesEqual(got.Tree, p.Tree) {
+			t.Fatalf("case %d: round-trip mismatch", i)
+		}
+		if p.Tree != nil {
+			if err := got.Tree.Validate(); err != nil {
+				t.Fatalf("case %d: decoded tree invalid: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestReconcileCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		p := ReconcilePayload{
+			SP:  p2p.NodeID(rng.Intn(1 << 12)),
+			Seq: rng.Intn(1 << 8),
+		}
+		for j := rng.Intn(5); j > 0; j-- {
+			p.Remaining = append(p.Remaining, p2p.NodeID(rng.Intn(1<<12)))
+		}
+		for j := rng.Intn(5); j > 0; j-- {
+			p.Merged = append(p.Merged, p2p.NodeID(rng.Intn(1<<12)))
+		}
+		if i%3 == 0 {
+			p.NewGS = randTree(t, int64(100+i), 10+rng.Intn(30), saintetiq.PeerID(i))
+		}
+		got := roundTrip(t, MsgReconcile, p).(ReconcilePayload)
+		if got.SP != p.SP || got.Seq != p.Seq ||
+			!reflect.DeepEqual(got.Remaining, p.Remaining) ||
+			!reflect.DeepEqual(got.Merged, p.Merged) ||
+			!treesEqual(got.NewGS, p.NewGS) {
+			t.Fatalf("case %d: round-trip mismatch:\nwant %+v\ngot  %+v", i, p, got)
+		}
+	}
+}
+
+// TestTreeWireMatchesGob: the compact wire encoding and the gob encoding
+// reconstruct the same hierarchy (leaf-level equality plus canonical
+// re-encoding).
+func TestTreeWireMatchesGob(t *testing.T) {
+	tr := randTree(t, 21, 60, 7)
+	gobBytes, err := tr.EncodeGob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGob, err := saintetiq.DecodeGob(gobBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e wire.Enc
+	tr.AppendWire(&e)
+	fromWire, err := saintetiq.DecodeWire(wire.NewDec(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromGob.LeavesEqual(fromWire) {
+		t.Fatal("wire and gob decodes diverge at the leaf level")
+	}
+	if !treesEqual(fromGob, fromWire) {
+		t.Fatal("wire and gob decodes re-encode differently")
+	}
+	// The wire encoding is the compact one (it is charged per message).
+	if len(e.Bytes()) >= len(gobBytes) {
+		t.Errorf("wire encoding (%d B) not smaller than gob (%d B)", e.Len(), len(gobBytes))
+	}
+}
+
+// truncationPayloads builds one representative payload per core message
+// type for the corruption test.
+func truncationPayloads(t *testing.T) map[string]any {
+	t.Helper()
+	return map[string]any{
+		MsgSumpeer:  SumpeerPayload{SP: 3, Round: 2, Hops: 1},
+		MsgPush:     PushPayload{V: Stale},
+		MsgLocalsum: LocalsumPayload{Rejoin: true, Tree: randTree(t, 31, 20, 2)},
+		MsgReconcile: ReconcilePayload{
+			SP: 7, Seq: 9,
+			Remaining: []p2p.NodeID{1, 2, 3},
+			Merged:    []p2p.NodeID{4, 5},
+			NewGS:     randTree(t, 32, 15, 1),
+		},
+	}
+}
+
+// BenchmarkLocalsumEncode guards the Send hot path: every data-level
+// message is charged its real encoded frame length, so encoding a whole
+// summary must stay cheap (this is why summaries use the reflection-free
+// wire encoding, not gob, on the wire).
+func BenchmarkLocalsumEncode(b *testing.B) {
+	c, ok := wire.Lookup(MsgLocalsum)
+	if !ok {
+		b.Fatal("no codec registered")
+	}
+	payload := LocalsumPayload{Rejoin: true, Tree: randTree(b, 41, 60, 1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var e wire.Enc
+		if err := c.Encode(&e, payload); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(e.Len()))
+	}
+}
+
+// BenchmarkLocalsumDecode measures the receive path of the TCP transport.
+func BenchmarkLocalsumDecode(b *testing.B) {
+	c, _ := wire.Lookup(MsgLocalsum)
+	var e wire.Enc
+	if err := c.Encode(&e, LocalsumPayload{Rejoin: true, Tree: randTree(b, 41, 60, 1)}); err != nil {
+		b.Fatal(err)
+	}
+	buf := e.Bytes()
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCoreCodecTruncation: every strict prefix of a valid encoding decodes
+// to an error for every core message type.
+func TestCoreCodecTruncation(t *testing.T) {
+	for typ, payload := range truncationPayloads(t) {
+		c, ok := wire.Lookup(typ)
+		if !ok {
+			t.Fatalf("no codec registered for %q", typ)
+		}
+		var e wire.Enc
+		if err := c.Encode(&e, payload); err != nil {
+			t.Fatalf("encode %q: %v", typ, err)
+		}
+		full := e.Bytes()
+		step := 1
+		if len(full) > 512 {
+			step = len(full) / 512 // large tree payloads: sample the cuts
+		}
+		for cut := 0; cut < len(full); cut += step {
+			if _, err := c.Decode(full[:cut]); err == nil {
+				t.Errorf("%s: truncation at %d/%d decoded successfully", typ, cut, len(full))
+			}
+		}
+	}
+}

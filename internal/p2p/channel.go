@@ -3,9 +3,8 @@ package p2p
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2psum/internal/stats"
@@ -64,7 +63,11 @@ func DefaultChannelConfig() ChannelConfig {
 // queries truly in parallel, while handler serialization per node — and
 // therefore per domain — is preserved. Cross-group sends are routed through
 // the destination group's inbox; drop callbacks are routed to the sender's
-// group (they mutate sender-side protocol state, see SetDrop).
+// group (they mutate sender-side protocol state, see SetDrop). The
+// transport bookkeeping is sharded the same way: each group counts its own
+// pending work and tallies its own message/byte counters under its own
+// lock, and Counter/Bytes merge the shards into a snapshot on read — at
+// high message rates groups never contend on shared accounting.
 //
 // Unlike Network, runs are not deterministic: wall-clock scheduling decides
 // the delivery interleaving of same-window messages. Use it for scenarios
@@ -76,49 +79,14 @@ func DefaultChannelConfig() ChannelConfig {
 type ChannelTransport struct {
 	graph *topology.Graph
 	cfg   ChannelConfig
+	eng   *dispatchEngine
 
-	mu      sync.Mutex
-	cond    *sync.Cond
+	mu      sync.Mutex // guards online, handler, drop, rng
 	online  []bool
 	handler []Handler
 	drop    func(*Message)
-	counter *stats.Counter
-	volume  *stats.Counter
 	rng     *rand.Rand
-	nextMsg uint64
-	pending int // messages sent but not yet fully handled
-	closed  bool
-	groupOf []int                    // node -> dispatch group index
-	timers  map[*time.Timer]struct{} // armed After timers, stopped on Close
-	dispIDs map[uint64]struct{}      // goroutine ids of the dispatchers
-
-	groups []*dispatchGroup
-	execMu sync.Mutex // serializes Exec barriers across groups
-}
-
-// dispatchGroup is one serialized execution lane: an inbox drained by a
-// dedicated dispatcher goroutine.
-type dispatchGroup struct {
-	inbox chan envelope
-}
-
-// envelope is one dispatcher work item: a delivered message, a rerouted
-// drop notification, a driver closure submitted through Exec (single-group
-// fast path), a fired timer callback, or an Exec barrier.
-type envelope struct {
-	msg     *Message
-	isDrop  bool // msg was dropped; run the drop callback in this group
-	fn      func()
-	done    chan struct{}
-	timer   func()
-	barrier *execBarrier
-}
-
-// execBarrier parks every dispatch group so an Exec closure can run without
-// interleaving with any handler.
-type execBarrier struct {
-	arrived chan struct{} // one token per parked group
-	release chan struct{} // closed once the closure has run
+	nextMsg atomic.Uint64
 }
 
 // NewChannelTransport builds a concurrent transport over the graph. All
@@ -132,70 +100,26 @@ func NewChannelTransport(graph *topology.Graph, seed int64, cfg ChannelConfig) *
 		cfg.DirectLatency = 0.100
 	}
 	n := graph.Len()
-	d := cfg.Dispatchers
-	if d < 1 {
-		d = 1
-	}
-	if n > 0 && d > n {
-		d = n
-	}
-	cfg.Dispatchers = d
 	t := &ChannelTransport{
 		graph:   graph,
 		cfg:     cfg,
 		online:  make([]bool, n),
 		handler: make([]Handler, n),
-		counter: stats.NewCounter(),
-		volume:  stats.NewCounter(),
 		rng:     rand.New(rand.NewSource(seed)),
-		groupOf: make([]int, n),
-		timers:  make(map[*time.Timer]struct{}),
-		dispIDs: make(map[uint64]struct{}),
-		groups:  make([]*dispatchGroup, d),
 	}
-	t.cond = sync.NewCond(&t.mu)
 	for i := range t.online {
 		t.online[i] = true
 	}
-	groupBy := cfg.GroupBy
-	if groupBy == nil {
-		// Contiguous id blocks: an even split that keeps single-group mode
-		// trivially identical to the unsharded transport.
-		groupBy = func(id NodeID) int { return int(id) * d / n }
-	}
-	t.assignGroups(groupBy)
-	for g := range t.groups {
-		t.groups[g] = &dispatchGroup{inbox: make(chan envelope, n)}
-	}
-	started := make(chan struct{})
-	for g := range t.groups {
-		go t.dispatch(g, started)
-	}
-	for range t.groups {
-		<-started // dispatcher ids registered before any send can race them
-	}
+	t.eng = newDispatchEngine(n, cfg.Dispatchers, cfg.GroupBy, t.deliver)
+	t.cfg.Dispatchers = t.eng.groupCount()
 	return t
 }
 
-// assignGroups recomputes the node -> group mapping. Caller holds t.mu (or
-// is the constructor).
-func (t *ChannelTransport) assignGroups(fn func(NodeID) int) {
-	d := len(t.groups)
-	for i := range t.groupOf {
-		g := fn(NodeID(i))
-		t.groupOf[i] = ((g % d) + d) % d
-	}
-}
-
 // DispatchGroups returns the number of dispatch groups (>= 1).
-func (t *ChannelTransport) DispatchGroups() int { return len(t.groups) }
+func (t *ChannelTransport) DispatchGroups() int { return t.eng.groupCount() }
 
 // GroupOf returns the dispatch group currently owning the node.
-func (t *ChannelTransport) GroupOf(id NodeID) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.groupOf[id]
-}
+func (t *ChannelTransport) GroupOf(id NodeID) int { return t.eng.groupFor(id) }
 
 // SetGroupBy replaces the node -> dispatch-group mapping (reduced modulo
 // DispatchGroups). The mapping can only change while the transport is
@@ -210,67 +134,40 @@ func (t *ChannelTransport) SetGroupBy(fn func(NodeID) int) bool {
 	if fn == nil {
 		return false
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed || t.nextMsg != 0 || t.pending != 0 {
+	if t.nextMsg.Load() != 0 {
 		return false
 	}
-	t.assignGroups(fn)
-	return true
+	return t.eng.remap(fn)
 }
 
-// dispatch drains one group's inbox: message handlers, rerouted drop
-// callbacks and fired timers of the group's nodes run here one at a time,
-// in arrival order, so their protocol state sees no concurrent mutation.
-// Distinct groups run concurrently.
-func (t *ChannelTransport) dispatch(g int, started chan<- struct{}) {
-	t.mu.Lock()
-	t.dispIDs[goid()] = struct{}{}
-	t.mu.Unlock()
-	started <- struct{}{}
-	for env := range t.groups[g].inbox {
-		switch {
-		case env.barrier != nil:
-			// Park until the Exec closure has run on the caller.
-			env.barrier.arrived <- struct{}{}
-			<-env.barrier.release
-		case env.fn != nil:
-			env.fn()
-			close(env.done)
-		case env.timer != nil:
-			env.timer()
-			t.finish()
-		case env.isDrop:
-			t.mu.Lock()
-			drop := t.drop
-			t.mu.Unlock()
-			if drop != nil {
-				drop(env.msg)
-			}
-			t.finish()
-		default:
-			t.deliver(g, env.msg)
-		}
-	}
-}
-
-// deliver hands one message to its destination handler, or routes the drop
-// callback: callbacks mutate the *sender's* protocol state (§4.3 failure
-// detection), so when sender and receiver live in different groups the
-// callback is forwarded to the sender's dispatcher instead of running
+// deliver hands one work item to its destination handler, or routes the
+// drop callback: callbacks mutate the *sender's* protocol state (§4.3
+// failure detection), so when sender and receiver live in different groups
+// the callback is forwarded to the sender's dispatcher instead of running
 // here. The forward rides its own goroutine so two dispatchers can never
-// deadlock on each other's full inboxes; the message stays accounted as
+// deadlock on each other's full inboxes; the work item stays accounted as
 // pending until the owning group has run the callback.
-func (t *ChannelTransport) deliver(g int, msg *Message) {
+func (t *ChannelTransport) deliver(g int, env envelope) {
+	msg := env.msg
+	if env.isDrop {
+		t.mu.Lock()
+		drop := t.drop
+		t.mu.Unlock()
+		if drop != nil {
+			drop(msg)
+		}
+		t.eng.finishPending(g)
+		return
+	}
 	t.mu.Lock()
 	up := t.online[msg.To]
 	h := t.handler[msg.To]
 	drop := t.drop
-	gFrom := g
-	if msg.From >= 0 && int(msg.From) < len(t.groupOf) {
-		gFrom = t.groupOf[msg.From]
-	}
 	t.mu.Unlock()
+	gFrom := g
+	if msg.From >= 0 && int(msg.From) < t.graph.Len() {
+		gFrom = t.eng.groupFor(msg.From)
+	}
 	switch {
 	case up && h != nil:
 		h(msg)
@@ -278,48 +175,13 @@ func (t *ChannelTransport) deliver(g int, msg *Message) {
 	case gFrom == g:
 		drop(msg)
 	default:
-		go func() { t.groups[gFrom].inbox <- envelope{msg: msg, isDrop: true} }()
-		return // pending is settled by the sender's group
+		// Transfer the pending count to the sender's group before the
+		// forward, so quiescence checks never see the item unaccounted.
+		t.eng.movePending(gFrom, g)
+		go func() { t.eng.groups[gFrom].inbox <- envelope{msg: msg, isDrop: true} }()
+		return
 	}
-	t.finish()
-}
-
-// finish retires one pending work item, waking Settle/Close at quiescence.
-func (t *ChannelTransport) finish() {
-	t.mu.Lock()
-	t.pending--
-	if t.pending == 0 {
-		t.cond.Broadcast()
-	}
-	t.mu.Unlock()
-}
-
-// onDispatcher reports whether the calling goroutine is one of the
-// transport's dispatcher goroutines (i.e. we are inside a handler, a drop
-// callback or a timer callback).
-func (t *ChannelTransport) onDispatcher() bool {
-	id := goid()
-	t.mu.Lock()
-	_, ok := t.dispIDs[id]
-	t.mu.Unlock()
-	return ok
-}
-
-// goid parses the calling goroutine's id from its stack header. It is only
-// used on driver entry points (Exec, Settle) to turn silent deadlocks into
-// a diagnosable panic, never on the per-message path.
-func goid() uint64 {
-	var buf [64]byte
-	n := runtime.Stack(buf[:], false)
-	const prefix = len("goroutine ")
-	var id uint64
-	for _, c := range buf[prefix:n] {
-		if c < '0' || c > '9' {
-			break
-		}
-		id = id*10 + uint64(c-'0')
-	}
-	return id
+	t.eng.finishPending(g)
 }
 
 // Exec submits fn to the dispatch layer and blocks until it has run,
@@ -334,32 +196,7 @@ func goid() uint64 {
 // would deadlock the dispatcher — the current work item can never finish
 // while Exec waits for it — so that misuse panics instead. Nesting Exec
 // inside an Exec'd closure still deadlocks (documented contract).
-func (t *ChannelTransport) Exec(fn func()) {
-	if t.onDispatcher() {
-		panic("p2p: Exec called from a handler/timer on the dispatcher (would deadlock); drivers only")
-	}
-	t.execMu.Lock()
-	defer t.execMu.Unlock()
-	if len(t.groups) == 1 {
-		// Fast path: identical to the pre-sharding single dispatcher.
-		done := make(chan struct{})
-		t.groups[0].inbox <- envelope{fn: fn, done: done}
-		<-done
-		return
-	}
-	b := &execBarrier{
-		arrived: make(chan struct{}, len(t.groups)),
-		release: make(chan struct{}),
-	}
-	for _, g := range t.groups {
-		g.inbox <- envelope{barrier: b}
-	}
-	for range t.groups {
-		<-b.arrived
-	}
-	defer close(b.release) // release even if fn panics
-	fn()
-}
+func (t *ChannelTransport) Exec(fn func()) { t.eng.exec(fn) }
 
 // After schedules fn on the dispatcher of owner's group, delaySeconds of
 // virtual time from now (scaled by LatencyScale like link latencies; with
@@ -377,60 +214,18 @@ func (t *ChannelTransport) After(owner NodeID, delaySeconds float64, fn func()) 
 	if scale <= 0 {
 		scale = time.Millisecond
 	}
-	delay := time.Duration(delaySeconds * float64(scale))
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return
-	}
-	var tm *time.Timer
-	tm = time.AfterFunc(delay, func() {
-		t.mu.Lock()
-		delete(t.timers, tm)
-		if t.closed {
-			t.mu.Unlock()
-			return
-		}
-		// Count the callback as pending before releasing the lock: Close
-		// settles before closing the inboxes, so the owning dispatcher
-		// stays alive until this envelope has been handled.
-		t.pending++
-		g := 0
-		if owner >= 0 && int(owner) < len(t.groupOf) {
-			g = t.groupOf[owner]
-		}
-		t.mu.Unlock()
-		t.groups[g].inbox <- envelope{timer: fn}
-	})
-	t.timers[tm] = struct{}{}
-	t.mu.Unlock()
+	t.eng.after(owner, time.Duration(delaySeconds*float64(scale)), fn)
 }
 
 // Close shuts every dispatcher down after draining in-flight messages and
 // fired timers, and cancels timers that have not fired yet — an idle group
 // holds no in-flight work, so its armed timers would otherwise linger in
 // the runtime until they fire just to observe the closed flag. The drain
-// and the shutdown happen under one lock acquisition, so a timer firing
-// concurrently either lands before its inbox closes (pending was
+// verification and the shutdown happen under the engine lock, so a timer
+// firing concurrently either lands before its inbox closes (pending was
 // incremented first) or observes closed and drops. Sending on a closed
 // transport panics.
-func (t *ChannelTransport) Close() {
-	t.mu.Lock()
-	for t.pending > 0 {
-		t.cond.Wait()
-	}
-	if !t.closed {
-		t.closed = true
-		for tm := range t.timers {
-			tm.Stop()
-		}
-		t.timers = make(map[*time.Timer]struct{})
-		for _, g := range t.groups {
-			close(g.inbox)
-		}
-	}
-	t.mu.Unlock()
-}
+func (t *ChannelTransport) Close() { t.eng.closeEngine() }
 
 // Graph returns the overlay topology.
 func (t *ChannelTransport) Graph() *topology.Graph { return t.graph }
@@ -438,13 +233,15 @@ func (t *ChannelTransport) Graph() *topology.Graph { return t.graph }
 // Len returns the number of nodes.
 func (t *ChannelTransport) Len() int { return t.graph.Len() }
 
-// Counter exposes the per-type message counters. Read it only after
-// Settle; the dispatchers write to it concurrently while messages fly.
-func (t *ChannelTransport) Counter() *stats.Counter { return t.counter }
+// Counter returns a merged snapshot of the per-group message counters.
+// Each dispatch group tallies its own traffic under its own lock, so the
+// snapshot is safe to take while messages fly; successive calls return
+// fresh (monotonically growing) snapshots.
+func (t *ChannelTransport) Counter() *stats.Counter { return t.eng.mergedCounter() }
 
-// Bytes exposes the per-type traffic volume counters (same caveat as
-// Counter).
-func (t *ChannelTransport) Bytes() *stats.Counter { return t.volume }
+// Bytes returns a merged snapshot of the per-group traffic volume
+// counters (same contract as Counter).
+func (t *ChannelTransport) Bytes() *stats.Counter { return t.eng.mergedVolume() }
 
 // SetHandler installs the message handler of a node.
 func (t *ChannelTransport) SetHandler(id NodeID, h Handler) {
@@ -502,7 +299,6 @@ func (t *ChannelTransport) OnlineIDs() []NodeID {
 			out = append(out, NodeID(i))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -541,54 +337,55 @@ func (t *ChannelTransport) latencyBetween(a, b NodeID) float64 {
 	return t.cfg.DirectLatency
 }
 
-// charge accounts n payload-less transmissions (walks and floods).
+// charge accounts n payload-less transmissions (walks and floods). They
+// are driver-side traversals without a destination group, so they tally
+// under group 0 — invisible once Counter/Bytes merge the shards.
 func (t *ChannelTransport) charge(typ string, n int64) {
-	t.mu.Lock()
-	t.counter.Add(typ, n)
-	t.volume.Add(typ, n*BaseMessageBytes)
-	t.mu.Unlock()
+	t.eng.chargeBulk(0, typ, n)
 }
 
 // Send counts the message and launches its delivery: a goroutine sleeps
 // the scaled link latency and hands the message to the dispatcher of the
 // destination's group. Lossy links (LossRate > 0) may swallow it silently
-// after counting.
+// after counting. Messages whose payload is serializable (nil, or with a
+// registered wire codec) are charged their real encoded frame length; the
+// Sizer estimate remains the fallback, so in-memory and TCP runs report
+// comparable byte counts.
 func (t *ChannelTransport) Send(msg *Message) {
 	if msg.To < 0 || int(msg.To) >= t.graph.Len() {
 		panic(fmt.Sprintf("p2p: send to out-of-range node %d", msg.To))
 	}
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if t.eng.isClosed() {
 		panic("p2p: send on closed ChannelTransport")
 	}
-	t.nextMsg++
+	id := t.nextMsg.Add(1)
 	if msg.ID == 0 {
-		msg.ID = t.nextMsg
+		msg.ID = id
 	}
-	t.counter.Inc(msg.Type)
-	size := BaseMessageBytes
-	if s, ok := msg.Payload.(Sizer); ok {
-		size += s.WireSize()
-	}
-	t.volume.Add(msg.Type, int64(size))
-	if t.cfg.LossRate > 0 && t.rng.Float64() < t.cfg.LossRate {
+	size := messageWireSize(msg)
+	if t.cfg.LossRate > 0 {
+		t.mu.Lock()
+		lost := t.rng.Float64() < t.cfg.LossRate
 		t.mu.Unlock()
-		return // lost on the wire
+		if lost {
+			// Lost on the wire: counted as sent, never delivered. The
+			// charge goes to the destination group like a delivered send.
+			t.eng.chargeMessage(t.eng.groupFor(msg.To), msg.Type, size)
+			return
+		}
 	}
-	t.pending++
+	g, ok := t.eng.beginSend(msg.To)
+	if !ok {
+		panic("p2p: send on closed ChannelTransport")
+	}
+	t.eng.chargeMessage(g, msg.Type, size)
 	lat := t.latencyBetween(msg.From, msg.To)
-	// The mapping is frozen once traffic flows (SetGroupBy), so the group
-	// resolved here is still correct when the carrier goroutine delivers.
-	g := t.groupOf[msg.To]
-	t.mu.Unlock()
-
 	delay := time.Duration(lat * float64(t.cfg.LatencyScale))
 	go func() {
 		if delay > 0 {
 			time.Sleep(delay)
 		}
-		t.groups[g].inbox <- envelope{msg: msg}
+		t.eng.groups[g].inbox <- envelope{msg: msg}
 	}()
 }
 
@@ -619,18 +416,9 @@ func (t *ChannelTransport) RandomWalk(typ string, src NodeID, maxHops int, accep
 
 // Settle blocks until every in-flight message — including messages sent by
 // handlers while delivering, rerouted drop callbacks and fired timers —
-// has been handled. The condition-variable handshake orders all handler
-// effects (across every dispatch group) before Settle returns, so callers
-// may read protocol state without further synchronization. Calling Settle
-// from a handler would deadlock (the current message never finishes) and
-// panics instead.
-func (t *ChannelTransport) Settle() {
-	if t.onDispatcher() {
-		panic("p2p: Settle called from a handler/timer on the dispatcher (would deadlock); drivers only")
-	}
-	t.mu.Lock()
-	for t.pending > 0 {
-		t.cond.Wait()
-	}
-	t.mu.Unlock()
-}
+// has been handled. The per-group handshakes plus a verification pass
+// under every group lock order all handler effects (across every dispatch
+// group) before Settle returns, so callers may read protocol state without
+// further synchronization. Calling Settle from a handler would deadlock
+// (the current message never finishes) and panics instead.
+func (t *ChannelTransport) Settle() { t.eng.settle() }

@@ -1,0 +1,512 @@
+package p2p
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"p2psum/internal/stats"
+)
+
+// This file holds the dispatch engine: the handler-serialization machinery
+// shared by the concurrent transports. ChannelTransport (in-memory,
+// goroutine delivery) and TCPTransport (real sockets) both embed it; the
+// deterministic Network needs none of this because the discrete-event
+// engine is single-threaded.
+//
+// The engine owns the dispatch groups — each a serialized execution lane
+// with its own inbox, dispatcher goroutine, pending-work count and message
+// counters — plus the timers, the Exec barrier and the Settle/Close
+// quiescence logic. What it does NOT own is delivery policy: the embedding
+// transport supplies a deliver callback that looks up handlers, routes
+// drop notifications (possibly across processes) and retires the pending
+// count, because that is where the transports genuinely differ.
+//
+// Bookkeeping is sharded per group (the PR 3 follow-up named in ROADMAP):
+// every group counts its own pending work and tallies its own message/byte
+// counters under its own lock, and readers merge across groups. At high
+// message rates the groups therefore never contend on shared accounting —
+// the old single transport-wide mutex is gone.
+
+// dispatchGroup is one serialized execution lane: an inbox drained by a
+// dedicated dispatcher goroutine, plus the group's own share of the
+// transport bookkeeping (pending-work count, message and byte counters),
+// each guarded by the group's own lock.
+type dispatchGroup struct {
+	inbox chan envelope
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int // work items sent to this group but not yet fully handled
+	counter *stats.Counter
+	volume  *stats.Counter
+}
+
+// envelope is one dispatcher work item: a delivered message, a (possibly
+// rerouted) drop notification, a driver closure submitted through Exec
+// (single-group fast path), a fired timer callback, or an Exec barrier.
+type envelope struct {
+	msg     *Message
+	isDrop  bool // msg was dropped; run the drop callback in this group
+	fn      func()
+	done    chan struct{}
+	timer   func()
+	barrier *execBarrier
+	origin  string // TCP: address of the remote process the frame came from
+}
+
+// execBarrier parks every dispatch group so an Exec closure can run without
+// interleaving with any handler.
+type execBarrier struct {
+	arrived chan struct{} // one token per parked group
+	release chan struct{} // closed once the closure has run
+}
+
+// dispatchEngine is the shared concurrency core of the goroutine-backed
+// transports. See the file comment for the division of labour with the
+// embedding transport.
+type dispatchEngine struct {
+	// deliver handles message and drop envelopes; the transport must retire
+	// the group's pending count (finishPending) or transfer it
+	// (movePending) before returning control to the dispatcher loop's next
+	// iteration.
+	deliver func(g int, env envelope)
+
+	mu      sync.Mutex               // guards groupOf, timers, dispIDs, closed
+	groupOf []int                    // node -> dispatch group index
+	timers  map[*time.Timer]struct{} // armed After timers, stopped on Close
+	dispIDs map[uint64]struct{}      // goroutine ids of the dispatchers
+	closed  bool
+
+	groups []*dispatchGroup
+	execMu sync.Mutex // serializes Exec barriers across groups
+}
+
+// newDispatchEngine builds the groups and starts one dispatcher goroutine
+// per group. n is the node count, d the group count (clamped to [1, n]),
+// groupBy the initial node -> group mapping (nil partitions the id space
+// into contiguous blocks). deliver is the transport's delivery policy.
+func newDispatchEngine(n, d int, groupBy func(NodeID) int, deliver func(g int, env envelope)) *dispatchEngine {
+	if d < 1 {
+		d = 1
+	}
+	if n > 0 && d > n {
+		d = n
+	}
+	e := &dispatchEngine{
+		deliver: deliver,
+		groupOf: make([]int, n),
+		timers:  make(map[*time.Timer]struct{}),
+		dispIDs: make(map[uint64]struct{}),
+		groups:  make([]*dispatchGroup, d),
+	}
+	if groupBy == nil {
+		// Contiguous id blocks: an even split that keeps single-group mode
+		// trivially identical to the unsharded transport.
+		groupBy = func(id NodeID) int { return int(id) * d / n }
+	}
+	e.assignGroups(groupBy)
+	for g := range e.groups {
+		grp := &dispatchGroup{
+			inbox:   make(chan envelope, max(n, 1)),
+			counter: stats.NewCounter(),
+			volume:  stats.NewCounter(),
+		}
+		grp.cond = sync.NewCond(&grp.mu)
+		e.groups[g] = grp
+	}
+	started := make(chan struct{})
+	for g := range e.groups {
+		go e.dispatch(g, started)
+	}
+	for range e.groups {
+		<-started // dispatcher ids registered before any send can race them
+	}
+	return e
+}
+
+// assignGroups recomputes the node -> group mapping. Caller holds e.mu (or
+// is the constructor).
+func (e *dispatchEngine) assignGroups(fn func(NodeID) int) {
+	d := len(e.groups)
+	for i := range e.groupOf {
+		g := fn(NodeID(i))
+		e.groupOf[i] = ((g % d) + d) % d
+	}
+}
+
+// groupCount returns the number of dispatch groups (>= 1).
+func (e *dispatchEngine) groupCount() int { return len(e.groups) }
+
+// groupFor returns the dispatch group currently owning the node.
+func (e *dispatchEngine) groupFor(id NodeID) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.groupOf[id]
+}
+
+// remap replaces the node -> group mapping if the engine is still pristine:
+// not closed and with no pending work anywhere. It reports whether the
+// mapping was applied. Transports layer their own pristineness checks (e.g.
+// "no message ever sent") on top.
+func (e *dispatchEngine) remap(fn func(NodeID) int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	for _, g := range e.groups {
+		g.mu.Lock()
+		p := g.pending
+		g.mu.Unlock()
+		if p != 0 {
+			return false
+		}
+	}
+	e.assignGroups(fn)
+	return true
+}
+
+// beginSend accounts one new work item bound for the node's group and
+// returns the group index. It fails (ok = false) when the engine is
+// closed. The pending count is incremented before the caller enqueues or
+// launches a carrier, so Settle and Close can never miss the item.
+func (e *dispatchEngine) beginSend(to NodeID) (g int, ok bool) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, false
+	}
+	g = e.groupOf[to]
+	grp := e.groups[g]
+	grp.mu.Lock()
+	grp.pending++
+	grp.mu.Unlock()
+	e.mu.Unlock()
+	return g, true
+}
+
+// addPending counts one new work item for group g directly (timer fires,
+// cross-group transfers — paths already serialized against Close).
+func (e *dispatchEngine) addPending(g int) {
+	grp := e.groups[g]
+	grp.mu.Lock()
+	grp.pending++
+	grp.mu.Unlock()
+}
+
+// beginSendGroup is addPending with the closed check of beginSend, for
+// work arriving from outside the dispatch layer (socket readers, drop
+// echoes) that could otherwise race Close and enqueue on a closed inbox.
+func (e *dispatchEngine) beginSendGroup(g int) bool {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return false
+	}
+	e.addPending(g)
+	e.mu.Unlock()
+	return true
+}
+
+// finishPending retires one pending work item of group g, waking
+// Settle/Close at quiescence.
+func (e *dispatchEngine) finishPending(g int) {
+	grp := e.groups[g]
+	grp.mu.Lock()
+	grp.pending--
+	if grp.pending == 0 {
+		grp.cond.Broadcast()
+	}
+	grp.mu.Unlock()
+}
+
+// movePending transfers one pending work item from group `from` to group
+// `to`. The target is incremented before the source is decremented, so the
+// total outstanding count never transiently reads zero — the invariant
+// Settle's verification pass relies on.
+func (e *dispatchEngine) movePending(to, from int) {
+	e.addPending(to)
+	e.finishPending(from)
+}
+
+// chargeMessage tallies one message of the given encoded size under group
+// g's counters.
+func (e *dispatchEngine) chargeMessage(g int, typ string, size int64) {
+	grp := e.groups[g]
+	grp.mu.Lock()
+	grp.counter.Inc(typ)
+	grp.volume.Add(typ, size)
+	grp.mu.Unlock()
+}
+
+// chargeBulk tallies n payload-less transmissions (walks and floods) under
+// group g's counters.
+func (e *dispatchEngine) chargeBulk(g int, typ string, n int64) {
+	grp := e.groups[g]
+	grp.mu.Lock()
+	grp.counter.Add(typ, n)
+	grp.volume.Add(typ, n*BaseMessageBytes)
+	grp.mu.Unlock()
+}
+
+// mergedCounter merges the per-group message counters into a fresh
+// snapshot. Safe to call while dispatchers are running: each group is read
+// under its own lock.
+func (e *dispatchEngine) mergedCounter() *stats.Counter {
+	out := stats.NewCounter()
+	for _, g := range e.groups {
+		g.mu.Lock()
+		out.Merge(g.counter)
+		g.mu.Unlock()
+	}
+	return out
+}
+
+// mergedVolume merges the per-group byte counters into a fresh snapshot.
+func (e *dispatchEngine) mergedVolume() *stats.Counter {
+	out := stats.NewCounter()
+	for _, g := range e.groups {
+		g.mu.Lock()
+		out.Merge(g.volume)
+		g.mu.Unlock()
+	}
+	return out
+}
+
+// dispatch drains one group's inbox: message handlers, rerouted drop
+// callbacks and fired timers of the group's nodes run here one at a time,
+// in arrival order, so their protocol state sees no concurrent mutation.
+// Distinct groups run concurrently.
+func (e *dispatchEngine) dispatch(g int, started chan<- struct{}) {
+	e.mu.Lock()
+	e.dispIDs[goid()] = struct{}{}
+	e.mu.Unlock()
+	started <- struct{}{}
+	for env := range e.groups[g].inbox {
+		switch {
+		case env.barrier != nil:
+			// Park until the Exec closure has run on the caller.
+			env.barrier.arrived <- struct{}{}
+			<-env.barrier.release
+		case env.fn != nil:
+			env.fn()
+			close(env.done)
+		case env.timer != nil:
+			env.timer()
+			e.finishPending(g)
+		default:
+			e.deliver(g, env)
+		}
+	}
+}
+
+// onDispatcher reports whether the calling goroutine is one of the
+// engine's dispatcher goroutines (i.e. we are inside a handler, a drop
+// callback or a timer callback).
+func (e *dispatchEngine) onDispatcher() bool {
+	id := goid()
+	e.mu.Lock()
+	_, ok := e.dispIDs[id]
+	e.mu.Unlock()
+	return ok
+}
+
+// goid parses the calling goroutine's id from its stack header. It is only
+// used on driver entry points (Exec, Settle) to turn silent deadlocks into
+// a diagnosable panic, never on the per-message path.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// exec submits fn to the dispatch layer and blocks until it has run,
+// serialized against every handler: with a single group fn runs on the
+// dispatcher goroutine between deliveries; with sharded dispatch every
+// group is parked at a barrier and fn runs on the caller while no handler
+// anywhere is executing. Calling it from a dispatcher goroutine panics
+// (it would deadlock the dispatcher).
+func (e *dispatchEngine) exec(fn func()) {
+	if e.onDispatcher() {
+		panic("p2p: Exec called from a handler/timer on the dispatcher (would deadlock); drivers only")
+	}
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	if len(e.groups) == 1 {
+		// Fast path: identical to the pre-sharding single dispatcher.
+		done := make(chan struct{})
+		e.groups[0].inbox <- envelope{fn: fn, done: done}
+		<-done
+		return
+	}
+	b := &execBarrier{
+		arrived: make(chan struct{}, len(e.groups)),
+		release: make(chan struct{}),
+	}
+	for _, g := range e.groups {
+		g.inbox <- envelope{barrier: b}
+	}
+	for range e.groups {
+		<-b.arrived
+	}
+	defer close(b.release) // release even if fn panics
+	fn()
+}
+
+// after schedules fn on the dispatcher of owner's group once the real-time
+// delay elapses. A pending timer does not count as in-flight — Settle does
+// not wait for it — but once it fires the callback is counted before the
+// engine lock drops, so Close keeps the owning dispatcher alive until the
+// envelope has been handled.
+func (e *dispatchEngine) after(owner NodeID, delay time.Duration, fn func()) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(delay, func() {
+		e.mu.Lock()
+		delete(e.timers, tm)
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		g := 0
+		if owner >= 0 && int(owner) < len(e.groupOf) {
+			g = e.groupOf[owner]
+		}
+		// Count the callback as pending before releasing the engine lock:
+		// Close verifies quiescence under this lock before closing the
+		// inboxes, so the owning dispatcher stays alive until this envelope
+		// has been handled.
+		e.addPending(g)
+		e.mu.Unlock()
+		e.groups[g].inbox <- envelope{timer: fn}
+	})
+	e.timers[tm] = struct{}{}
+	e.mu.Unlock()
+}
+
+// waitIdle blocks until every group's pending count has been observed at
+// zero, then verifies quiescence under all locks at once: with the engine
+// lock and every group lock held no new work can be accounted, and the
+// "increment the target before decrementing the source" transfer invariant
+// guarantees that in-flight migrations (cross-group drop reroutes, handler
+// sends) are visible in at least one group's count. A failed verification
+// restarts the wait — work migrated behind the scan.
+func (e *dispatchEngine) waitIdle() {
+	for {
+		for _, g := range e.groups {
+			g.mu.Lock()
+			for g.pending > 0 {
+				g.cond.Wait()
+			}
+			g.mu.Unlock()
+		}
+		if e.verifyIdle() {
+			return
+		}
+	}
+}
+
+// verifyIdle checks that every group is pending-free under the engine lock
+// plus every group lock (a frozen, consistent snapshot).
+func (e *dispatchEngine) verifyIdle() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.verifyIdleLocked()
+}
+
+func (e *dispatchEngine) verifyIdleLocked() bool {
+	for _, g := range e.groups {
+		g.mu.Lock()
+	}
+	idle := true
+	for _, g := range e.groups {
+		if g.pending != 0 {
+			idle = false
+		}
+	}
+	for _, g := range e.groups {
+		g.mu.Unlock()
+	}
+	return idle
+}
+
+// idleNow reports a best-effort snapshot of quiescence without the full
+// verification (used by the TCP status protocol, whose two-round stability
+// check absorbs the raciness).
+func (e *dispatchEngine) idleNow() bool {
+	for _, g := range e.groups {
+		g.mu.Lock()
+		p := g.pending
+		g.mu.Unlock()
+		if p != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// settle blocks until every in-flight work item (and everything sent while
+// handling it) has been handled. Calling it from a handler would deadlock
+// and panics instead.
+func (e *dispatchEngine) settle() {
+	if e.onDispatcher() {
+		panic("p2p: Settle called from a handler/timer on the dispatcher (would deadlock); drivers only")
+	}
+	e.waitIdle()
+}
+
+// closeEngine shuts every dispatcher down after draining in-flight work,
+// and cancels timers that have not fired yet. The final drain verification
+// and the shutdown happen under the engine lock, so a timer firing
+// concurrently either lands before its inbox closes (pending was
+// incremented under the same lock first) or observes closed and drops.
+func (e *dispatchEngine) closeEngine() {
+	for {
+		for _, g := range e.groups {
+			g.mu.Lock()
+			for g.pending > 0 {
+				g.cond.Wait()
+			}
+			g.mu.Unlock()
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		if !e.verifyIdleLocked() {
+			e.mu.Unlock()
+			continue // work migrated behind the scan; drain again
+		}
+		e.closed = true
+		for tm := range e.timers {
+			tm.Stop()
+		}
+		e.timers = make(map[*time.Timer]struct{})
+		for _, g := range e.groups {
+			close(g.inbox)
+		}
+		e.mu.Unlock()
+		return
+	}
+}
+
+// isClosed reports whether Close has completed.
+func (e *dispatchEngine) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}

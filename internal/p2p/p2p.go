@@ -192,7 +192,10 @@ func (n *Network) charge(typ string, k int64) {
 
 // Send schedules delivery of msg from msg.From to msg.To, counting it under
 // msg.Type. Messages to offline or handler-less nodes are counted as sent
-// (the bytes hit the wire) but trigger Drop instead of a handler.
+// (the bytes hit the wire) but trigger Drop instead of a handler. Messages
+// whose payload is serializable (nil, or with a registered wire codec) are
+// charged their real encoded frame length; the Sizer estimate remains the
+// fallback, so discrete-event and TCP runs report comparable byte counts.
 func (n *Network) Send(msg *Message) {
 	if msg.To < 0 || int(msg.To) >= n.graph.Len() {
 		panic(fmt.Sprintf("p2p: send to out-of-range node %d", msg.To))
@@ -202,11 +205,7 @@ func (n *Network) Send(msg *Message) {
 		msg.ID = n.nextMsg
 	}
 	n.counter.Inc(msg.Type)
-	size := BaseMessageBytes
-	if s, ok := msg.Payload.(Sizer); ok {
-		size += s.WireSize()
-	}
-	n.bytes.Add(msg.Type, int64(size))
+	n.bytes.Add(msg.Type, messageWireSize(msg))
 	lat := n.latencyBetween(msg.From, msg.To)
 	n.engine.After(sim.Seconds(lat), func() {
 		if !n.online[msg.To] || n.handler[msg.To] == nil {

@@ -287,13 +287,21 @@ func TestByteAccounting(t *testing.T) {
 	net.SendNew("plain", 0, 1, 0, nil)
 	net.SendNew("sized", 0, 1, 0, sizedPayload{n: 1000})
 	e.Run()
-	if got := net.Bytes().Get("plain"); got != BaseMessageBytes {
-		t.Errorf("plain bytes = %d, want %d", got, BaseMessageBytes)
+	// A payload-less message is serializable without a codec: it is
+	// charged its real encoded frame length.
+	frame, ok := encodeFrame(&Message{Type: "plain", From: 0, To: 1})
+	if !ok {
+		t.Fatal("nil-payload message not frameable")
 	}
+	if got := net.Bytes().Get("plain"); got != int64(len(frame)) {
+		t.Errorf("plain bytes = %d, want frame length %d", got, len(frame))
+	}
+	// A payload without a registered codec falls back to the Sizer
+	// estimate on top of the base message cost.
 	if got := net.Bytes().Get("sized"); got != BaseMessageBytes+1000 {
 		t.Errorf("sized bytes = %d, want %d", got, BaseMessageBytes+1000)
 	}
-	if net.Bytes().Total() != 2*BaseMessageBytes+1000 {
-		t.Errorf("total bytes = %d", net.Bytes().Total())
+	if want := int64(len(frame)) + BaseMessageBytes + 1000; net.Bytes().Total() != want {
+		t.Errorf("total bytes = %d, want %d", net.Bytes().Total(), want)
 	}
 }

@@ -1,0 +1,1133 @@
+package p2p
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2psum/internal/stats"
+	"p2psum/internal/topology"
+	"p2psum/internal/wire"
+)
+
+// TCPTransport is the socket-backed Transport: a process hosts a subset of
+// the overlay's nodes, serializes every protocol message into a wire frame
+// (internal/wire) and ships frames to the processes hosting the remaining
+// nodes over persistent TCP connections, so two real OS processes can form
+// a summary domain, reconcile it and answer queries — the deployment
+// direction ROADMAP names beyond the in-memory transports.
+//
+// Topology is shared knowledge: every process constructs the same
+// topology.Graph (same generator, same seed) and agrees on which process
+// hosts which node (TCPConfig.Hosts). Handler dispatch reuses the dispatch
+// engine of the in-memory channel transport — per-group serialized
+// dispatcher goroutines, Exec barriers, After timers, sharded bookkeeping —
+// so the protocol layers see the exact same execution model; only delivery
+// differs: a frame bound for a remote node rides a per-peer writer
+// goroutine onto the socket instead of a latency-sleeping carrier.
+//
+// Stream protocol: every unit on a connection is a 4-byte big-endian
+// length followed by a 1-byte kind and the body. Data units carry one wire
+// frame; control units implement the hello handshake (listen address plus
+// hosted node ids), drop echoes (§4.3 failure detection across processes:
+// a frame for an offline node bounces back and runs the sender's drop
+// callback in the sender's process), the status exchange behind the
+// distributed Settle, and named barriers for driver-side phase alignment.
+//
+// Byte accounting is exact: every serializable message — local or remote —
+// is charged the length of its encoded frame, so Bytes() equals the sum of
+// encoded frame lengths and in-process runs report the same volumes as
+// distributed ones. WireStats additionally reports the socket-level frame
+// traffic.
+//
+// Limitations (documented, driver-visible): Online state is a local view —
+// remote nodes count as online unless flipped locally; Flood, SelectiveWalk
+// and RandomWalk traverse the shared topology in the calling process
+// (charging transmissions as the in-memory transports do) and their accept
+// callbacks only see local protocol state. Drivers on a TCP deployment
+// should therefore partition driver duties by locality (see Localizer),
+// which internal/core's construction already does.
+type TCPTransport struct {
+	graph *topology.Graph
+	cfg   TCPConfig
+	eng   *dispatchEngine
+	ln    net.Listener
+	laddr string
+
+	mu      sync.Mutex // guards online, handler, drop
+	online  []bool
+	handler []Handler
+	drop    func(*Message)
+
+	local  []bool   // id -> hosted in this process
+	hostOf []string // id -> remote process address ("" when local)
+
+	connMu   sync.Mutex
+	conns    map[string]*tcpConn // peer listen address -> registered connection
+	allConns []*tcpConn          // every started connection, for Close
+	closed   bool
+
+	wireMu      sync.Mutex
+	sentTo      map[string]int64 // data frames enqueued per peer address
+	handledFrom map[string]int64 // data frames fully handled per peer address
+	ws          WireStats
+
+	statusMu sync.Mutex
+	nonce    uint64
+	statusCh map[uint64]chan statusInfo
+
+	barrierMu sync.Mutex
+	barriers  map[uint32]map[string]bool // tag -> peer addresses seen
+
+	nextMsg atomic.Uint64
+	wg      sync.WaitGroup
+}
+
+// TCPConfig configures a TCPTransport.
+type TCPConfig struct {
+	// Listen is the TCP listen address, e.g. "127.0.0.1:7701". Use port 0
+	// to let the kernel pick (ListenAddr reports the result).
+	Listen string
+	// Local lists the overlay nodes hosted in this process.
+	Local []NodeID
+	// Hosts maps every remote node to the listen address of the process
+	// hosting it. It may also be installed later via SetHosts (before any
+	// traffic), which test setups with kernel-picked ports need.
+	Hosts map[NodeID]string
+	// Dispatchers is the number of dispatch groups (see ChannelConfig).
+	Dispatchers int
+	// GroupBy maps a node to its dispatch group (see ChannelConfig).
+	GroupBy func(NodeID) int
+	// TimerScale maps one virtual second of After delay onto real time
+	// (default 1ms, matching the channel transport's fallback).
+	TimerScale time.Duration
+	// DialTimeout bounds one connection attempt (default 3s).
+	DialTimeout time.Duration
+	// MaxFrame bounds the accepted unit size in bytes (default 64 MiB).
+	MaxFrame int
+}
+
+// Stream unit kinds.
+const (
+	kHello      = 1 // handshake: listen address + hosted node ids
+	kData       = 2 // one wire frame (a protocol message)
+	kDropEcho   = 3 // a frame bounced back to its sender's process (§4.3)
+	kStatusReq  = 4 // distributed-settle probe
+	kStatusResp = 5 // distributed-settle answer
+	kBarrier    = 6 // named driver barrier marker
+)
+
+// statusInfo is one peer's answer to a settle probe.
+type statusInfo struct {
+	handled int64 // data frames from us the peer has fully handled
+	sent    int64 // data frames the peer has enqueued to us
+	idle    bool  // peer's dispatch groups were pending-free at reply time
+}
+
+// WireStats counts the socket-level data-frame traffic of a TCPTransport.
+// Control units (hello, status, barriers, drop echoes) are excluded: they
+// are transport overhead, not protocol cost.
+type WireStats struct {
+	// SentFrames and SentBytes count data frames enqueued to remote peers
+	// (bytes are encoded frame lengths, without the length prefix).
+	SentFrames, SentBytes int64
+	// RecvFrames and RecvBytes count data frames received from peers.
+	RecvFrames, RecvBytes int64
+	// LocalFrames and LocalBytes count frames delivered within the
+	// process (both endpoints hosted here) — they never touch a socket but
+	// pass through the same encode/decode pipeline.
+	LocalFrames, LocalBytes int64
+	// ChargedMsgs and ChargedBytes count transmissions accounted without
+	// a frame: walk/flood traversal charges and Sizer-fallback payloads
+	// (no registered codec). The byte-accounting identity is therefore
+	// Bytes().Total() == SentBytes + LocalBytes + ChargedBytes.
+	ChargedMsgs, ChargedBytes int64
+}
+
+// tcpConn is one persistent peer connection: a writer goroutine drains the
+// unbounded send queue onto the socket (the per-connection send routine
+// idiom), a reader goroutine parses inbound units. The queue is unbounded
+// on purpose: a dispatcher must never block on a peer's socket
+// backpressure, or two processes flooding each other could deadlock in a
+// cycle (dispatcher -> full send queue -> peer's reader -> peer's full
+// inbox -> peer's dispatcher -> ...). The production-grade refinement —
+// disconnect a peer whose queue exceeds a budget — is a documented
+// follow-up; enqueueing never blocks and never holds a lock across I/O.
+type tcpConn struct {
+	c    net.Conn
+	dead atomic.Bool
+
+	qmu   sync.Mutex
+	qcond *sync.Cond
+	queue [][]byte // complete units, length prefix included
+
+	mu   sync.Mutex
+	addr string // peer's listen address, learned from hello (dialed: preset)
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	conn := &tcpConn{c: c}
+	conn.qcond = sync.NewCond(&conn.qmu)
+	return conn
+}
+
+func (c *tcpConn) peerAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
+
+// send enqueues one unit for the writer; it reports false once the
+// connection is dead. It never blocks on the socket.
+func (c *tcpConn) send(u []byte) bool {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if c.dead.Load() {
+		return false
+	}
+	c.queue = append(c.queue, u)
+	c.qcond.Signal()
+	return true
+}
+
+// next blocks until a unit is queued or the connection dies.
+func (c *tcpConn) next() ([]byte, bool) {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	for len(c.queue) == 0 && !c.dead.Load() {
+		c.qcond.Wait()
+	}
+	if len(c.queue) == 0 {
+		return nil, false
+	}
+	u := c.queue[0]
+	c.queue = c.queue[1:]
+	return u, true
+}
+
+// shutdown marks the connection dead exactly once, closing the socket and
+// waking the writer (queued units are discarded — the peer is gone).
+func (c *tcpConn) shutdown() {
+	c.qmu.Lock()
+	if !c.dead.Swap(true) {
+		c.queue = nil
+		c.qcond.Broadcast()
+	}
+	c.qmu.Unlock()
+	c.c.Close()
+}
+
+// NewTCPTransport builds a TCP transport over the shared graph and starts
+// listening. Every node starts online; handlers are only consulted for
+// local nodes. Close must be called or the listener, dispatcher and
+// connection goroutines leak.
+func NewTCPTransport(graph *topology.Graph, cfg TCPConfig) (*TCPTransport, error) {
+	if len(cfg.Local) == 0 {
+		return nil, errors.New("p2p: TCP transport needs at least one local node")
+	}
+	if cfg.TimerScale <= 0 {
+		cfg.TimerScale = time.Millisecond
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = 64 << 20
+	}
+	n := graph.Len()
+	t := &TCPTransport{
+		graph:       graph,
+		cfg:         cfg,
+		online:      make([]bool, n),
+		handler:     make([]Handler, n),
+		local:       make([]bool, n),
+		hostOf:      make([]string, n),
+		conns:       make(map[string]*tcpConn),
+		sentTo:      make(map[string]int64),
+		handledFrom: make(map[string]int64),
+		statusCh:    make(map[uint64]chan statusInfo),
+		barriers:    make(map[uint32]map[string]bool),
+	}
+	for i := range t.online {
+		t.online[i] = true
+	}
+	for _, id := range cfg.Local {
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("p2p: local node %d out of range", id)
+		}
+		t.local[id] = true
+	}
+	for id, addr := range cfg.Hosts {
+		if err := t.setHost(id, addr); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: listen %s: %w", cfg.Listen, err)
+	}
+	t.ln = ln
+	t.laddr = ln.Addr().String()
+	t.eng = newDispatchEngine(n, cfg.Dispatchers, cfg.GroupBy, t.deliver)
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+func (t *TCPTransport) setHost(id NodeID, addr string) error {
+	if id < 0 || int(id) >= len(t.hostOf) {
+		return fmt.Errorf("p2p: host mapping for out-of-range node %d", id)
+	}
+	if t.local[id] {
+		return fmt.Errorf("p2p: node %d is local, cannot map to %s", id, addr)
+	}
+	t.hostOf[id] = addr
+	return nil
+}
+
+// SetHosts installs the node -> process address mapping for remote nodes.
+// It must complete before any traffic flows (test setups listen on
+// kernel-picked ports first, then exchange addresses).
+func (t *TCPTransport) SetHosts(hosts map[NodeID]string) error {
+	for id, addr := range hosts {
+		if err := t.setHost(id, addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ListenAddr returns the transport's actual listen address.
+func (t *TCPTransport) ListenAddr() string { return t.laddr }
+
+// IsLocal reports whether the node's handlers run in this process.
+func (t *TCPTransport) IsLocal(id NodeID) bool {
+	return id >= 0 && int(id) < len(t.local) && t.local[id]
+}
+
+// LocalIDs returns the sorted ids of the nodes hosted in this process.
+func (t *TCPTransport) LocalIDs() []NodeID {
+	var out []NodeID
+	for i, l := range t.local {
+		if l {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// peerAddrs returns the distinct remote process addresses of the host map.
+func (t *TCPTransport) peerAddrs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range t.hostOf {
+		if a != "" && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// WireStats returns a snapshot of the socket-level data-frame counters.
+func (t *TCPTransport) WireStats() WireStats {
+	t.wireMu.Lock()
+	defer t.wireMu.Unlock()
+	return t.ws
+}
+
+// --- connection management -------------------------------------------------
+
+// helloUnit encodes this process's handshake.
+func (t *TCPTransport) helloUnit() []byte {
+	var e wire.Enc
+	e.String(t.laddr)
+	locals := t.LocalIDs()
+	e.Uvarint(uint64(len(locals)))
+	for _, id := range locals {
+		e.Varint(int64(id))
+	}
+	return unit(kHello, e.Bytes())
+}
+
+// unit assembles one stream unit: length prefix, kind, body.
+func unit(kind byte, body []byte) []byte {
+	b := make([]byte, 4+1+len(body))
+	binary.BigEndian.PutUint32(b, uint32(1+len(body)))
+	b[4] = kind
+	copy(b[5:], body)
+	return b
+}
+
+// DialPeers connects to every remote process of the host map, retrying
+// until the budget elapses — daemons racing to start use it as their
+// connect phase.
+func (t *TCPTransport) DialPeers(budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for _, addr := range t.peerAddrs() {
+		for {
+			if _, ok := t.liveConn(addr); ok {
+				break
+			}
+			if _, err := t.dial(addr); err == nil {
+				break
+			} else if time.Now().After(deadline) {
+				return fmt.Errorf("p2p: dial %s: %w", addr, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// liveConn returns the registered connection for the address, if any.
+func (t *TCPTransport) liveConn(addr string) (*tcpConn, bool) {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	c, ok := t.conns[addr]
+	return c, ok
+}
+
+// dial opens, registers and hands off one connection to addr.
+func (t *TCPTransport) dial(addr string) (*tcpConn, error) {
+	c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	conn := newTCPConn(c)
+	conn.addr = addr
+	t.connMu.Lock()
+	if t.closed {
+		t.connMu.Unlock()
+		c.Close()
+		return nil, errors.New("p2p: transport closed")
+	}
+	if existing, ok := t.conns[addr]; ok {
+		// Simultaneous dials: keep the registered one, use the new socket
+		// read-only (the peer may have registered it on its side).
+		t.connMu.Unlock()
+		if t.startConn(conn) {
+			conn.send(t.helloUnit())
+		}
+		return existing, nil
+	}
+	t.conns[addr] = conn
+	t.connMu.Unlock()
+	if !t.startConn(conn) {
+		t.connMu.Lock()
+		if t.conns[addr] == conn {
+			delete(t.conns, addr)
+		}
+		t.connMu.Unlock()
+		return nil, errors.New("p2p: transport closed")
+	}
+	conn.send(t.helloUnit())
+	return conn, nil
+}
+
+// startConn launches the reader and writer goroutines of a connection,
+// registering it for Close under the same lock Close sets closed under —
+// a connection appearing concurrently with Close is either shut down by
+// Close (registered first) or refused here (closed seen first); its
+// goroutines can never outlive wg.Wait. It reports whether the connection
+// was started.
+func (t *TCPTransport) startConn(conn *tcpConn) bool {
+	t.connMu.Lock()
+	if t.closed {
+		t.connMu.Unlock()
+		conn.shutdown()
+		return false
+	}
+	t.allConns = append(t.allConns, conn)
+	t.wg.Add(2)
+	t.connMu.Unlock()
+	go t.writeLoop(conn)
+	go t.readLoop(conn)
+	return true
+}
+
+// acceptLoop registers inbound connections; their identity arrives with
+// the hello unit.
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		conn := newTCPConn(c)
+		t.connMu.Lock()
+		if t.closed {
+			t.connMu.Unlock()
+			c.Close()
+			return
+		}
+		t.connMu.Unlock()
+		t.startConn(conn)
+	}
+}
+
+// writeLoop drains the connection's send queue onto the socket. A write
+// error marks the connection dead: subsequent sends to the peer run the
+// drop callback instead (§4.3 failure detection for dead connections).
+func (t *TCPTransport) writeLoop(conn *tcpConn) {
+	defer t.wg.Done()
+	for {
+		b, ok := conn.next()
+		if !ok {
+			conn.c.Close()
+			return
+		}
+		if _, err := conn.c.Write(b); err != nil {
+			t.connDead(conn)
+			return
+		}
+	}
+}
+
+// readLoop parses units off the socket until it breaks.
+func (t *TCPTransport) readLoop(conn *tcpConn) {
+	defer t.wg.Done()
+	defer t.connDead(conn)
+	br := bufio.NewReader(conn.c)
+	hdr := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(hdr))
+		if n < 1 || n > t.cfg.MaxFrame {
+			return // corrupt or hostile length
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		t.handleUnit(conn, body[0], body[1:])
+	}
+}
+
+// connDead unregisters a broken connection and shuts it down.
+func (t *TCPTransport) connDead(conn *tcpConn) {
+	if conn.dead.Load() {
+		return
+	}
+	conn.shutdown()
+	addr := conn.peerAddr()
+	t.connMu.Lock()
+	if addr != "" && t.conns[addr] == conn {
+		delete(t.conns, addr)
+	}
+	t.connMu.Unlock()
+}
+
+// enqueue hands one unit to the peer's writer, dialing once on demand. It
+// reports false when the peer is unreachable.
+func (t *TCPTransport) enqueue(addr string, u []byte) bool {
+	conn, ok := t.liveConn(addr)
+	if !ok {
+		var err error
+		if conn, err = t.dial(addr); err != nil {
+			return false
+		}
+	}
+	return conn.send(u)
+}
+
+// --- unit handling ---------------------------------------------------------
+
+func (t *TCPTransport) handleUnit(conn *tcpConn, kind byte, body []byte) {
+	switch kind {
+	case kHello:
+		d := wire.NewDec(body)
+		addr := d.String()
+		count := d.Uvarint()
+		ids := make([]NodeID, 0, count)
+		for i := uint64(0); i < count; i++ {
+			ids = append(ids, NodeID(d.Varint()))
+		}
+		if d.Err() != nil || addr == "" {
+			t.connDead(conn)
+			return
+		}
+		// Validate the advertised hosting against our map: a peer claiming
+		// nodes we map elsewhere is a topology misconfiguration.
+		for _, id := range ids {
+			if id >= 0 && int(id) < len(t.hostOf) && t.hostOf[id] != "" && t.hostOf[id] != addr {
+				t.connDead(conn)
+				return
+			}
+		}
+		conn.mu.Lock()
+		conn.addr = addr
+		conn.mu.Unlock()
+		t.connMu.Lock()
+		if _, ok := t.conns[addr]; !ok && !t.closed {
+			t.conns[addr] = conn // reuse the inbound socket for replies
+		}
+		t.connMu.Unlock()
+	case kData:
+		origin := conn.peerAddr()
+		if origin == "" {
+			return // data before hello: protocol violation, drop
+		}
+		msg, err := decodeFrame(body)
+		if err != nil {
+			return // undecodable frame: drop (logged by byte counters' absence)
+		}
+		t.wireMu.Lock()
+		t.ws.RecvFrames++
+		t.ws.RecvBytes += int64(len(body))
+		t.wireMu.Unlock()
+		if !t.IsLocal(msg.To) {
+			t.markHandled(origin) // misrouted: processed as far as we ever will
+			return
+		}
+		msg.ID = t.nextMsg.Add(1)
+		g, ok := t.eng.beginSend(msg.To)
+		if !ok {
+			return // transport closed underneath the reader
+		}
+		t.eng.groups[g].inbox <- envelope{msg: msg, origin: origin}
+	case kDropEcho:
+		msg, err := decodeFrame(body)
+		if err != nil {
+			return
+		}
+		t.dropToSender(msg)
+	case kStatusReq:
+		d := wire.NewDec(body)
+		nonce := d.Uvarint()
+		if d.Err() != nil {
+			return
+		}
+		origin := conn.peerAddr()
+		t.wireMu.Lock()
+		handled := t.handledFrom[origin]
+		sent := t.sentTo[origin]
+		t.wireMu.Unlock()
+		var e wire.Enc
+		e.Uvarint(nonce)
+		e.Uvarint(uint64(handled))
+		e.Uvarint(uint64(sent))
+		e.Bool(t.eng.idleNow())
+		conn.send(unit(kStatusResp, e.Bytes()))
+	case kStatusResp:
+		d := wire.NewDec(body)
+		nonce := d.Uvarint()
+		st := statusInfo{handled: int64(d.Uvarint()), sent: int64(d.Uvarint()), idle: d.Bool()}
+		if d.Err() != nil {
+			return
+		}
+		t.statusMu.Lock()
+		ch := t.statusCh[nonce]
+		delete(t.statusCh, nonce)
+		t.statusMu.Unlock()
+		if ch != nil {
+			ch <- st
+		}
+	case kBarrier:
+		d := wire.NewDec(body)
+		tag := uint32(d.Uvarint())
+		from := d.String()
+		if d.Err() != nil {
+			return
+		}
+		t.barrierMu.Lock()
+		if t.barriers[tag] == nil {
+			t.barriers[tag] = make(map[string]bool)
+		}
+		t.barriers[tag][from] = true
+		t.barrierMu.Unlock()
+	}
+}
+
+// markHandled counts one data frame from the peer as fully processed.
+func (t *TCPTransport) markHandled(origin string) {
+	if origin == "" {
+		return
+	}
+	t.wireMu.Lock()
+	t.handledFrom[origin]++
+	t.wireMu.Unlock()
+}
+
+// dropToSender runs the drop callback for msg in its (local) sender's
+// dispatch group. The forward rides its own goroutine so a dispatcher
+// enqueueing into its own full inbox cannot deadlock. Drop echoes arrive
+// from socket readers, which outlive the dispatchers during Close, so the
+// pending count goes through the closed-checked path.
+func (t *TCPTransport) dropToSender(msg *Message) {
+	if msg.From < 0 || !t.IsLocal(msg.From) {
+		return
+	}
+	g := t.eng.groupFor(msg.From)
+	if !t.eng.beginSendGroup(g) {
+		return // transport closed underneath the reader
+	}
+	go func() { t.eng.groups[g].inbox <- envelope{msg: msg, isDrop: true} }()
+}
+
+// --- delivery --------------------------------------------------------------
+
+// deliver implements the transport's delivery policy on the dispatch
+// engine: run the local handler, or route the drop notification — to the
+// local sender's group like the channel transport, or back over the socket
+// when the sender lives in another process.
+func (t *TCPTransport) deliver(g int, env envelope) {
+	msg := env.msg
+	if env.isDrop {
+		t.mu.Lock()
+		drop := t.drop
+		t.mu.Unlock()
+		if drop != nil {
+			drop(msg)
+		}
+		t.eng.finishPending(g)
+		return
+	}
+	t.mu.Lock()
+	up := t.online[msg.To]
+	h := t.handler[msg.To]
+	drop := t.drop
+	t.mu.Unlock()
+	if up && h != nil {
+		h(msg)
+		t.markHandled(env.origin)
+		t.eng.finishPending(g)
+		return
+	}
+	// Destination offline or handler-less: failure detection (§4.3). The
+	// frame itself is processed either way.
+	t.markHandled(env.origin)
+	switch {
+	case msg.From >= 0 && t.IsLocal(msg.From):
+		if drop != nil {
+			gFrom := t.eng.groupFor(msg.From)
+			if gFrom == g {
+				drop(msg)
+			} else {
+				t.eng.movePending(gFrom, g)
+				go func() { t.eng.groups[gFrom].inbox <- envelope{msg: msg, isDrop: true} }()
+				return
+			}
+		}
+	case env.origin != "":
+		// Bounce the frame to the sender's process; its transport runs the
+		// drop callback in the sender's group.
+		if frame, ok := encodeFrame(msg); ok {
+			t.enqueue(env.origin, unit(kDropEcho, frame))
+		}
+	}
+	t.eng.finishPending(g)
+}
+
+// --- Transport interface ---------------------------------------------------
+
+// Len returns the number of overlay nodes.
+func (t *TCPTransport) Len() int { return t.graph.Len() }
+
+// Graph exposes the shared overlay topology.
+func (t *TCPTransport) Graph() *topology.Graph { return t.graph }
+
+// DispatchGroups returns the number of dispatch groups (>= 1).
+func (t *TCPTransport) DispatchGroups() int { return t.eng.groupCount() }
+
+// SetGroupBy replaces the node -> dispatch-group mapping while the
+// transport is pristine (no message sent yet); see
+// ChannelTransport.SetGroupBy for the contract.
+func (t *TCPTransport) SetGroupBy(fn func(NodeID) int) bool {
+	if fn == nil || t.nextMsg.Load() != 0 {
+		return false
+	}
+	return t.eng.remap(fn)
+}
+
+// Counter returns a merged snapshot of the per-group message counters
+// (see ChannelTransport.Counter).
+func (t *TCPTransport) Counter() *stats.Counter { return t.eng.mergedCounter() }
+
+// Bytes returns a merged snapshot of the per-type traffic volumes. Every
+// serializable message is charged its encoded frame length, so the total
+// equals the sum of frame lengths that crossed sockets plus those
+// delivered locally (cross-check with WireStats).
+func (t *TCPTransport) Bytes() *stats.Counter { return t.eng.mergedVolume() }
+
+// SetHandler installs the message handler of a node (consulted only for
+// local nodes).
+func (t *TCPTransport) SetHandler(id NodeID, h Handler) {
+	t.mu.Lock()
+	t.handler[id] = h
+	t.mu.Unlock()
+}
+
+// SetDrop installs the drop callback (§4.3 failure detection). It runs in
+// the dispatch group of the message's sender — also when the drop happened
+// in another process and was echoed back.
+func (t *TCPTransport) SetDrop(fn func(*Message)) {
+	t.mu.Lock()
+	t.drop = fn
+	t.mu.Unlock()
+}
+
+// Online reports the local view of a node's connectivity (remote nodes
+// default to online).
+func (t *TCPTransport) Online(id NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.online[id]
+}
+
+// SetOnline flips the local view of a node's connectivity.
+func (t *TCPTransport) SetOnline(id NodeID, up bool) {
+	t.mu.Lock()
+	t.online[id] = up
+	t.mu.Unlock()
+}
+
+// OnlineCount returns the number of nodes online in the local view.
+func (t *TCPTransport) OnlineCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := 0
+	for _, up := range t.online {
+		if up {
+			c++
+		}
+	}
+	return c
+}
+
+// OnlineIDs returns the sorted ids of nodes online in the local view.
+func (t *TCPTransport) OnlineIDs() []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []NodeID
+	for i, up := range t.online {
+		if up {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Neighbors returns the online neighbors of a node, in ascending id order.
+func (t *TCPTransport) Neighbors(id NodeID) []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []NodeID
+	for _, v := range t.graph.Neighbors(int(id)) {
+		if t.online[v] {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// Degree returns the node's static overlay degree.
+func (t *TCPTransport) Degree(id NodeID) int { return t.graph.Degree(int(id)) }
+
+// HopsWithin returns BFS hop distances from src, bounded by radius.
+func (t *TCPTransport) HopsWithin(src NodeID, radius int) map[NodeID]int {
+	dist := t.graph.BFSWithin(int(src), radius)
+	out := make(map[NodeID]int, len(dist))
+	for v, d := range dist {
+		out[NodeID(v)] = d
+	}
+	return out
+}
+
+// charge accounts n payload-less transmissions (walks and floods) under
+// group 0, like the channel transport; WireStats books them as frameless.
+func (t *TCPTransport) charge(typ string, n int64) {
+	t.eng.chargeBulk(0, typ, n)
+	t.chargeFrameless(n, n*BaseMessageBytes)
+}
+
+// chargeFrameless records traffic charged without an encoded frame.
+func (t *TCPTransport) chargeFrameless(msgs, bytes int64) {
+	t.wireMu.Lock()
+	t.ws.ChargedMsgs += msgs
+	t.ws.ChargedBytes += bytes
+	t.wireMu.Unlock()
+}
+
+// chargeGroupOf picks the counter group for a send: the local sender's
+// group, or group 0 for frames originated by drivers on behalf of remote
+// nodes (which should not happen in a well-partitioned deployment).
+func (t *TCPTransport) chargeGroupOf(msg *Message) int {
+	if msg.From >= 0 && t.IsLocal(msg.From) {
+		return t.eng.groupFor(msg.From)
+	}
+	return 0
+}
+
+// Send serializes the message into a wire frame and delivers it: frames
+// for local nodes go through the dispatch engine (decoded back through the
+// codec, so local and remote delivery share one serialization pipeline),
+// frames for remote nodes ride the peer connection's writer goroutine. A
+// message whose payload has no registered codec can only be delivered
+// locally (shared-memory fallback, Sizer accounting); sending one to a
+// remote node counts it as sent and runs the drop callback. Messages to
+// unreachable processes (dead connections, failed dials) are likewise
+// counted and dropped — the §4.3 failure-detection path.
+func (t *TCPTransport) Send(msg *Message) {
+	if msg.To < 0 || int(msg.To) >= t.graph.Len() {
+		panic(fmt.Sprintf("p2p: send to out-of-range node %d", msg.To))
+	}
+	if t.eng.isClosed() {
+		panic("p2p: send on closed TCPTransport")
+	}
+	id := t.nextMsg.Add(1)
+	if msg.ID == 0 {
+		msg.ID = id
+	}
+	frame, framed := encodeFrame(msg)
+
+	if t.IsLocal(msg.To) {
+		size := int64(BaseMessageBytes)
+		if framed {
+			size = int64(len(frame))
+			// Round-trip through the codec: local delivery observes exactly
+			// what a remote process would have decoded.
+			if m2, err := decodeFrame(frame); err == nil {
+				m2.ID = msg.ID
+				msg = m2
+			}
+			t.wireMu.Lock()
+			t.ws.LocalFrames++
+			t.ws.LocalBytes += size
+			t.wireMu.Unlock()
+		} else {
+			if s, ok := msg.Payload.(Sizer); ok {
+				size += int64(s.WireSize())
+			}
+			t.chargeFrameless(1, size)
+		}
+		g, ok := t.eng.beginSend(msg.To)
+		if !ok {
+			panic("p2p: send on closed TCPTransport")
+		}
+		t.eng.chargeMessage(g, msg.Type, size)
+		go func() { t.eng.groups[g].inbox <- envelope{msg: msg} }()
+		return
+	}
+
+	addr := t.hostOf[msg.To]
+	g := t.chargeGroupOf(msg)
+	if !framed {
+		size := int64(BaseMessageBytes)
+		if s, ok := msg.Payload.(Sizer); ok {
+			size += int64(s.WireSize())
+		}
+		t.eng.chargeMessage(g, msg.Type, size)
+		t.chargeFrameless(1, size)
+		t.dropToSender(msg)
+		return
+	}
+	t.eng.chargeMessage(g, msg.Type, int64(len(frame)))
+	if addr == "" || !t.enqueue(addr, unit(kData, frame)) {
+		// Unmapped node or dead connection: the message was charged as
+		// sent (the bytes hit the wire as far as accounting is concerned)
+		// but no frame bucket took it — book it frameless so the
+		// WireStats identity survives the §4.3 failure path.
+		t.chargeFrameless(1, int64(len(frame)))
+		t.dropToSender(msg)
+		return
+	}
+	t.wireMu.Lock()
+	t.sentTo[addr]++
+	t.ws.SentFrames++
+	t.ws.SentBytes += int64(len(frame))
+	t.wireMu.Unlock()
+}
+
+// SendNew builds and sends a message.
+func (t *TCPTransport) SendNew(typ string, from, to NodeID, ttl int, payload any) {
+	t.Send(&Message{Type: typ, From: from, To: to, TTL: ttl, Payload: payload})
+}
+
+// Flood delivers a message of the given type from src to every node within
+// ttl hops using Gnutella-style constrained broadcast, traversing the
+// shared topology in this process (§6.2.3 accounting semantics).
+func (t *TCPTransport) Flood(typ string, src NodeID, ttl int, payload any, visit func(NodeID)) map[NodeID]bool {
+	return runFlood(t, typ, src, ttl, visit)
+}
+
+// SelectiveWalk performs the §4.1 find-protocol walk over the shared
+// topology; the accept callback only sees local protocol state.
+func (t *TCPTransport) SelectiveWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult {
+	return runWalk(t, typ, src, maxHops, accept, selectiveChoice(t.Degree))
+}
+
+// RandomWalk is the blind baseline walk (same locality caveat as
+// SelectiveWalk). The choice is pseudo-random per call.
+func (t *TCPTransport) RandomWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult {
+	step := t.nextMsg.Add(1)
+	return runWalk(t, typ, src, maxHops, accept, func(cands []NodeID) NodeID {
+		step = step*6364136223846793005 + 1442695040888963407
+		return cands[int(step>>33)%len(cands)]
+	})
+}
+
+// Exec runs fn serialized with every local handler (see
+// ChannelTransport.Exec). It quiesces this process only — align remote
+// drivers with Barrier.
+func (t *TCPTransport) Exec(fn func()) { t.eng.exec(fn) }
+
+// After schedules fn on the dispatcher of owner's group, delaySeconds of
+// virtual time from now, scaled by TimerScale (see ChannelTransport.After
+// for the serialization and Settle/Close contract).
+func (t *TCPTransport) After(owner NodeID, delaySeconds float64, fn func()) {
+	t.eng.after(owner, time.Duration(delaySeconds*float64(t.cfg.TimerScale)), fn)
+}
+
+// Settle blocks until the whole deployment is quiescent as far as this
+// process can observe: the local dispatch groups are drained and every
+// reachable peer reports, twice in a row with unchanged counters, that it
+// is idle, has handled every data frame we sent it, and has sent nothing
+// we have not handled. Unreachable peers are treated as departed (their
+// frames were dropped). Calling Settle from a handler panics.
+func (t *TCPTransport) Settle() {
+	if t.eng.onDispatcher() {
+		panic("p2p: Settle called from a handler/timer on the dispatcher (would deadlock); drivers only")
+	}
+	stable := 0
+	prev := make(map[string][2]int64)
+	for stable < 2 {
+		t.eng.waitIdle()
+		quiet := true
+		cur := make(map[string][2]int64)
+		for _, addr := range t.peerAddrs() {
+			if _, ok := t.liveConn(addr); !ok {
+				continue // unreachable: nothing in flight we could wait for
+			}
+			st, ok := t.peerStatus(addr, 2*time.Second)
+			if !ok {
+				// The peer is connected but did not answer in time (e.g.
+				// buried in a long merge): not quiescent — only a departed
+				// peer (no live connection) may be skipped.
+				quiet = false
+				continue
+			}
+			t.wireMu.Lock()
+			mySent := t.sentTo[addr]
+			myHandled := t.handledFrom[addr]
+			t.wireMu.Unlock()
+			if !st.idle || st.handled != mySent || st.sent != myHandled {
+				quiet = false
+			}
+			cur[addr] = [2]int64{st.handled, st.sent}
+		}
+		if !t.eng.idleNow() {
+			quiet = false
+		}
+		if quiet && mapsEqual(cur, prev) {
+			stable++
+		} else {
+			stable = 0
+		}
+		prev = cur
+		if stable < 2 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func mapsEqual(a, b map[string][2]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// peerStatus asks one peer for its settle counters.
+func (t *TCPTransport) peerStatus(addr string, timeout time.Duration) (statusInfo, bool) {
+	ch := make(chan statusInfo, 1)
+	t.statusMu.Lock()
+	t.nonce++
+	nonce := t.nonce
+	t.statusCh[nonce] = ch
+	t.statusMu.Unlock()
+	var e wire.Enc
+	e.Uvarint(nonce)
+	if !t.enqueue(addr, unit(kStatusReq, e.Bytes())) {
+		t.statusMu.Lock()
+		delete(t.statusCh, nonce)
+		t.statusMu.Unlock()
+		return statusInfo{}, false
+	}
+	select {
+	case st := <-ch:
+		return st, true
+	case <-time.After(timeout):
+		t.statusMu.Lock()
+		delete(t.statusCh, nonce)
+		t.statusMu.Unlock()
+		return statusInfo{}, false
+	}
+}
+
+// Barrier aligns driver phases across processes: it announces the tag to
+// every peer process and blocks until every peer's announcement for the
+// same tag has arrived (announcements are sticky, so arrival order does
+// not matter). Use distinct tags per phase.
+func (t *TCPTransport) Barrier(tag uint32, timeout time.Duration) error {
+	peers := t.peerAddrs()
+	var e wire.Enc
+	e.Uvarint(uint64(tag))
+	e.String(t.laddr)
+	for _, addr := range peers {
+		if !t.enqueue(addr, unit(kBarrier, e.Bytes())) {
+			return fmt.Errorf("p2p: barrier %d: peer %s unreachable", tag, addr)
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		t.barrierMu.Lock()
+		missing := 0
+		for _, addr := range peers {
+			if !t.barriers[tag][addr] {
+				missing++
+			}
+		}
+		t.barrierMu.Unlock()
+		if missing == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("p2p: barrier %d: %d peers missing after %v", tag, missing, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Close settles the local dispatch groups, shuts the listener and every
+// connection down and stops the dispatchers. Sending afterwards panics.
+func (t *TCPTransport) Close() {
+	t.connMu.Lock()
+	if t.closed {
+		t.connMu.Unlock()
+		return
+	}
+	t.closed = true
+	conns := append([]*tcpConn(nil), t.allConns...)
+	t.connMu.Unlock()
+	t.ln.Close()
+	t.eng.closeEngine()
+	for _, c := range conns {
+		c.shutdown()
+	}
+	t.wg.Wait()
+}

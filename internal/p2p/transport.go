@@ -1,8 +1,11 @@
 package p2p
 
 import (
+	"fmt"
+
 	"p2psum/internal/stats"
 	"p2psum/internal/topology"
+	"p2psum/internal/wire"
 )
 
 // Transport is the overlay substrate the protocol stack (internal/core,
@@ -66,9 +69,13 @@ type Transport interface {
 	RandomWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult
 
 	// Counter exposes the per-type message counters — the unit of every
-	// cost figure in the paper.
+	// cost figure in the paper. Transports with sharded bookkeeping
+	// return a merged snapshot per call; read it again for fresh totals.
 	Counter() *stats.Counter
-	// Bytes exposes the per-type traffic volume counters.
+	// Bytes exposes the per-type traffic volume counters (same snapshot
+	// contract as Counter). A message whose payload is serializable — nil,
+	// or carrying a registered wire codec — is charged its real encoded
+	// frame length; the Sizer estimate is the fallback.
 	Bytes() *stats.Counter
 
 	// Exec runs fn serialized with message handlers and returns when fn
@@ -120,12 +127,139 @@ type DispatchGrouper interface {
 	Graph() *topology.Graph
 }
 
-// Compile-time conformance of both implementations.
+// Localizer is the optional interface of transports that host only a
+// subset of the overlay in this process (TCPTransport). Driver-side
+// protocol code consults it to act only for the nodes it owns — e.g.
+// core.Construct broadcasts only from local summary peers, so two
+// processes calling Construct concurrently each drive their own half of
+// the domain. In-memory transports host every node and do not implement
+// it.
+type Localizer interface {
+	// IsLocal reports whether the node's handlers run in this process.
+	IsLocal(id NodeID) bool
+}
+
+// IsLocal reports whether the node is hosted in this process on the given
+// transport: true for every node of an in-memory transport, the
+// Localizer's answer otherwise.
+func IsLocal(t Transport, id NodeID) bool {
+	if l, ok := t.(Localizer); ok {
+		return l.IsLocal(id)
+	}
+	return true
+}
+
+// Compile-time conformance of the implementations.
 var (
 	_ Transport       = (*Network)(nil)
 	_ Transport       = (*ChannelTransport)(nil)
+	_ Transport       = (*TCPTransport)(nil)
 	_ DispatchGrouper = (*ChannelTransport)(nil)
+	_ DispatchGrouper = (*TCPTransport)(nil)
+	_ Localizer       = (*TCPTransport)(nil)
 )
+
+// frameOf builds the frame header for msg.
+func frameOf(msg *Message, hasPayload bool) wire.Frame {
+	return wire.Frame{
+		Type:       msg.Type,
+		From:       int64(msg.From),
+		To:         int64(msg.To),
+		TTL:        msg.TTL,
+		Hops:       msg.Hops,
+		HasPayload: hasPayload,
+	}
+}
+
+// encodeFrame serializes msg into a wire frame when its payload is
+// serializable: messages without a payload frame directly, and payloads
+// whose message type has a registered wire codec are encoded through it.
+// It reports false for payloads the codec registry cannot serialize — the
+// caller falls back to shared-memory delivery and Sizer accounting.
+func encodeFrame(msg *Message) ([]byte, bool) {
+	has := msg.Payload != nil
+	f := frameOf(msg, has)
+	if has {
+		c, ok := wire.Lookup(msg.Type)
+		if !ok {
+			return nil, false
+		}
+		var pe wire.Enc
+		if err := c.Encode(&pe, msg.Payload); err != nil {
+			return nil, false
+		}
+		f.Payload = pe.Bytes()
+	}
+	return f.Encode(), true
+}
+
+// frameSize measures the encoded frame length of msg without building the
+// bytes (counting Enc all the way down). It must agree exactly with
+// len(encodeFrame(msg)) — TestByteAccounting pins that.
+func frameSize(msg *Message) (int64, bool) {
+	has := msg.Payload != nil
+	payloadLen := 0
+	if has {
+		c, ok := wire.Lookup(msg.Type)
+		if !ok {
+			return 0, false
+		}
+		ce := wire.NewCountEnc()
+		if err := c.Encode(ce, msg.Payload); err != nil {
+			return 0, false
+		}
+		payloadLen = ce.Len()
+	}
+	f := frameOf(msg, has)
+	return int64(f.SizeWithPayload(payloadLen)), true
+}
+
+// decodeFrame reconstructs a Message from a wire frame, decoding the
+// payload through the registered codec. Frames without a payload need no
+// codec.
+func decodeFrame(b []byte) (*Message, error) {
+	f, err := wire.DecodeFrame(b)
+	if err != nil {
+		return nil, err
+	}
+	msg := &Message{
+		Type: f.Type,
+		From: NodeID(f.From),
+		To:   NodeID(f.To),
+		TTL:  f.TTL,
+		Hops: f.Hops,
+	}
+	if f.HasPayload {
+		c, ok := wire.Lookup(f.Type)
+		if !ok {
+			return nil, fmt.Errorf("p2p: no codec registered for message type %q", f.Type)
+		}
+		payload, err := c.Decode(f.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("p2p: decode %q payload: %w", f.Type, err)
+		}
+		msg.Payload = payload
+	}
+	return msg, nil
+}
+
+// messageWireSize returns the byte size a transport charges for msg: the
+// real encoded frame length when the payload is serializable (making the
+// paper's cost figures byte-accurate and identical across transports), the
+// BaseMessageBytes + Sizer estimate otherwise. The measurement runs the
+// codec against a counting Enc — one allocation-free tree walk for
+// data-level payloads, the same asymptotics as the old Sizer's NodeCount()
+// walk; protocol-level payloads cost a few header bytes to count.
+func messageWireSize(msg *Message) int64 {
+	if size, ok := frameSize(msg); ok {
+		return size
+	}
+	size := BaseMessageBytes
+	if s, ok := msg.Payload.(Sizer); ok {
+		size += s.WireSize()
+	}
+	return int64(size)
+}
 
 // linkView is the minimal overlay view the shared walk and flood
 // traversals need: neighbor lookup plus a metered charge per transmission.

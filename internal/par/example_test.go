@@ -19,11 +19,13 @@ func ExampleForEach() {
 	// Output: [0 1 4 9 16 25] <nil>
 }
 
-// A failing job stops dispatch, and the lowest-index error wins
-// deterministically regardless of which worker hit it first.
+// A failing job stops dispatch: no new jobs start after the error, and the
+// lowest-index error among the jobs that ran is returned. (With several
+// failing jobs, which of them ran first depends on scheduling — here a
+// single failing job keeps the example deterministic.)
 func ExampleForEach_error() {
 	err := par.ForEach(4, 8, func(i int) error {
-		if i%3 == 2 {
+		if i == 2 {
 			return fmt.Errorf("job %d failed", i)
 		}
 		return nil

@@ -1,0 +1,315 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2psum/internal/cells"
+	"p2psum/internal/core"
+	"p2psum/internal/p2p"
+	"p2psum/internal/query"
+	"p2psum/internal/saintetiq"
+	"p2psum/internal/wire"
+)
+
+// Remote query routing: the data-level §5.2 services evaluated by sending
+// the query to the origin's summary peer as a real protocol message — the
+// path a deployed overlay needs when the summary peer lives in another
+// process (p2p.TCPTransport). RouteData remains the in-process fast path;
+// QueryService is the message-borne one. Both payloads are registered with
+// the wire codec layer, so queries and their approximate answers are
+// byte-accounted exactly like every other protocol message.
+
+// QueryPayload ships a flexible query to a summary peer.
+type QueryPayload struct {
+	// QID correlates the response with the asking driver.
+	QID uint64
+	// Query is the reformulated flexible query (§5.1).
+	Query query.Query
+}
+
+// QueryResponsePayload carries a domain's answer back to the originator.
+type QueryResponsePayload struct {
+	// QID echoes the request's correlation id.
+	QID uint64
+	// Err is the evaluation failure, if any ("" on success).
+	Err string
+	// Peers is PQ: the peers the global summary designates (§5.2.1).
+	Peers []p2p.NodeID
+	// Visited is the number of summary nodes the selection explored.
+	Visited int
+	// Answer is the approximate answer computed in the summary domain
+	// (§5.2.2); nil when Err is set.
+	Answer *query.Answer
+}
+
+func init() {
+	wire.Register(MsgQuery, wire.PayloadCodec{Encode: encodeQuery, Decode: decodeQuery})
+	wire.Register(MsgQueryResponse, wire.PayloadCodec{Encode: encodeQueryResponse, Decode: decodeQueryResponse})
+}
+
+func encodeFlexQuery(e *wire.Enc, q query.Query) {
+	e.Strings(q.Select)
+	e.Uvarint(uint64(len(q.Where)))
+	for _, c := range q.Where {
+		e.String(c.Attr)
+		e.Strings(c.Labels)
+	}
+}
+
+func decodeFlexQuery(d *wire.Dec) query.Query {
+	q := query.Query{Select: d.Strings()}
+	n := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		q.Where = append(q.Where, query.Clause{Attr: d.String(), Labels: d.Strings()})
+		if d.Err() != nil {
+			return query.Query{}
+		}
+	}
+	return q
+}
+
+func encodeQuery(e *wire.Enc, payload any) error {
+	p, ok := payload.(QueryPayload)
+	if !ok {
+		return fmt.Errorf("routing: %s codec got %T", MsgQuery, payload)
+	}
+	e.Uvarint(p.QID)
+	encodeFlexQuery(e, p.Query)
+	return nil
+}
+
+func decodeQuery(data []byte) (any, error) {
+	d := wire.NewDec(data)
+	p := QueryPayload{QID: d.Uvarint(), Query: decodeFlexQuery(d)}
+	return p, d.Done()
+}
+
+// encodeLabelSets writes a map attr -> labels with sorted keys, so equal
+// payloads encode to equal bytes.
+func encodeLabelSets(e *wire.Enc, m map[string][]string) {
+	keys := wire.SortedKeys(m)
+	e.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.String(k)
+		e.Strings(m[k])
+	}
+}
+
+func decodeLabelSets(d *wire.Dec) map[string][]string {
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	// No capacity hint: n comes off the wire, and a corrupt count must
+	// fail at the first missing element, not pre-allocate.
+	m := make(map[string][]string)
+	for i := uint64(0); i < n; i++ {
+		k := d.String()
+		m[k] = d.Strings()
+		if d.Err() != nil {
+			return nil
+		}
+	}
+	return m
+}
+
+func encodeAnswer(e *wire.Enc, a *query.Answer) {
+	if a == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	encodeFlexQuery(e, a.Query)
+	e.Uvarint(uint64(len(a.Classes)))
+	for _, c := range a.Classes {
+		encodeLabelSets(e, c.Interpretation)
+		encodeLabelSets(e, c.Answers)
+		e.Float64(c.Weight)
+		e.Uvarint(uint64(len(c.Peers)))
+		for _, p := range c.Peers {
+			e.Varint(int64(p))
+		}
+		mkeys := wire.SortedKeys(c.Measures)
+		e.Uvarint(uint64(len(mkeys)))
+		for _, k := range mkeys {
+			m := c.Measures[k]
+			e.String(k)
+			e.Float64(m.Weight)
+			e.Float64(m.Min)
+			e.Float64(m.Max)
+			e.Float64(m.Sum)
+			e.Float64(m.SumSq)
+		}
+	}
+}
+
+func decodeAnswer(d *wire.Dec) *query.Answer {
+	if !d.Bool() {
+		return nil
+	}
+	a := &query.Answer{Query: decodeFlexQuery(d)}
+	n := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		c := query.Class{
+			Interpretation: decodeLabelSets(d),
+			Answers:        decodeLabelSets(d),
+			Weight:         d.Float64(),
+		}
+		peerCount := d.Uvarint()
+		for j := uint64(0); j < peerCount; j++ {
+			c.Peers = append(c.Peers, saintetiq.PeerID(d.Varint()))
+			if d.Err() != nil {
+				return nil
+			}
+		}
+		mCount := d.Uvarint()
+		for j := uint64(0); j < mCount; j++ {
+			if c.Measures == nil {
+				c.Measures = make(map[string]cells.Measure)
+			}
+			k := d.String()
+			c.Measures[k] = cells.Measure{
+				Weight: d.Float64(),
+				Min:    d.Float64(),
+				Max:    d.Float64(),
+				Sum:    d.Float64(),
+				SumSq:  d.Float64(),
+			}
+			if d.Err() != nil {
+				return nil
+			}
+		}
+		a.Classes = append(a.Classes, c)
+		if d.Err() != nil {
+			return nil
+		}
+	}
+	return a
+}
+
+func encodeQueryResponse(e *wire.Enc, payload any) error {
+	p, ok := payload.(QueryResponsePayload)
+	if !ok {
+		return fmt.Errorf("routing: %s codec got %T", MsgQueryResponse, payload)
+	}
+	e.Uvarint(p.QID)
+	e.String(p.Err)
+	e.Uvarint(uint64(len(p.Peers)))
+	for _, id := range p.Peers {
+		e.Varint(int64(id))
+	}
+	e.Varint(int64(p.Visited))
+	encodeAnswer(e, p.Answer)
+	return nil
+}
+
+func decodeQueryResponse(data []byte) (any, error) {
+	d := wire.NewDec(data)
+	p := QueryResponsePayload{QID: d.Uvarint(), Err: d.String()}
+	n := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		p.Peers = append(p.Peers, p2p.NodeID(d.Varint()))
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+	}
+	p.Visited = int(d.Varint())
+	p.Answer = decodeAnswer(d)
+	return p, d.Done()
+}
+
+// QueryService evaluates MsgQuery messages at summary peers and correlates
+// MsgQueryResponse messages back to asking drivers. It installs itself as
+// the core system's extension handler, so the evaluation runs on the
+// summary peer's dispatch group — serialized with the domain's merges and
+// reconciliations — in whichever process hosts the summary peer.
+type QueryService struct {
+	sys *core.System
+
+	mu      sync.Mutex
+	nextQID uint64
+	pending map[uint64]chan QueryResponsePayload
+}
+
+// NewQueryService wires the service onto the system (replacing any
+// previously installed extension handler).
+func NewQueryService(sys *core.System) *QueryService {
+	qs := &QueryService{sys: sys, pending: make(map[uint64]chan QueryResponsePayload)}
+	sys.SetExtension(qs.handle)
+	return qs
+}
+
+// handle runs on the receiving peer's dispatch group.
+func (qs *QueryService) handle(p *core.Peer, msg *p2p.Message) {
+	switch msg.Type {
+	case MsgQuery:
+		pl, ok := msg.Payload.(QueryPayload)
+		if !ok {
+			return
+		}
+		resp := QueryResponsePayload{QID: pl.QID}
+		st := p.SummaryStore()
+		switch {
+		case p.Role() != core.RoleSummaryPeer:
+			resp.Err = "not a summary peer"
+		case st == nil:
+			resp.Err = "domain has no data-level global summary"
+		default:
+			sa, err := query.AnswerStore(st, pl.Query)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Peers = PeersOf(sa.Peers)
+				resp.Visited = sa.Visited
+				resp.Answer = sa.Answer
+			}
+		}
+		qs.sys.Transport().SendNew(MsgQueryResponse, p.ID(), msg.From, 0, resp)
+	case MsgQueryResponse:
+		pl, ok := msg.Payload.(QueryResponsePayload)
+		if !ok {
+			return
+		}
+		qs.mu.Lock()
+		ch := qs.pending[pl.QID]
+		delete(qs.pending, pl.QID)
+		qs.mu.Unlock()
+		if ch != nil {
+			ch <- pl
+		}
+	}
+}
+
+// Ask routes q from origin to its domain's summary peer as a protocol
+// message and blocks (driver-side; never call from a handler) until the
+// answer returns or the timeout elapses. When the summary peer is hosted
+// in this very process the message loops back through the local dispatch
+// engine — one code path for both deployments.
+func (qs *QueryService) Ask(origin p2p.NodeID, q query.Query, timeout time.Duration) (*DataAnswer, error) {
+	sp := qs.sys.DomainOf(origin)
+	if sp < 0 {
+		return nil, fmt.Errorf("routing: origin %d has no domain", origin)
+	}
+	ch := make(chan QueryResponsePayload, 1)
+	qs.mu.Lock()
+	qs.nextQID++
+	qid := qs.nextQID
+	qs.pending[qid] = ch
+	qs.mu.Unlock()
+	qs.sys.Transport().SendNew(MsgQuery, origin, sp, 0, QueryPayload{QID: qid, Query: q})
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return nil, errors.New("routing: " + resp.Err)
+		}
+		return &DataAnswer{Peers: resp.Peers, Answer: resp.Answer, Visited: resp.Visited}, nil
+	case <-time.After(timeout):
+		qs.mu.Lock()
+		delete(qs.pending, qid)
+		qs.mu.Unlock()
+		return nil, fmt.Errorf("routing: query %d to summary peer %d timed out after %v", qid, sp, timeout)
+	}
+}

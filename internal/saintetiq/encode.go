@@ -3,9 +3,11 @@ package saintetiq
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 
 	"p2psum/internal/cells"
+	"p2psum/internal/wire"
 )
 
 // Wire format: summaries travel in localsum and reconciliation messages
@@ -130,4 +132,158 @@ func (t *Tree) EncodedSize() (int, error) {
 		return 0, err
 	}
 	return len(b), nil
+}
+
+// AppendWire serializes the hierarchy into the compact wire encoding used
+// by the protocol codecs (internal/core registers it with internal/wire).
+// Unlike EncodeGob it is reflection-free — every message transport charges
+// summaries their real encoded length, so this runs on the Send hot path —
+// and sparse: only positively-counted descriptors are written, so a leaf
+// costs its intent rather than the full vocabulary. The layout is
+// versioned by the surrounding frame (wire.FrameVersion); attribute
+// vocabularies ride along like in the gob format, so a received summary
+// can be checked against the local CBK.
+func (t *Tree) AppendWire(e *wire.Enc) {
+	e.Varint(int64(t.cfg.MaxChildren))
+	e.Varint(int64(t.cfg.MaxSplitRounds))
+	e.Uvarint(uint64(len(t.attrs)))
+	for _, a := range t.attrs {
+		e.String(a.name)
+		e.Strings(a.labels)
+		e.Bool(a.numeric)
+	}
+	index := make(map[*Node]int)
+	nodes := 0
+	t.Walk(func(*Node) bool { nodes++; return true })
+	e.Uvarint(uint64(nodes))
+	t.Walk(func(n *Node) bool {
+		parent := -1
+		if n.parent != nil {
+			parent = index[n.parent]
+		}
+		index[n] = len(index)
+		e.Varint(int64(parent))
+		e.String(n.key)
+		e.Float64(n.count)
+		for a := range t.attrs {
+			nnz := 0
+			for j := range n.counts[a] {
+				if n.counts[a][j] != 0 || n.grades[a][j] != 0 {
+					nnz++
+				}
+			}
+			e.Uvarint(uint64(nnz))
+			for j := range n.counts[a] {
+				if n.counts[a][j] != 0 || n.grades[a][j] != 0 {
+					e.Uvarint(uint64(j))
+					e.Float64(n.counts[a][j])
+					e.Float64(n.grades[a][j])
+				}
+			}
+			m := n.measures[a]
+			e.Float64(m.Weight)
+			e.Float64(m.Min)
+			e.Float64(m.Max)
+			e.Float64(m.Sum)
+			e.Float64(m.SumSq)
+		}
+		peers := n.PeerIDs()
+		e.Uvarint(uint64(len(peers)))
+		for _, p := range peers {
+			e.Varint(int64(p))
+		}
+		return true
+	})
+}
+
+// DecodeWire reconstructs a hierarchy serialized by AppendWire and
+// validates its structural invariants.
+func DecodeWire(d *wire.Dec) (*Tree, error) {
+	t := &Tree{byKey: make(map[string]*Node)}
+	t.cfg.MaxChildren = int(d.Varint())
+	t.cfg.MaxSplitRounds = int(d.Varint())
+	attrCount := d.Uvarint()
+	for i := uint64(0); i < attrCount; i++ {
+		info := attrInfo{name: d.String(), labels: d.Strings(), numeric: d.Bool()}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		info.indexOf = make(map[string]int, len(info.labels))
+		for j, lab := range info.labels {
+			info.indexOf[lab] = j
+		}
+		t.attrs = append(t.attrs, info)
+	}
+	nodeCount := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if nodeCount == 0 {
+		return nil, errors.New("saintetiq: decode: empty tree")
+	}
+	var nodes []*Node
+	for i := uint64(0); i < nodeCount; i++ {
+		parent := int(d.Varint())
+		n := &Node{
+			id:       int(i),
+			key:      d.String(),
+			count:    d.Float64(),
+			counts:   make([][]float64, len(t.attrs)),
+			grades:   make([][]float64, len(t.attrs)),
+			measures: make([]cells.Measure, len(t.attrs)),
+			peers:    make(map[PeerID]struct{}),
+		}
+		for a := range t.attrs {
+			n.counts[a] = make([]float64, len(t.attrs[a].labels))
+			n.grades[a] = make([]float64, len(t.attrs[a].labels))
+			nnz := d.Uvarint()
+			for k := uint64(0); k < nnz; k++ {
+				j := d.Uvarint()
+				if d.Err() != nil {
+					return nil, d.Err()
+				}
+				if j >= uint64(len(n.counts[a])) {
+					return nil, fmt.Errorf("saintetiq: decode: node %d attr %d label %d out of vocabulary", i, a, j)
+				}
+				n.counts[a][j] = d.Float64()
+				n.grades[a][j] = d.Float64()
+			}
+			n.measures[a] = cells.Measure{
+				Weight: d.Float64(),
+				Min:    d.Float64(),
+				Max:    d.Float64(),
+				Sum:    d.Float64(),
+				SumSq:  d.Float64(),
+			}
+		}
+		peerCount := d.Uvarint()
+		for k := uint64(0); k < peerCount; k++ {
+			n.peers[PeerID(d.Varint())] = struct{}{}
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		nodes = append(nodes, n)
+		if parent >= 0 {
+			if parent >= int(i) {
+				return nil, fmt.Errorf("saintetiq: decode: node %d has forward parent %d", i, parent)
+			}
+			n.parent = nodes[parent]
+			n.parent.children = append(n.parent.children, n)
+		} else if i != 0 {
+			return nil, fmt.Errorf("saintetiq: decode: node %d is a second root", i)
+		}
+		if n.key != "" {
+			t.byKey[n.key] = n
+		}
+	}
+	t.root = nodes[0]
+	t.nextID = len(nodes)
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }

@@ -59,6 +59,14 @@ func (c *Counter) Names() []string {
 // Reset clears every count.
 func (c *Counter) Reset() { c.counts = make(map[string]int64) }
 
+// Merge folds another counter's tallies into c (used by transports that
+// shard their counters and merge on read).
+func (c *Counter) Merge(o *Counter) {
+	for name, n := range o.counts {
+		c.counts[name] += n
+	}
+}
+
 // String renders "a=3 b=1".
 func (c *Counter) String() string {
 	parts := make([]string, 0, len(c.counts))

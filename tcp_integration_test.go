@@ -1,0 +1,194 @@
+package p2psum
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"p2psum/internal/bk"
+	"p2psum/internal/core"
+	"p2psum/internal/p2p"
+	"p2psum/internal/routing"
+	"p2psum/internal/topology"
+)
+
+// The TCP loopback integration test: two transports on real 127.0.0.1
+// sockets — the same split the cmd/p2pnode daemon deploys as two OS
+// processes — construct a summary domain, complete a ring reconciliation
+// whose token crosses the wire, answer a data-level query through the
+// remote query service, and report byte volumes that equal the sum of
+// encoded frame lengths.
+
+// tcpProc is one "process": a transport hosting half the overlay plus its
+// own protocol stack instance.
+type tcpProc struct {
+	tr  *p2p.TCPTransport
+	sys *core.System
+	qs  *routing.QueryService
+}
+
+func newTCPProc(t *testing.T, g *topology.Graph, local []p2p.NodeID) *tcpProc {
+	t.Helper()
+	tr, err := p2p.NewTCPTransport(g, p2p.TCPConfig{Listen: "127.0.0.1:0", Local: local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	cfg := core.DefaultConfig()
+	cfg.DataLevel = true
+	cfg.BK = bk.Medical()
+	cfg.Alpha = 0.3
+	cfg.ReconcileTimeout = 100000 // no loss on loopback; keep retransmits out
+	sys, err := core.NewSystem(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tcpProc{tr: tr, sys: sys, qs: routing.NewQueryService(sys)}
+}
+
+func TestTCPLoopbackDomainEndToEnd(t *testing.T) {
+	const records = 30
+	// A 4-node star: hub 0 is the summary peer, spokes 1-3 its clients.
+	g := topology.NewGraph(4)
+	for _, spoke := range []int{1, 2, 3} {
+		if err := g.AddEdge(0, spoke, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Process A hosts the summary peer and client 1; process B clients 2-3.
+	a := newTCPProc(t, g, []p2p.NodeID{0, 1})
+	b := newTCPProc(t, g, []p2p.NodeID{2, 3})
+	hostsA := map[p2p.NodeID]string{2: b.tr.ListenAddr(), 3: b.tr.ListenAddr()}
+	hostsB := map[p2p.NodeID]string{0: a.tr.ListenAddr(), 1: a.tr.ListenAddr()}
+	if err := a.tr.SetHosts(hostsA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.tr.SetHosts(hostsB); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.tr.DialPeers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.tr.DialPeers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each process owns the data of its local nodes only.
+	mkTree := func(p *tcpProc, id p2p.NodeID) {
+		rel := GeneratePatients(int64(500+id), records)
+		tr, err := Summarize(rel, bk.Medical(), PeerID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.sys.SetLocalTree(id, tr)
+	}
+	for _, id := range []p2p.NodeID{0, 1} {
+		mkTree(a, id)
+	}
+	for _, id := range []p2p.NodeID{2, 3} {
+		mkTree(b, id)
+	}
+
+	// Both processes know the domain layout; each drives its local share
+	// of the construction (p2p.Localizer gating in core.Construct).
+	a.sys.AssignSummaryPeers([]p2p.NodeID{0})
+	b.sys.AssignSummaryPeers([]p2p.NodeID{0})
+	if err := a.sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	b.tr.Settle()
+
+	// Every client found the summary peer — including B's, whose adoption
+	// ran in B's process off a broadcast that crossed the wire.
+	if got := a.sys.DomainOf(1); got != 0 {
+		t.Fatalf("A client 1 in domain %d", got)
+	}
+	for _, id := range []p2p.NodeID{2, 3} {
+		if got := b.sys.DomainOf(id); got != 0 {
+			t.Fatalf("B client %d in domain %d", id, got)
+		}
+	}
+	cl := a.sys.Peer(0).CooperationList()
+	if cl.Len() != 3 {
+		t.Fatalf("cooperation list has %d partners, want 3: %s", cl.Len(), cl)
+	}
+
+	// Reconciliation: B's clients push modifications; the stale fraction
+	// (2/3) crosses α and the ring token visits partner 1 in process A and
+	// partners 2-3 in process B before returning to the summary peer.
+	b.sys.MarkModifiedAll([]p2p.NodeID{2, 3})
+	b.tr.Settle()
+	a.tr.Settle()
+	if got := a.sys.Stats().Reconciliations; got != 1 {
+		t.Fatalf("reconciliations = %d, want 1", got)
+	}
+	gs := a.sys.Peer(0).GlobalSummary()
+	if gs == nil {
+		t.Fatal("no global summary after reconciliation")
+	}
+	if err := gs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The reconciled summary covers all four databases — merged across
+	// two processes — at full weight.
+	if got, want := gs.Root().Count(), float64(4*records); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("global summary weight %g, want %g", got, want)
+	}
+	for _, id := range []p2p.NodeID{1, 2, 3} {
+		if !gs.Root().HasPeer(PeerID(id)) {
+			t.Errorf("global summary misses peer %d's extent", id)
+		}
+	}
+
+	// A data-level query from process B travels to the summary peer in
+	// process A and returns the domain's approximate answer.
+	q, err := Reformulate(bk.Medical(), []string{"age"}, []Predicate{
+		{Attr: "disease", Op: Eq, Strs: []string{"tuberculosis"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := b.qs.Ask(2, q, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote.Answer.Classes) == 0 {
+		t.Fatal("remote query returned no approximate answer")
+	}
+	// It matches the in-process evaluation at the summary peer exactly.
+	local, err := routing.RouteData(a.sys, 1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(remote.Peers, local.Peers) {
+		t.Errorf("remote PQ %v != local PQ %v", remote.Peers, local.Peers)
+	}
+	if !reflect.DeepEqual(remote.Answer, local.Answer) {
+		t.Error("remote approximate answer diverges from the in-process one")
+	}
+	b.tr.Settle()
+	a.tr.Settle()
+
+	// Byte accounting: the reported volumes are exactly the sum of encoded
+	// frame lengths — local frames plus frames that crossed the sockets —
+	// and every byte one side sent, the other received.
+	for name, p := range map[string]*tcpProc{"A": a, "B": b} {
+		ws := p.tr.WireStats()
+		if total := p.tr.Bytes().Total(); total != ws.SentBytes+ws.LocalBytes+ws.ChargedBytes {
+			t.Errorf("%s: Bytes() total %d != sent %d + local %d + frameless %d",
+				name, total, ws.SentBytes, ws.LocalBytes, ws.ChargedBytes)
+		}
+	}
+	wsA, wsB := a.tr.WireStats(), b.tr.WireStats()
+	if wsA.SentBytes != wsB.RecvBytes || wsB.SentBytes != wsA.RecvBytes {
+		t.Errorf("wire bytes asymmetric: A sent %d / B recv %d, B sent %d / A recv %d",
+			wsA.SentBytes, wsB.RecvBytes, wsB.SentBytes, wsA.RecvBytes)
+	}
+	if wsA.SentFrames == 0 || wsB.SentFrames == 0 {
+		t.Error("no frames crossed the sockets — the scenario did not exercise TCP")
+	}
+}
