@@ -6,8 +6,9 @@
 //	experiments [-exp all|params|mapping|fig4|fig5|fig6|fig7|storage|
 //	             ablation-maintenance|ablation-routing|ablation-walks|
 //	             ablation-ttl|ablation-unavailable|ablation-arity|
-//	             ablation-locality|coverage|concurrency]
+//	             ablation-locality|coverage|concurrency|churn]
 //	            [-quick] [-seed N] [-parallel N] [-shards N] [-dispatchers N]
+//	            [-churn-out FILE]
 //
 // Flags:
 //
@@ -21,6 +22,9 @@
 //	              experiment (0 = up to one dispatcher per domain); the
 //	              figure sweeps run on the single-threaded event engine
 //	              and ignore it
+//	-churn-out    file the churn experiment writes its coverage-over-time
+//	              series to as JSON (default BENCH_churn.json; empty
+//	              disables the file)
 //
 // The default full configuration mirrors Table 3 (domains up to 2000
 // peers, networks up to 5000, 200 queries); -quick runs a down-scaled
@@ -34,6 +38,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,12 +49,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, params, mapping, fig4, fig5, fig6, fig7, storage, ablation-maintenance, ablation-routing, ablation-walks, ablation-ttl, ablation-unavailable, ablation-arity, ablation-locality, coverage, concurrency)")
+	exp := flag.String("exp", "all", "experiment to run (all, params, mapping, fig4, fig5, fig6, fig7, storage, ablation-maintenance, ablation-routing, ablation-walks, ablation-ttl, ablation-unavailable, ablation-arity, ablation-locality, coverage, concurrency, churn)")
 	quick := flag.Bool("quick", false, "run the down-scaled smoke configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = sequential)")
 	shards := flag.Int("shards", 1, "global-summary store shards per simulated summary peer (1 = single tree)")
 	dispatchers := flag.Int("dispatchers", 0, "dispatcher-count cap of the concurrency experiment (0 = one per domain)")
+	churnOut := flag.String("churn-out", "BENCH_churn.json", "file for the churn experiment's JSON series (empty: no file)")
 	flag.Parse()
 
 	cfg := p2psum.DefaultExperimentConfig()
@@ -101,6 +107,26 @@ func main() {
 		{"ablation-locality", table(p2psum.RunAblationLocality)},
 		{"coverage", table(p2psum.RunCoverage)},
 		{"concurrency", table(p2psum.RunConcurrency)},
+		{"churn", func() error {
+			start := time.Now()
+			t, res, err := p2psum.RunChurnScenario(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			if *churnOut != "" {
+				data, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*churnOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("(series written to %s)\n", *churnOut)
+			}
+			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+			return nil
+		}},
 	}
 
 	want := strings.ToLower(*exp)

@@ -12,7 +12,7 @@
 //	        -hosts 2=127.0.0.1:7702,3=127.0.0.1:7702 \
 //	        [-sps 0] [-records 30] [-alpha 0.3] [-seed 1]
 //	        [-topology star|full] [-query disease] [-connect-wait 30s]
-//	        [-linger]
+//	        [-gossip 200] [-linger]
 //
 // Flags:
 //
@@ -31,12 +31,20 @@
 //	-query         disease name to query after reconciliation (through the
 //	               summary peer's process over TCP); empty skips the query
 //	-connect-wait  budget for dialing the other processes at startup
+//	-gossip        liveness-gossip interval in virtual seconds (~1ms real
+//	               each; default 200 = one round per node every 0.2s). The
+//	               processes of the deployment converge on one membership
+//	               view; 0 disables gossip. Liveness transitions are logged.
 //	-linger        keep serving after the scripted phases (Ctrl-C exits)
 //
 // Every process must agree on -n, -sps, -alpha and -topology (the overlay
 // is shared knowledge); -local/-hosts partition the nodes across
 // processes. The scripted phases are aligned with transport barriers, so
 // the processes may be started in any order within -connect-wait.
+//
+// SIGUSR1 dumps the liveness view (and, with -query set, re-asks the query
+// locally) — the probe the CI kill-one-process job uses to assert that the
+// survivor detected the failure and still answers.
 package main
 
 import (
@@ -53,6 +61,7 @@ import (
 	"p2psum"
 	"p2psum/internal/bk"
 	"p2psum/internal/core"
+	"p2psum/internal/liveness"
 	"p2psum/internal/p2p"
 	"p2psum/internal/routing"
 	"p2psum/internal/topology"
@@ -71,13 +80,15 @@ func main() {
 		topo        = flag.String("topology", "star", "shared overlay shape: star or full")
 		queryFlag   = flag.String("query", "", "disease to query after reconciliation (empty: skip)")
 		connectWait = flag.Duration("connect-wait", 30*time.Second, "budget for dialing peer processes")
+		gossip      = flag.Float64("gossip", 200, "liveness-gossip interval in virtual seconds (0 disables)")
 		linger      = flag.Bool("linger", false, "keep serving after the scripted phases")
 	)
 	flag.Parse()
 	if err := run(options{
 		listen: *listen, n: *n, local: *localFlag, hosts: *hostsFlag,
 		sps: *spsFlag, records: *records, alpha: *alpha, seed: *seed,
-		topo: *topo, query: *queryFlag, connectWait: *connectWait, linger: *linger,
+		topo: *topo, query: *queryFlag, connectWait: *connectWait,
+		gossip: *gossip, linger: *linger,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "p2pnode:", err)
 		os.Exit(1)
@@ -87,7 +98,7 @@ func main() {
 type options struct {
 	listen, local, hosts, sps, topo, query string
 	n, records                             int
-	alpha                                  float64
+	alpha, gossip                          float64
 	seed                                   int64
 	connectWait                            time.Duration
 	linger                                 bool
@@ -197,6 +208,13 @@ func run(o options) error {
 	logf := func(format string, args ...any) {
 		fmt.Printf("p2pnode[%s]: "+format+"\n", append([]any{tr.ListenAddr()}, args...)...)
 	}
+	// The liveness hook: every membership transition this process observes —
+	// its own leaves/joins, drop-echo suspicions, gossiped remote state — is
+	// logged, so failure detection is visible (and grep-able by the CI
+	// kill-one-process job).
+	tr.Liveness().SetObserver(func(id int, e liveness.Entry) {
+		logf("liveness: node %d %s inc=%d sp=%d", id, e.State, e.Inc, e.SP)
+	})
 
 	b := bk.Medical()
 	cfg := core.DefaultConfig()
@@ -204,6 +222,8 @@ func run(o options) error {
 	cfg.BK = b
 	cfg.Alpha = o.alpha
 	cfg.ReconcileTimeout = 2000 // 2s real time at the default scale: no spurious retransmits on slow CI
+	cfg.GossipInterval = o.gossip
+	cfg.GossipPiggyback = o.gossip > 0
 	sys, err := core.NewSystem(tr, cfg)
 	if err != nil {
 		return err
@@ -278,7 +298,7 @@ func run(o options) error {
 
 	// Phase 3: the optional query, asked from a local node and answered in
 	// whichever process hosts the summary peer.
-	if o.query != "" {
+	askQuery := func(label string) error {
 		q, err := p2psum.Reformulate(b, []string{"age"}, []p2psum.Predicate{
 			{Attr: "disease", Op: p2psum.Eq, Strs: []string{o.query}},
 		})
@@ -294,8 +314,14 @@ func run(o options) error {
 		for _, c := range ans.Answer.Classes {
 			weight += c.Weight
 		}
-		logf("query disease=%s from node %d: classes=%d peers=%v weight=%.1f",
-			o.query, origin, len(ans.Answer.Classes), ans.Peers, weight)
+		logf("%s disease=%s from node %d: classes=%d peers=%v weight=%.1f",
+			label, o.query, origin, len(ans.Answer.Classes), ans.Peers, weight)
+		return nil
+	}
+	if o.query != "" {
+		if err := askQuery("query"); err != nil {
+			return err
+		}
 	}
 	if err := tr.Barrier(phaseReported, o.connectWait); err != nil {
 		return err
@@ -322,10 +348,24 @@ func run(o options) error {
 	logf("done")
 
 	if o.linger {
-		logf("lingering; Ctrl-C to exit")
+		logf("lingering; Ctrl-C to exit, SIGUSR1 dumps the liveness view")
 		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-		<-ch
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+		for sig := range ch {
+			if sig != syscall.SIGUSR1 {
+				break
+			}
+			// The probe: dump the membership view and prove the process
+			// still answers — a dead remote peer must not wedge the query
+			// path (the survivor's own summary peer answers locally).
+			logf("liveness view: %s", tr.Liveness())
+			logf("coverage: %.3f online=%d/%d", sys.Coverage(), tr.OnlineCount(), tr.Len())
+			if o.query != "" {
+				if err := askQuery("requery"); err != nil {
+					logf("requery failed: %v", err)
+				}
+			}
+		}
 	}
 	return nil
 }

@@ -52,6 +52,8 @@
 //	├── p2p.ChannelTransport              concurrent, real-time, sharded dispatch
 //	└── p2p.TCPTransport                  real sockets: one process hosts part of the
 //	                                      overlay, frames cross the wire (internal/wire)
+//	internal/liveness                     membership views: alive/suspect/dead states,
+//	                                      incarnation numbers, anti-entropy merges
 //	internal/wire                         frame encoding + message-type codec registry
 //	internal/topology                     overlay generators + graph partitions
 //	internal/par, internal/stats,         worker pool, counters/tables, churn and
@@ -102,6 +104,52 @@
 // Drivers on a partial-overlay transport consult p2p.Localizer — core's
 // Construct broadcasts only local summary peers and walks only local
 // stragglers, so every process drives exactly its share.
+//
+// # The liveness layer
+//
+// Who is online is its own subsystem (internal/liveness), not a boolean
+// array inside each transport. Every transport owns a liveness.View — one
+// Entry per overlay node holding a state (alive, suspect, dead), an
+// incarnation number and the node's current domain claim — and delegates
+// Online/SetOnline/Neighbors filtering to it; Transport.Liveness exposes
+// the view, and its observer hook (SetObserver) reports every transition.
+// The §4.3 paths run one state machine on every backend:
+//
+//   - A graceful leave marks the node dead outright (it said goodbye).
+//
+//   - A silent failure, or any dropped message (core's drop callback),
+//     files a suspicion: alive -> suspect at the current incarnation, and
+//     the node counts as offline immediately. A confirmation timer —
+//     scheduled through Transport.After, so the discrete-event engine stays
+//     deterministic — promotes suspect -> dead (Config.SuspectTimeout)
+//     unless the node rejoined first: a join re-enters alive at the NEXT
+//     incarnation, superseding the stale suspicion.
+//
+//   - Conflicting records merge by incarnation first, state severity second
+//     (dead > suspect > alive at equal incarnation).
+//
+// On the in-memory transports the single view is ground truth for the
+// whole overlay. On TCP each process's view is authoritative for its local
+// nodes only, and the rest converges through gossip: a periodic
+// anti-entropy message (core.MsgGossip, Config.GossipInterval) carries the
+// full view to a deterministically round-robined neighbor, the receiver
+// merges and answers once when it knows more, and — with
+// Config.GossipPiggyback — push and reconcile payloads carry the view as
+// well, so membership rides the maintenance traffic for free. A process
+// that sees a remote claim superseding one of its OWN nodes refutes it
+// (re-asserts its state above the remote incarnation), which is what
+// brings a reconnected process — the TCP transport redials broken peer
+// links with bounded exponential backoff and re-handshakes — back to alive
+// in everyone's view. Coverage and DomainMembers read the view, not the
+// local cooperation lists, so every process of a deployment reports the
+// same figures once gossip converges; cmd/p2pnode dumps the view on
+// SIGUSR1 and the CI kill-one-process job asserts the survivor's view
+// marks a SIGKILLed process's nodes dead and still answers queries.
+//
+// The periodic gossip timers are rejected on the discrete-event Network:
+// its Settle runs timers to quiescence and a self-re-arming timer would
+// livelock it. Deterministic experiments call System.GossipRound at
+// explicit virtual times instead (see the churn experiment, RunChurnScenario).
 //
 // # The dispatcher-group execution model
 //
@@ -184,15 +232,26 @@
 //	                           dispatcher goroutine ids, closed.
 //	p2p dispatchEngine.execMu  serializes concurrent Exec barriers so two
 //	                           drivers cannot interleave group parking.
-//	p2p.ChannelTransport.mu    online[], handler[], drop, rng. Held only
-//	                           for short critical sections, never across a
-//	                           handler call.
+//	liveness.View.mu           one RWMutex per transport's membership view:
+//	                           entries (state/incarnation/SP claim) and the
+//	                           version counter. Handlers, drivers, timers
+//	                           and gossip merges all mutate through it;
+//	                           reads (Online, Coverage scans) take RLock.
+//	liveness.View.obsMu        the observer hook pointer; the hook itself
+//	                           runs outside both view locks and may be
+//	                           invoked concurrently.
+//	p2p.ChannelTransport.mu    handler[], drop, rng (online state moved to
+//	                           the liveness view). Held only for short
+//	                           critical sections, never across a handler
+//	                           call.
 //	p2p.TCPTransport.mu        same inventory as ChannelTransport.mu, plus
-//	                           connMu (connection table), wireMu (socket
-//	                           frame counters), statusMu/barrierMu (the
-//	                           distributed settle and barrier exchanges).
-//	p2p.Network                NO locks: the discrete-event engine is
-//	                           single-threaded by construction.
+//	                           connMu (connection table + reconnect loops),
+//	                           wireMu (socket frame counters),
+//	                           statusMu/barrierMu (the distributed settle
+//	                           and barrier exchanges).
+//	p2p.Network                NO locks of its own (the discrete-event
+//	                           engine is single-threaded); its liveness
+//	                           view locks as above.
 //	par.ForEach                owns its worker pool; results slots are
 //	                           index-addressed so workers never share.
 //

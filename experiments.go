@@ -102,3 +102,14 @@ func RunCoverage(cfg ExperimentConfig) (*ResultTable, error) {
 func RunConcurrency(cfg ExperimentConfig) (*ResultTable, error) {
 	return experiments.ConcurrencyExperiment(cfg)
 }
+
+// ChurnScenarioResult is the machine-readable outcome of the churn
+// experiment (cmd/experiments serializes it as BENCH_churn.json).
+type ChurnScenarioResult = experiments.ChurnResult
+
+// RunChurnScenario replays workload session traces at several churn rates
+// with the liveness layer active and reports coverage/staleness vs churn
+// rate, plus the full per-rate time series for persisting.
+func RunChurnScenario(cfg ExperimentConfig) (*ResultTable, *ChurnScenarioResult, error) {
+	return experiments.ChurnExperiment(cfg)
+}

@@ -46,6 +46,10 @@ func (s *System) AssignSummaryPeers(ids []p2p.NodeID) {
 		p := s.peers[id]
 		p.role = RoleSummaryPeer
 		p.clearSP()
+		// A summary peer claims itself in the liveness view: the assignment
+		// is shared configuration, so every process records the same claim
+		// and Coverage counts summary peers identically everywhere.
+		s.net.Liveness().SetSP(int(id), int(id))
 		p.cl = NewCooperationList(s.cfg.Mode)
 		p.gs = s.newStore()
 		var others []p2p.NodeID
@@ -123,6 +127,7 @@ func (s *System) Construct() error {
 	})
 	s.net.Settle()
 	s.built = true
+	s.armGossip()
 	return nil
 }
 

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"p2psum/internal/liveness"
+	"p2psum/internal/p2p"
+)
+
+// Liveness dissemination: the §4.3 failure-detection paths made symmetric
+// across transports. Every transport keeps its membership truth in a
+// liveness.View; this file spreads that truth between the processes of a
+// TCP deployment with an anti-entropy gossip message (and piggybacked view
+// snapshots on push/reconcile traffic), and files the suspicion half of the
+// failure detector: a dropped message or a silent departure turns a node
+// Suspect, and a timer scheduled through Transport.After — so the
+// discrete-event engine stays deterministic — confirms it Dead unless the
+// node rejoins first.
+
+// MsgGossip is the anti-entropy liveness exchange (§4.3 made symmetric):
+// the payload carries the sender's whole membership view, the receiver
+// merges it, and answers once when it holds strictly newer information.
+const MsgGossip = "gossip"
+
+// GossipPayload carries one process's liveness view.
+type GossipPayload struct {
+	// Entries is the sender's per-node liveness vector (index = node id).
+	Entries []liveness.Entry
+	// Reply marks the answer to a received gossip. Replies are never
+	// answered again, so one exchange is at most one round trip.
+	Reply bool
+}
+
+// gossipEnabled reports whether liveness dissemination is on in any form —
+// the precondition for indirect (drop-based) suspicion: without gossip
+// there is no refutation path, and one transient drop would mark a healthy
+// remote node dead forever.
+func (s *System) gossipEnabled() bool {
+	return s.cfg.GossipPiggyback || s.cfg.GossipInterval > 0
+}
+
+// suspect files indirect failure evidence against a node: an Alive entry
+// turns Suspect (making the node count as offline everywhere the view is
+// consulted) and a confirmation timer is armed — Config.SuspectTimeout
+// virtual seconds later the suspicion is promoted to Dead unless the node
+// rejoined (higher incarnation) in the meantime. On the in-memory
+// transports the view is ground truth, so a drop already implies a
+// non-alive entry and this is a no-op; on TCP it is how a process learns
+// that a remote node (or a whole remote process) silently died.
+func (s *System) suspect(id p2p.NodeID) {
+	if id < 0 || int(id) >= s.net.Len() {
+		return
+	}
+	view := s.net.Liveness()
+	inc, changed := view.MarkSuspect(int(id))
+	if !changed {
+		return
+	}
+	timeout := s.cfg.SuspectTimeout
+	if timeout < 0 {
+		return
+	}
+	if timeout == 0 {
+		timeout = DefaultSuspectTimeout
+	}
+	s.net.After(id, timeout, func() { view.Confirm(int(id), inc) })
+}
+
+// DefaultSuspectTimeout is the suspect -> dead confirmation delay (virtual
+// seconds) when Config.SuspectTimeout is zero.
+const DefaultSuspectTimeout = 30
+
+// piggyback returns the view snapshot to embed in a push/reconcile payload,
+// nil when piggybacking is off.
+func (s *System) piggyback() []liveness.Entry {
+	if !s.cfg.GossipPiggyback {
+		return nil
+	}
+	return s.net.Liveness().Snapshot()
+}
+
+// absorbGossip merges a received liveness vector into the view and — for a
+// first-hand gossip message — answers the sender once when this process
+// holds strictly newer information (refuted claims about local nodes, or
+// facts the sender has not heard yet).
+func (s *System) absorbGossip(p *Peer, from p2p.NodeID, entries []liveness.Entry, mayReply bool) {
+	if len(entries) == 0 {
+		return
+	}
+	_, newerLocal := s.net.Liveness().Merge(entries)
+	if newerLocal && mayReply && s.net.Online(p.id) {
+		s.net.SendNew(MsgGossip, p.id, from, 0,
+			GossipPayload{Entries: s.net.Liveness().Snapshot(), Reply: true})
+	}
+}
+
+// onGossip handles one anti-entropy exchange at the receiving peer.
+func (p *Peer) onGossip(msg *p2p.Message) {
+	pl := msg.Payload.(GossipPayload)
+	p.sys.absorbGossip(p, msg.From, pl.Entries, !pl.Reply)
+}
+
+// armGossip starts the periodic per-node gossip timers for the local nodes
+// (idempotent; called at the end of Construct when GossipInterval is set).
+func (s *System) armGossip() {
+	if s.cfg.GossipInterval <= 0 || s.gossipArmed {
+		return
+	}
+	s.gossipArmed = true
+	for _, p := range s.peers {
+		if p2p.IsLocal(s.net, p.id) {
+			s.scheduleGossip(p)
+		}
+	}
+}
+
+// scheduleGossip arms one node's next periodic gossip. The timer re-arms
+// itself, so a node that was offline at one tick resumes gossiping after a
+// rejoin; Transport.Close cancels the chain.
+func (s *System) scheduleGossip(p *Peer) {
+	s.net.After(p.id, s.cfg.GossipInterval, func() {
+		s.gossipFrom(p, nil)
+		s.scheduleGossip(p)
+	})
+}
+
+// gossipFrom sends one gossip message from p to its next target. snapshot
+// may be shared across the senders of one round; nil takes a fresh one.
+func (s *System) gossipFrom(p *Peer, snapshot []liveness.Entry) {
+	if !s.net.Online(p.id) {
+		return
+	}
+	target := s.nextGossipTarget(p)
+	if target < 0 {
+		return
+	}
+	if snapshot == nil {
+		snapshot = s.net.Liveness().Snapshot()
+	}
+	s.net.SendNew(MsgGossip, p.id, target, 0, GossipPayload{Entries: snapshot})
+}
+
+// nextGossipTarget picks the node's gossip partner: a deterministic round
+// robin over its online neighbors — plus the other online summary peers for
+// a summary peer, so liveness crosses domain borders. Determinism matters:
+// target choice must not consult a random source, or discrete-event runs
+// would stop being reproducible.
+func (s *System) nextGossipTarget(p *Peer) p2p.NodeID {
+	cands := s.net.Neighbors(p.id)
+	if p.role == RoleSummaryPeer {
+		for _, sp := range p.knownSPs {
+			if s.net.Online(sp) && !containsID(cands, sp) {
+				cands = append(cands, sp)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	t := cands[p.gossipTick%len(cands)]
+	p.gossipTick++
+	return t
+}
+
+func containsID(ids []p2p.NodeID, id p2p.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// GossipRound drives one liveness-gossip round from every online local node
+// under a single Exec barrier. This is the entry point for the
+// discrete-event transport, where periodic GossipInterval timers are
+// rejected (the engine's run-to-quiescence Settle would chase the re-arming
+// timer forever): experiment drivers schedule GossipRound at fixed virtual
+// times instead, keeping runs deterministic. It also works as a manual
+// flush on the concurrent transports.
+func (s *System) GossipRound() {
+	s.net.Exec(func() {
+		snapshot := s.net.Liveness().Snapshot()
+		for _, p := range s.peers {
+			if p2p.IsLocal(s.net, p.id) {
+				s.gossipFrom(p, snapshot)
+			}
+		}
+	})
+}

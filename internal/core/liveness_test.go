@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"p2psum/internal/liveness"
+	"p2psum/internal/p2p"
+	"p2psum/internal/sim"
+	"p2psum/internal/topology"
+)
+
+// The liveness-layer suite: the §4.3 peer-dynamicity transitions as seen by
+// the membership view — silent failure -> suspect -> dead -> rejoin ->
+// alive — exercised on the lossy channel transport, plus the guard rails of
+// the gossip configuration.
+
+// waitForState polls the view until the node reaches the state or the
+// deadline passes (suspicion confirmation rides real-time After timers on
+// the channel transport).
+func waitForState(t *testing.T, v *liveness.View, id p2p.NodeID, want liveness.State, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		if got := v.StateOf(int(id)); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d stuck in %s, want %s", id, v.StateOf(int(id)), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestLivenessTransitionsUnderLoss round-trips the §4.3 state machine on
+// the channel transport with 20%% packet loss: a silent Leave files a
+// suspicion immediately, the confirmation timer promotes it to dead, and a
+// Join supersedes the death with a fresh incarnation — repeatedly, while
+// gossip (periodic and piggybacked) keeps flowing over the lossy links.
+func TestLivenessTransitionsUnderLoss(t *testing.T) {
+	g, hubs := topology.DisjointStars(1, 10, 0.02)
+	ct := p2p.NewChannelTransport(g, 7, p2p.ChannelConfig{LossRate: 0.2})
+	t.Cleanup(ct.Close)
+	cfg := DefaultConfig()
+	cfg.GossipInterval = 25 // 25 virtual s = 25 ms real at the default scale
+	cfg.GossipPiggyback = true
+	cfg.SuspectTimeout = 10
+	sys, err := NewSystem(ct, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AssignSummaryPeers([]p2p.NodeID{p2p.NodeID(hubs[0])})
+	if err := sys.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	view := ct.Liveness()
+
+	spoke := p2p.NodeID(3)
+	for round := 0; round < 3; round++ {
+		inc := view.EntryOf(int(spoke)).Inc
+		sys.Leave(spoke, false)
+		if got := view.StateOf(int(spoke)); got != liveness.Suspect {
+			t.Fatalf("round %d: state after silent leave = %s, want suspect", round, got)
+		}
+		if ct.Online(spoke) {
+			t.Fatalf("round %d: suspect node still counts online", round)
+		}
+		waitForState(t, view, spoke, liveness.Dead, 5*time.Second)
+		if got := view.EntryOf(int(spoke)).Inc; got != inc {
+			t.Fatalf("round %d: suspicion/confirmation changed the incarnation (%d -> %d)", round, inc, got)
+		}
+		sys.Join(spoke)
+		if got := view.StateOf(int(spoke)); got != liveness.Alive {
+			t.Fatalf("round %d: state after join = %s, want alive", round, got)
+		}
+		if got := view.EntryOf(int(spoke)).Inc; got <= inc {
+			t.Fatalf("round %d: rejoin did not advance the incarnation (%d -> %d)", round, inc, got)
+		}
+		ct.Settle()
+	}
+
+	// A join racing the confirmation timer must win: the higher incarnation
+	// makes the stale Confirm a no-op.
+	sys.Leave(spoke, false)
+	sys.Join(spoke)
+	time.Sleep(60 * time.Millisecond) // well past the 10 ms suspect timeout
+	ct.Settle()
+	if !view.Online(int(spoke)) {
+		t.Fatalf("stale confirmation killed a rejoined node: %s", view.StateOf(int(spoke)))
+	}
+
+	// The domain still works after the churn: pushes under loss eventually
+	// reconcile (pushes and ring tokens are both lossy, so hammer them until
+	// the loss recovery lands one round), and coverage recovers.
+	deadline := time.Now().Add(20 * time.Second)
+	for sys.Stats().Reconciliations == 0 {
+		for i := 1; i < 10; i++ {
+			sys.MarkModified(p2p.NodeID(i))
+		}
+		ct.Settle()
+		if time.Now().After(deadline) {
+			t.Fatal("no reconciliation after the liveness churn")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if cov := sys.Coverage(); cov != 1 {
+		t.Errorf("coverage after recovery = %v, want 1", cov)
+	}
+}
+
+// TestGossipIntervalRejectedOnNetwork pins the guard: periodic gossip
+// timers would livelock the discrete-event engine's run-to-quiescence
+// Settle, so NewSystem refuses the combination and points at GossipRound.
+func TestGossipIntervalRejectedOnNetwork(t *testing.T) {
+	g := topology.NewGraph(4)
+	for i := 1; i < 4; i++ {
+		if err := g.AddEdge(0, i, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.GossipInterval = 10
+	if _, err := NewSystem(p2p.NewNetwork(sim.New(), g, 1), cfg); err == nil {
+		t.Fatal("NewSystem accepted GossipInterval on the discrete-event Network")
+	}
+}
+
+// TestGossipRoundConvergesViewsDeterministically drives explicit gossip
+// rounds on the discrete-event engine: the shared in-memory view makes the
+// merges no-ops, but the traffic itself must be deterministic — two
+// identically seeded runs count identical gossip messages.
+func TestGossipRoundConvergesViewsDeterministically(t *testing.T) {
+	run := func() (int64, string) {
+		g, hubs := topology.DisjointStars(2, 6, 0.02)
+		eng := sim.New()
+		net := p2p.NewNetwork(eng, g, 9)
+		cfg := DefaultConfig()
+		cfg.GossipPiggyback = true
+		sys, err := NewSystem(net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := []p2p.NodeID{p2p.NodeID(hubs[0]), p2p.NodeID(hubs[1])}
+		sys.AssignSummaryPeers(ids)
+		if err := sys.Construct(); err != nil {
+			t.Fatal(err)
+		}
+		sys.Leave(2, false)
+		sys.MarkModified(3)
+		for i := 0; i < 4; i++ {
+			sys.GossipRound()
+			net.Settle()
+		}
+		return net.Counter().Get(MsgGossip), fmt.Sprint(net.Bytes().Get(MsgGossip), net.Liveness())
+	}
+	c1, fp1 := run()
+	c2, fp2 := run()
+	if c1 == 0 {
+		t.Fatal("GossipRound sent no gossip")
+	}
+	if c1 != c2 || fp1 != fp2 {
+		t.Fatalf("gossip rounds not deterministic: (%d, %s) vs (%d, %s)", c1, fp1, c2, fp2)
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "p2psum/internal/p2p"
+import (
+	"p2psum/internal/liveness"
+	"p2psum/internal/p2p"
+)
 
 // Peer dynamicity (§4.3): joins, graceful leaves, silent failures,
 // summary-peer departures, and the failure-detection paths driven by
@@ -36,12 +39,18 @@ func (s *System) leave(id p2p.NodeID, graceful bool) {
 			}
 		} else if sp := p.curSP(); sp >= 0 {
 			s.addStat(func(st *Stats) { st.GracefulLeaves++ })
-			s.net.SendNew(MsgPush, id, sp, 0, PushPayload{V: Unavailable})
+			s.net.SendNew(MsgPush, id, sp, 0, PushPayload{V: Unavailable, Gossip: s.piggyback()})
 		}
+		// The peer said goodbye: its liveness entry goes straight to Dead.
+		s.net.SetOnline(id, false)
 	} else {
+		// Silent failure (§4.3): no authoritative goodbye, so the liveness
+		// view runs the suspicion state machine — Suspect now (offline for
+		// every protocol purpose), Dead once the confirmation timer fires,
+		// Alive again if the peer rejoins first.
 		s.addStat(func(st *Stats) { st.Failures++ })
+		s.suspect(id)
 	}
-	s.net.SetOnline(id, false)
 	if p.role == RoleClient {
 		p.clearSP()
 	}
@@ -86,6 +95,18 @@ func (s *System) join(id p2p.NodeID) {
 // the sender's state), so it needs no extra locking even when dispatch is
 // sharded.
 func (s *System) onDrop(msg *p2p.Message) {
+	// Every drop is indirect liveness evidence about the destination. On
+	// the in-memory transports the shared view already holds the node
+	// non-alive (that is why the message dropped), so this is a no-op; on
+	// TCP it is how a process suspects a remote node — or a whole remote
+	// process — that died without a goodbye (drop echoes, dead
+	// connections, failed dials). Only with gossip on: without a
+	// refutation channel a single transient drop would mark a healthy
+	// remote node dead with no way back (the pre-liveness behavior —
+	// remote nodes online unless flipped locally — is kept otherwise).
+	if s.gossipEnabled() {
+		s.suspect(msg.To)
+	}
 	switch msg.Type {
 	case MsgPush, MsgLocalsum:
 		// The partner detects its summary peer's failure and searches for
@@ -114,32 +135,39 @@ func (s *System) onDrop(msg *p2p.Message) {
 // DomainOf returns the summary peer governing a node, or -1.
 func (s *System) DomainOf(id p2p.NodeID) p2p.NodeID { return s.peers[id].SummaryPeer() }
 
-// DomainMembers returns the online partners of a summary peer (§3.1: "a
-// domain is the set of a superpeer and its clients"), including itself.
+// DomainMembers returns the online members of a summary peer's domain
+// (§3.1: "a domain is the set of a superpeer and its clients"), the summary
+// peer first. Membership is read from the liveness view — each node's own
+// domain claim, spread by gossip — not from the local cooperation list, so
+// every process of a TCP deployment reports the same set once the views
+// converge.
 func (s *System) DomainMembers(sp p2p.NodeID) []p2p.NodeID {
 	p := s.peers[sp]
 	if p.role != RoleSummaryPeer {
 		return nil
 	}
+	view := s.net.Liveness()
 	out := []p2p.NodeID{sp}
-	for _, id := range p.cl.Partners() {
-		if s.net.Online(id) {
-			out = append(out, id)
+	for id := 0; id < view.Len(); id++ {
+		if p2p.NodeID(id) != sp && view.Online(id) && view.SPOf(id) == int(sp) {
+			out = append(out, p2p.NodeID(id))
 		}
 	}
 	return out
 }
 
-// Coverage returns the fraction of online clients that currently belong to
-// a domain (the paper's summary Coverage, Definition 4 context).
+// Coverage returns the fraction of online peers that currently belong to a
+// domain (the paper's summary Coverage, Definition 4 context), computed
+// from the liveness view so all processes of a deployment agree.
 func (s *System) Coverage() float64 {
+	view := s.net.Liveness()
 	online, covered := 0, 0
-	for _, p := range s.peers {
-		if !s.net.Online(p.id) {
+	for id := 0; id < view.Len(); id++ {
+		if !view.Online(id) {
 			continue
 		}
 		online++
-		if p.IsPartner() {
+		if view.SPOf(id) != liveness.NoSP {
 			covered++
 		}
 	}

@@ -46,16 +46,18 @@ func (s *System) markModified(id p2p.NodeID) {
 		}
 		return
 	}
-	s.net.SendNew(MsgPush, id, sp, 0, PushPayload{V: Stale})
+	s.net.SendNew(MsgPush, id, sp, 0, PushPayload{V: Stale, Gossip: s.piggyback()})
 }
 
 // onPush updates the pushing partner's freshness value and checks the
 // reconciliation trigger.
 func (p *Peer) onPush(msg *p2p.Message) {
+	pl := msg.Payload.(PushPayload)
+	// Piggybacked liveness rides every push, partner or not.
+	p.sys.absorbGossip(p, msg.From, pl.Gossip, false)
 	if p.role != RoleSummaryPeer || !p.cl.Has(msg.From) {
 		return
 	}
-	pl := msg.Payload.(PushPayload)
 	v := pl.V
 	if p.sys.cfg.Mode == TwoBit && v == Unavailable && p.sys.cfg.KeepUnavailable {
 		// First alternative of §4.3: keep the descriptions and keep using
@@ -163,6 +165,8 @@ func (p *Peer) onlinePartners() []p2p.NodeID {
 // forwardReconcile sends the reconciliation token to the next online
 // partner, or back to the summary peer when the ring is exhausted.
 func (p *Peer) forwardReconcile(pl ReconcilePayload, remaining []p2p.NodeID) {
+	// Each hop refreshes the piggybacked liveness view (nil when off).
+	pl.Gossip = p.sys.piggyback()
 	for len(remaining) > 0 {
 		next := remaining[0]
 		rest := remaining[1:]
@@ -187,6 +191,7 @@ func (p *Peer) forwardReconcile(pl ReconcilePayload, remaining []p2p.NodeID) {
 // peer when the token returns.
 func (p *Peer) onReconcile(msg *p2p.Message) {
 	pl := msg.Payload.(ReconcilePayload)
+	p.sys.absorbGossip(p, msg.From, pl.Gossip, false)
 	if p.role == RoleSummaryPeer && p.id == pl.SP {
 		p.completeReconcile(pl)
 		return

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"p2psum/internal/bk"
+	"p2psum/internal/liveness"
 	"p2psum/internal/p2p"
 	"p2psum/internal/saintetiq"
 	"p2psum/internal/summarystore"
@@ -78,6 +79,23 @@ type Config struct {
 	// reconciliation; when exhausted the summary peer abandons the round
 	// (the next push re-triggers it). 0 uses the default.
 	ReconcileRetries int
+	// GossipInterval arms a periodic anti-entropy liveness gossip per
+	// local node, every this many virtual seconds (§4.3 made symmetric: the
+	// processes of a TCP deployment converge on one membership view). 0
+	// disables the periodic timers. Not supported on the discrete-event
+	// Network — its Settle runs timers to quiescence and would chase the
+	// re-arming timer forever; NewSystem rejects the combination. Drive
+	// GossipRound at explicit virtual times there instead.
+	GossipInterval float64
+	// GossipPiggyback embeds the sender's liveness view in push and
+	// reconcile payloads, so liveness spreads with the maintenance traffic
+	// at no extra message cost.
+	GossipPiggyback bool
+	// SuspectTimeout is the delay (virtual seconds) before a Suspect node —
+	// silently departed, or the target of a dropped message — is confirmed
+	// Dead in the liveness view. 0 uses DefaultSuspectTimeout; negative
+	// leaves suspicions unconfirmed (the node still counts as offline).
+	SuspectTimeout float64
 }
 
 // DefaultConfig returns the paper's settings: α=0.3, TTL=2, one-bit mode,
@@ -109,6 +127,7 @@ type Peer struct {
 	spHops     atomic.Int32 // distance to it, in hops
 	local      *saintetiq.Tree
 	seenRounds map[sumpeerKey]bool
+	gossipTick int // round-robin cursor over the node's gossip targets
 
 	// Summary-peer state.
 	gs           summarystore.Store
@@ -132,14 +151,20 @@ func (p *Peer) curSP() p2p.NodeID { return p2p.NodeID(p.sp.Load()) }
 // curSPHops reads the hop distance to the current summary peer.
 func (p *Peer) curSPHops() int { return int(p.spHops.Load()) }
 
-// setSP points the peer at a summary peer at the given hop distance.
+// setSP points the peer at a summary peer at the given hop distance, and
+// records the claim in the liveness view so Coverage/DomainMembers — and,
+// through gossip, every other process — see the membership change.
 func (p *Peer) setSP(sp p2p.NodeID, hops int) {
 	p.sp.Store(int64(sp))
 	p.spHops.Store(int32(hops))
+	p.sys.net.Liveness().SetSP(int(p.id), int(sp))
 }
 
-// clearSP detaches the peer from its domain.
-func (p *Peer) clearSP() { p.sp.Store(-1) }
+// clearSP detaches the peer from its domain (view claim included).
+func (p *Peer) clearSP() {
+	p.sp.Store(-1)
+	p.sys.net.Liveness().SetSP(int(p.id), liveness.NoSP)
+}
 
 // SummaryPeer returns the peer's current summary peer (-1 when none; a
 // summary peer is its own).
@@ -224,6 +249,10 @@ func (p LocalsumPayload) WireSize() int {
 type PushPayload struct {
 	// V is the pushed freshness value.
 	V Freshness
+	// Gossip optionally piggybacks the sender's liveness view
+	// (Config.GossipPiggyback), so membership spreads with the maintenance
+	// traffic at no extra message cost. Nil when piggybacking is off.
+	Gossip []liveness.Entry
 }
 
 // ReconcilePayload is the §4.2.2 ring token.
@@ -240,6 +269,10 @@ type ReconcilePayload struct {
 	Remaining []p2p.NodeID
 	// Merged lists the partners that merged their local summaries in.
 	Merged []p2p.NodeID
+	// Gossip optionally piggybacks the forwarding peer's liveness view
+	// (Config.GossipPiggyback); each ring hop refreshes it. Nil when
+	// piggybacking is off.
+	Gossip []liveness.Entry
 }
 
 // WireSize charges a reconciliation token for the in-flight new global
@@ -283,12 +316,13 @@ type Stats struct {
 // onto one dispatch group, so each peer's handlers stay serialized while
 // independent domains run concurrently.
 type System struct {
-	cfg   Config
-	net   p2p.Transport
-	peers []*Peer
-	sps   []p2p.NodeID
-	round int
-	built bool
+	cfg         Config
+	net         p2p.Transport
+	peers       []*Peer
+	sps         []p2p.NodeID
+	round       int
+	built       bool
+	gossipArmed bool
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -318,6 +352,11 @@ func NewSystem(net p2p.Transport, cfg Config) (*System, error) {
 	}
 	if cfg.DataLevel && cfg.BK == nil {
 		return nil, errors.New("core: data level requires a background knowledge")
+	}
+	if cfg.GossipInterval > 0 {
+		if _, ok := net.(*p2p.Network); ok {
+			return nil, errors.New("core: GossipInterval is not supported on the discrete-event Network (Settle runs timers to quiescence); drive GossipRound at explicit virtual times instead")
+		}
 	}
 	s := &System{cfg: cfg, net: net}
 	s.peers = make([]*Peer, net.Len())
@@ -405,6 +444,8 @@ func (p *Peer) handle(msg *p2p.Message) {
 		p.onReconcile(msg)
 	case MsgRelease:
 		p.onRelease(msg)
+	case MsgGossip:
+		p.onGossip(msg)
 	default:
 		if p.sys.extension != nil {
 			p.sys.extension(p, msg)

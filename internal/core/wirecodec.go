@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"p2psum/internal/liveness"
 	"p2psum/internal/p2p"
 	"p2psum/internal/saintetiq"
 	"p2psum/internal/wire"
@@ -25,6 +26,7 @@ func init() {
 	wire.Register(MsgLocalsum, wire.PayloadCodec{Encode: encodeLocalsum, Decode: decodeLocalsum})
 	wire.Register(MsgPush, wire.PayloadCodec{Encode: encodePush, Decode: decodePush})
 	wire.Register(MsgReconcile, wire.PayloadCodec{Encode: encodeReconcile, Decode: decodeReconcile})
+	wire.Register(MsgGossip, wire.PayloadCodec{Encode: encodeGossip, Decode: decodeGossip})
 }
 
 // badPayload reports a payload whose concrete type does not match its
@@ -101,12 +103,94 @@ func encodePush(e *wire.Enc, payload any) error {
 		return badPayload(MsgPush, payload)
 	}
 	e.Uint8(uint8(p.V))
+	encodeLivenessTail(e, p.Gossip)
 	return nil
 }
 
 func decodePush(data []byte) (any, error) {
 	d := wire.NewDec(data)
 	p := PushPayload{V: Freshness(d.Uint8())}
+	g, err := decodeLivenessTail(d)
+	if err != nil {
+		return nil, err
+	}
+	p.Gossip = g
+	return p, d.Done()
+}
+
+// encodeLivenessEntries appends a length-prefixed liveness vector: per
+// entry the incarnation and state share one uvarint (inc<<2 | state, the
+// state fits two bits), followed by the SP claim.
+func encodeLivenessEntries(e *wire.Enc, entries []liveness.Entry) {
+	e.Uvarint(uint64(len(entries)))
+	for _, en := range entries {
+		e.Uvarint(en.Inc<<2 | uint64(en.State))
+		e.Varint(int64(en.SP))
+	}
+}
+
+// decodeLivenessEntries reverses encodeLivenessEntries (nil for an empty
+// vector). Truncation latches into the Dec for Done to report; an invalid
+// state value is a hard error — it cannot rely on Done, because the
+// corrupt entry may be the vector's last and leave no unread tail.
+func decodeLivenessEntries(d *wire.Dec) ([]liveness.Entry, error) {
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 {
+		return nil, d.Err()
+	}
+	var out []liveness.Entry
+	for i := uint64(0); i < n; i++ {
+		packed := d.Uvarint()
+		sp := d.Varint()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		st := liveness.State(packed & 3)
+		if st > liveness.Dead {
+			return nil, fmt.Errorf("core: invalid liveness state %d in gossip vector", st)
+		}
+		out = append(out, liveness.Entry{State: st, Inc: packed >> 2, SP: int(sp)})
+	}
+	return out, nil
+}
+
+// encodeLivenessTail appends an optional piggybacked liveness vector as a
+// presence flag plus the entries.
+func encodeLivenessTail(e *wire.Enc, entries []liveness.Entry) {
+	if len(entries) == 0 {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	encodeLivenessEntries(e, entries)
+}
+
+// decodeLivenessTail reverses encodeLivenessTail.
+func decodeLivenessTail(d *wire.Dec) ([]liveness.Entry, error) {
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	return decodeLivenessEntries(d)
+}
+
+func encodeGossip(e *wire.Enc, payload any) error {
+	p, ok := payload.(GossipPayload)
+	if !ok {
+		return badPayload(MsgGossip, payload)
+	}
+	encodeLivenessEntries(e, p.Entries)
+	e.Bool(p.Reply)
+	return nil
+}
+
+func decodeGossip(data []byte) (any, error) {
+	d := wire.NewDec(data)
+	entries, err := decodeLivenessEntries(d)
+	if err != nil {
+		return nil, err
+	}
+	p := GossipPayload{Entries: entries}
+	p.Reply = d.Bool()
 	return p, d.Done()
 }
 
@@ -144,6 +228,7 @@ func encodeReconcile(e *wire.Enc, payload any) error {
 	e.Varint(int64(p.Seq))
 	encodeNodeIDs(e, p.Remaining)
 	encodeNodeIDs(e, p.Merged)
+	encodeLivenessTail(e, p.Gossip)
 	return encodeTree(e, p.NewGS)
 }
 
@@ -155,6 +240,11 @@ func decodeReconcile(data []byte) (any, error) {
 		Remaining: decodeNodeIDs(d),
 		Merged:    decodeNodeIDs(d),
 	}
+	g, err := decodeLivenessTail(d)
+	if err != nil {
+		return nil, err
+	}
+	p.Gossip = g
 	tree, err := decodeTree(d)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"p2psum/internal/bk"
 	"p2psum/internal/cells"
 	"p2psum/internal/data"
+	"p2psum/internal/liveness"
 	"p2psum/internal/p2p"
 	"p2psum/internal/saintetiq"
 	"p2psum/internal/wire"
@@ -79,9 +80,36 @@ func TestSumpeerCodecRoundTrip(t *testing.T) {
 }
 
 func TestPushCodecRoundTrip(t *testing.T) {
-	for _, v := range []Freshness{Fresh, Stale, Unavailable} {
-		p := PushPayload{V: v}
-		if got := roundTrip(t, MsgPush, p); got != any(p) {
+	for _, p := range []PushPayload{
+		{V: Fresh},
+		{V: Stale},
+		{V: Unavailable},
+		{V: Stale, Gossip: sampleLivenessEntries()},
+	} {
+		if got := roundTrip(t, MsgPush, p); !reflect.DeepEqual(got, p) {
+			t.Fatalf("round-trip %+v -> %+v", p, got)
+		}
+	}
+}
+
+// sampleLivenessEntries exercises every state, incarnation sizes past one
+// varint byte, and both SP claim shapes.
+func sampleLivenessEntries() []liveness.Entry {
+	return []liveness.Entry{
+		{State: liveness.Alive, Inc: 0, SP: liveness.NoSP},
+		{State: liveness.Suspect, Inc: 7, SP: 0},
+		{State: liveness.Dead, Inc: 1 << 40, SP: 4093},
+		{State: liveness.Alive, Inc: 12, SP: 2},
+	}
+}
+
+func TestGossipCodecRoundTrip(t *testing.T) {
+	for _, p := range []GossipPayload{
+		{Entries: sampleLivenessEntries()},
+		{Entries: sampleLivenessEntries(), Reply: true},
+		{Reply: true},
+	} {
+		if got := roundTrip(t, MsgGossip, p); !reflect.DeepEqual(got, p) {
 			t.Fatalf("round-trip %+v -> %+v", p, got)
 		}
 	}
@@ -122,13 +150,32 @@ func TestReconcileCodecRoundTrip(t *testing.T) {
 		if i%3 == 0 {
 			p.NewGS = randTree(t, int64(100+i), 10+rng.Intn(30), saintetiq.PeerID(i))
 		}
+		if i%2 == 0 {
+			p.Gossip = sampleLivenessEntries()
+		}
 		got := roundTrip(t, MsgReconcile, p).(ReconcilePayload)
 		if got.SP != p.SP || got.Seq != p.Seq ||
 			!reflect.DeepEqual(got.Remaining, p.Remaining) ||
 			!reflect.DeepEqual(got.Merged, p.Merged) ||
+			!reflect.DeepEqual(got.Gossip, p.Gossip) ||
 			!treesEqual(got.NewGS, p.NewGS) {
 			t.Fatalf("case %d: round-trip mismatch:\nwant %+v\ngot  %+v", i, p, got)
 		}
+	}
+}
+
+// TestGossipCodecRejectsInvalidState: a liveness vector whose LAST entry
+// carries an invalid state (bits 3) must be a hard decode error — there is
+// no unread tail for Done to catch, so the decoder has to reject it itself.
+func TestGossipCodecRejectsInvalidState(t *testing.T) {
+	var e wire.Enc
+	e.Uvarint(1)        // one entry
+	e.Uvarint(5<<2 | 3) // inc 5, state 3: invalid
+	e.Varint(-1)        // SP claim
+	e.Bool(false)       // Reply
+	c, _ := wire.Lookup(MsgGossip)
+	if _, err := c.Decode(e.Bytes()); err == nil {
+		t.Fatal("gossip vector with an invalid trailing state decoded successfully")
 	}
 }
 
@@ -169,14 +216,16 @@ func truncationPayloads(t *testing.T) map[string]any {
 	t.Helper()
 	return map[string]any{
 		MsgSumpeer:  SumpeerPayload{SP: 3, Round: 2, Hops: 1},
-		MsgPush:     PushPayload{V: Stale},
+		MsgPush:     PushPayload{V: Stale, Gossip: sampleLivenessEntries()},
 		MsgLocalsum: LocalsumPayload{Rejoin: true, Tree: randTree(t, 31, 20, 2)},
 		MsgReconcile: ReconcilePayload{
 			SP: 7, Seq: 9,
 			Remaining: []p2p.NodeID{1, 2, 3},
 			Merged:    []p2p.NodeID{4, 5},
+			Gossip:    sampleLivenessEntries(),
 			NewGS:     randTree(t, 32, 15, 1),
 		},
+		MsgGossip: GossipPayload{Entries: sampleLivenessEntries(), Reply: true},
 	}
 }
 

@@ -1,0 +1,382 @@
+// Package liveness is the membership layer of the overlay: a per-process
+// view of every node's liveness state (alive, suspect, dead) with SWIM-style
+// incarnation numbers, plus each node's current domain claim. The paper
+// treats peer dynamicity as a first-class protocol concern (§4.3: joins,
+// graceful leaves, silent failures, summary-peer departures); this package
+// extracts the truth those paths act on out of the transports, so every
+// backend — the discrete-event engine, the channel transport and real TCP
+// processes — answers "who is online" from the same state machine.
+//
+// One View exists per transport. The in-memory transports host the whole
+// overlay, so their single View is ground truth and anti-entropy merges are
+// vacuous. A TCP process hosts a subset of the nodes: its View is
+// authoritative for the local nodes only, and the remote entries converge
+// through the gossip messages internal/core exchanges (Merge). Conflicts
+// resolve by incarnation number first and by state severity second
+// (dead > suspect > alive at equal incarnation); a process that sees a
+// remote claim superseding one of its OWN nodes re-asserts its local state
+// at a higher incarnation — the SWIM refutation that brings a reconnected
+// process back to alive in everyone's view.
+//
+// The package deliberately depends on nothing above the standard library so
+// the transport layer (internal/p2p) can own a View without cycles.
+package liveness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// State is a node's liveness state in a view.
+type State uint8
+
+// Liveness states, ordered by severity: at equal incarnation the more
+// severe state wins a merge.
+const (
+	// Alive: the node is believed online.
+	Alive State = iota
+	// Suspect: a message to the node was dropped, or a silent failure was
+	// observed locally (§4.3); the node counts as offline but the verdict is
+	// provisional until the suspicion timeout confirms it.
+	Suspect
+	// Dead: the node is confirmed offline (graceful departure, confirmed
+	// suspicion, or local authoritative knowledge).
+	Dead
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// NoSP is the SP claim of a node outside every domain.
+const NoSP = -1
+
+// Entry is one node's liveness record: the state, the incarnation number
+// ordering conflicting records, and the node's current summary-peer claim
+// (NoSP when it belongs to no domain; a summary peer claims itself). The SP
+// claim rides the liveness gossip so Coverage and DomainMembers agree
+// across the processes of a TCP deployment.
+type Entry struct {
+	State State
+	Inc   uint64
+	SP    int
+}
+
+// Supersedes reports whether e wins a merge against old: higher incarnation
+// first, then the more severe state.
+func (e Entry) Supersedes(old Entry) bool {
+	if e.Inc != old.Inc {
+		return e.Inc > old.Inc
+	}
+	return e.State > old.State
+}
+
+// View is one process's membership view over n overlay nodes. All methods
+// are safe for concurrent use; the observer (SetObserver) is invoked
+// outside the view lock and may run concurrently with other mutations.
+type View struct {
+	mu      sync.RWMutex
+	entries []Entry
+	local   func(id int) bool // nil: every node is local (in-memory transports)
+	version uint64
+
+	obsMu    sync.Mutex
+	observer func(id int, e Entry)
+}
+
+// NewView builds a view over n nodes, all alive at incarnation 0 with no
+// domain claim. local reports whether a node's ground truth lives in this
+// process (its entries are never overwritten by merges, only re-asserted);
+// nil marks every node local — the in-memory transports.
+func NewView(n int, local func(id int) bool) *View {
+	v := &View{entries: make([]Entry, n), local: local}
+	for i := range v.entries {
+		v.entries[i].SP = NoSP
+	}
+	return v
+}
+
+// Len returns the number of nodes.
+func (v *View) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.entries)
+}
+
+// Version returns a counter bumped on every effective mutation; gossip
+// senders use it to skip redundant exchanges.
+func (v *View) Version() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.version
+}
+
+// Local reports whether the node's ground truth lives in this process.
+func (v *View) Local(id int) bool {
+	if v.local == nil {
+		return true
+	}
+	return v.local(id)
+}
+
+// StateOf returns the node's current liveness state.
+func (v *View) StateOf(id int) State {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.entries[id].State
+}
+
+// EntryOf returns the node's full record.
+func (v *View) EntryOf(id int) Entry {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.entries[id]
+}
+
+// Online reports whether the node is believed online (state Alive; suspect
+// nodes count as offline until refuted).
+func (v *View) Online(id int) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.entries[id].State == Alive
+}
+
+// OnlineCount returns the number of nodes believed online.
+func (v *View) OnlineCount() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	c := 0
+	for _, e := range v.entries {
+		if e.State == Alive {
+			c++
+		}
+	}
+	return c
+}
+
+// OnlineIDs returns the ids of the nodes believed online, ascending.
+func (v *View) OnlineIDs() []int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var out []int
+	for i, e := range v.entries {
+		if e.State == Alive {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SPOf returns the node's current summary-peer claim (NoSP outside every
+// domain).
+func (v *View) SPOf(id int) int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.entries[id].SP
+}
+
+// SetObserver installs the liveness hook: fn observes every effective entry
+// change (local transitions and merged remote ones). It is called outside
+// the view lock; installing nil removes the hook.
+func (v *View) SetObserver(fn func(id int, e Entry)) {
+	v.obsMu.Lock()
+	v.observer = fn
+	v.obsMu.Unlock()
+}
+
+func (v *View) notify(id int, e Entry) {
+	v.obsMu.Lock()
+	fn := v.observer
+	v.obsMu.Unlock()
+	if fn != nil {
+		fn(id, e)
+	}
+}
+
+// MarkAlive records the node (re)joining: any state transitions to Alive at
+// the next incarnation, superseding every older suspicion or death. It
+// reports whether the entry changed (false when already alive).
+func (v *View) MarkAlive(id int) bool {
+	v.mu.Lock()
+	e := &v.entries[id]
+	if e.State == Alive {
+		v.mu.Unlock()
+		return false
+	}
+	e.State = Alive
+	e.Inc++
+	v.version++
+	out := *e
+	v.mu.Unlock()
+	v.notify(id, out)
+	return true
+}
+
+// MarkDead records authoritative knowledge that the node is offline
+// (graceful departure, or the driver of the hosting process took it down).
+// The incarnation is kept: dead outranks alive and suspect at the same
+// incarnation. It reports whether the entry changed.
+func (v *View) MarkDead(id int) bool {
+	v.mu.Lock()
+	e := &v.entries[id]
+	if e.State == Dead {
+		v.mu.Unlock()
+		return false
+	}
+	e.State = Dead
+	v.version++
+	out := *e
+	v.mu.Unlock()
+	v.notify(id, out)
+	return true
+}
+
+// MarkSuspect records indirect failure evidence (a dropped message, a
+// silent §4.3 departure): an Alive node turns Suspect at its current
+// incarnation. Dead and already-suspect entries are left alone. It returns
+// the incarnation the suspicion is filed under and whether the entry
+// changed — callers arm a confirmation timer with that incarnation.
+func (v *View) MarkSuspect(id int) (inc uint64, changed bool) {
+	v.mu.Lock()
+	e := &v.entries[id]
+	if e.State != Alive {
+		inc = e.Inc
+		v.mu.Unlock()
+		return inc, false
+	}
+	e.State = Suspect
+	v.version++
+	out := *e
+	v.mu.Unlock()
+	v.notify(id, out)
+	return out.Inc, true
+}
+
+// Confirm promotes a suspicion to Dead if the node is still Suspect at the
+// given incarnation — the suspicion-timeout path. A node that rejoined (or
+// was refuted) in the meantime carries a higher incarnation and is left
+// alone. It reports whether the promotion happened.
+func (v *View) Confirm(id int, inc uint64) bool {
+	v.mu.Lock()
+	e := &v.entries[id]
+	if e.State != Suspect || e.Inc != inc {
+		v.mu.Unlock()
+		return false
+	}
+	e.State = Dead
+	v.version++
+	out := *e
+	v.mu.Unlock()
+	v.notify(id, out)
+	return true
+}
+
+// SetSP records the node's summary-peer claim (NoSP clears it). Claims are
+// written by the process hosting the node (domain adoption runs on the
+// owner's handlers) — and identically by every process at summary-peer
+// assignment, which is shared configuration. A claim change on an Alive
+// node bumps the incarnation so it supersedes older gossip; claims on
+// non-alive entries ride the current incarnation (they are superseded by
+// the owner's next MarkAlive anyway). It reports whether the entry changed.
+func (v *View) SetSP(id, sp int) bool {
+	v.mu.Lock()
+	e := &v.entries[id]
+	if e.SP == sp {
+		v.mu.Unlock()
+		return false
+	}
+	e.SP = sp
+	if e.State == Alive {
+		e.Inc++
+	}
+	v.version++
+	out := *e
+	v.mu.Unlock()
+	v.notify(id, out)
+	return true
+}
+
+// Snapshot copies the current entries — the payload of a gossip message.
+// The result is never mutated by the view afterwards and may be shared.
+func (v *View) Snapshot() []Entry {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return append([]Entry(nil), v.entries...)
+}
+
+// Merge folds a remote view's entries in — the anti-entropy step. For
+// non-local nodes the superseding remote entry is adopted verbatim. For
+// nodes this process hosts the view is authoritative: a remote entry that
+// would supersede the local one is refuted instead — the local state is
+// re-asserted at remote.Inc+1, so a process marked dead while partitioned
+// gossips itself back to alive after reconnecting. Merge returns the ids
+// whose entries changed and whether this view holds information the remote
+// lacks (any local entry superseding the corresponding remote one) — the
+// signal to send a reply gossip.
+func (v *View) Merge(remote []Entry) (changed []int, newerLocal bool) {
+	type change struct {
+		id int
+		e  Entry
+	}
+	var notes []change
+	v.mu.Lock()
+	for id := 0; id < len(v.entries) && id < len(remote); id++ {
+		cur := &v.entries[id]
+		r := remote[id]
+		switch {
+		case !r.Supersedes(*cur):
+			if cur.Supersedes(r) {
+				newerLocal = true
+			}
+		case v.Local(id):
+			// Authoritative entry: re-assert the local state above the
+			// remote's incarnation instead of adopting.
+			cur.Inc = r.Inc + 1
+			v.version++
+			newerLocal = true
+			notes = append(notes, change{id, *cur})
+		default:
+			*cur = r
+			v.version++
+			notes = append(notes, change{id, *cur})
+		}
+	}
+	v.mu.Unlock()
+	changed = make([]int, 0, len(notes))
+	for _, n := range notes {
+		changed = append(changed, n.id)
+		v.notify(n.id, n.e)
+	}
+	if len(changed) == 0 {
+		changed = nil
+	}
+	return changed, newerLocal
+}
+
+// String renders a compact dump, e.g. "0=alive/sp0 1=suspect/sp0 2=dead".
+func (v *View) String() string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var sb strings.Builder
+	for i, e := range v.entries {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d=%s", i, e.State)
+		if e.SP != NoSP {
+			fmt.Fprintf(&sb, "/sp%d", e.SP)
+		}
+	}
+	return sb.String()
+}

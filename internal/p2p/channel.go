@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2psum/internal/liveness"
 	"p2psum/internal/stats"
 	"p2psum/internal/topology"
 )
@@ -81,8 +82,9 @@ type ChannelTransport struct {
 	cfg   ChannelConfig
 	eng   *dispatchEngine
 
-	mu      sync.Mutex // guards online, handler, drop, rng
-	online  []bool
+	view *liveness.View
+
+	mu      sync.Mutex // guards handler, drop, rng
 	handler []Handler
 	drop    func(*Message)
 	rng     *rand.Rand
@@ -103,12 +105,9 @@ func NewChannelTransport(graph *topology.Graph, seed int64, cfg ChannelConfig) *
 	t := &ChannelTransport{
 		graph:   graph,
 		cfg:     cfg,
-		online:  make([]bool, n),
+		view:    liveness.NewView(n, nil),
 		handler: make([]Handler, n),
 		rng:     rand.New(rand.NewSource(seed)),
-	}
-	for i := range t.online {
-		t.online[i] = true
 	}
 	t.eng = newDispatchEngine(n, cfg.Dispatchers, cfg.GroupBy, t.deliver)
 	t.cfg.Dispatchers = t.eng.groupCount()
@@ -159,8 +158,8 @@ func (t *ChannelTransport) deliver(g int, env envelope) {
 		t.eng.finishPending(g)
 		return
 	}
+	up := t.view.Online(int(msg.To))
 	t.mu.Lock()
-	up := t.online[msg.To]
 	h := t.handler[msg.To]
 	drop := t.drop
 	t.mu.Unlock()
@@ -262,53 +261,33 @@ func (t *ChannelTransport) SetDrop(fn func(*Message)) {
 	t.mu.Unlock()
 }
 
-// Online reports whether the node is currently connected.
-func (t *ChannelTransport) Online(id NodeID) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.online[id]
-}
+// Liveness returns the transport's membership view — the ground truth of
+// the whole overlay on this in-memory transport.
+func (t *ChannelTransport) Liveness() *liveness.View { return t.view }
 
-// SetOnline flips a node's connectivity.
+// Online reports whether the node is currently connected.
+func (t *ChannelTransport) Online(id NodeID) bool { return t.view.Online(int(id)) }
+
+// SetOnline flips a node's connectivity in the liveness view.
 func (t *ChannelTransport) SetOnline(id NodeID, up bool) {
-	t.mu.Lock()
-	t.online[id] = up
-	t.mu.Unlock()
+	if up {
+		t.view.MarkAlive(int(id))
+	} else {
+		t.view.MarkDead(int(id))
+	}
 }
 
 // OnlineCount returns the number of connected nodes.
-func (t *ChannelTransport) OnlineCount() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	c := 0
-	for _, up := range t.online {
-		if up {
-			c++
-		}
-	}
-	return c
-}
+func (t *ChannelTransport) OnlineCount() int { return t.view.OnlineCount() }
 
 // OnlineIDs returns the sorted ids of online nodes.
-func (t *ChannelTransport) OnlineIDs() []NodeID {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var out []NodeID
-	for i, up := range t.online {
-		if up {
-			out = append(out, NodeID(i))
-		}
-	}
-	return out
-}
+func (t *ChannelTransport) OnlineIDs() []NodeID { return onlineNodeIDs(t.view) }
 
 // Neighbors returns the online neighbors of a node, in ascending id order.
 func (t *ChannelTransport) Neighbors(id NodeID) []NodeID {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var out []NodeID
 	for _, v := range t.graph.Neighbors(int(id)) {
-		if t.online[v] {
+		if t.view.Online(v) {
 			out = append(out, NodeID(v))
 		}
 	}

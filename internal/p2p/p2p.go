@@ -14,8 +14,8 @@ package p2p
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
+	"p2psum/internal/liveness"
 	"p2psum/internal/sim"
 	"p2psum/internal/stats"
 	"p2psum/internal/topology"
@@ -57,7 +57,7 @@ type Network struct {
 	engine  *sim.Engine
 	graph   *topology.Graph
 	rng     *rand.Rand
-	online  []bool
+	view    *liveness.View
 	handler []Handler
 	counter *stats.Counter
 	bytes   *stats.Counter
@@ -78,14 +78,11 @@ func NewNetwork(engine *sim.Engine, graph *topology.Graph, seed int64) *Network 
 		engine:        engine,
 		graph:         graph,
 		rng:           rand.New(rand.NewSource(seed)),
-		online:        make([]bool, graph.Len()),
+		view:          liveness.NewView(graph.Len(), nil),
 		handler:       make([]Handler, graph.Len()),
 		counter:       stats.NewCounter(),
 		bytes:         stats.NewCounter(),
 		DirectLatency: 0.100,
-	}
-	for i := range n.online {
-		n.online[i] = true
 	}
 	return n
 }
@@ -116,29 +113,31 @@ func (n *Network) SetHandler(id NodeID, h Handler) { n.handler[id] = h }
 // SetDrop installs the drop callback (§4.3 failure detection).
 func (n *Network) SetDrop(fn func(*Message)) { n.drop = fn }
 
-// Online reports whether the node is currently connected.
-func (n *Network) Online(id NodeID) bool { return n.online[id] }
+// Liveness returns the network's membership view — the ground truth of the
+// whole overlay on this in-memory transport.
+func (n *Network) Liveness() *liveness.View { return n.view }
 
-// SetOnline flips a node's connectivity.
-func (n *Network) SetOnline(id NodeID, up bool) { n.online[id] = up }
+// Online reports whether the node is currently connected.
+func (n *Network) Online(id NodeID) bool { return n.view.Online(int(id)) }
+
+// SetOnline flips a node's connectivity in the liveness view.
+func (n *Network) SetOnline(id NodeID, up bool) {
+	if up {
+		n.view.MarkAlive(int(id))
+	} else {
+		n.view.MarkDead(int(id))
+	}
+}
 
 // OnlineCount returns the number of connected nodes.
-func (n *Network) OnlineCount() int {
-	c := 0
-	for _, up := range n.online {
-		if up {
-			c++
-		}
-	}
-	return c
-}
+func (n *Network) OnlineCount() int { return n.view.OnlineCount() }
 
 // Neighbors returns the online neighbors of a node, in ascending id order
 // (the graph's adjacency order is already deterministic).
 func (n *Network) Neighbors(id NodeID) []NodeID {
 	var out []NodeID
 	for _, v := range n.graph.Neighbors(int(id)) {
-		if n.online[v] {
+		if n.view.Online(v) {
 			out = append(out, NodeID(v))
 		}
 	}
@@ -208,7 +207,7 @@ func (n *Network) Send(msg *Message) {
 	n.bytes.Add(msg.Type, messageWireSize(msg))
 	lat := n.latencyBetween(msg.From, msg.To)
 	n.engine.After(sim.Seconds(lat), func() {
-		if !n.online[msg.To] || n.handler[msg.To] == nil {
+		if !n.view.Online(int(msg.To)) || n.handler[msg.To] == nil {
 			if n.drop != nil {
 				n.drop(msg)
 			}
@@ -256,13 +255,14 @@ func (n *Network) RandomWalk(typ string, src NodeID, maxHops int, accept func(No
 }
 
 // OnlineIDs returns the sorted ids of online nodes.
-func (n *Network) OnlineIDs() []NodeID {
-	var out []NodeID
-	for i, up := range n.online {
-		if up {
-			out = append(out, NodeID(i))
-		}
+func (n *Network) OnlineIDs() []NodeID { return onlineNodeIDs(n.view) }
+
+// onlineNodeIDs converts the view's ascending online ids to NodeIDs.
+func onlineNodeIDs(v *liveness.View) []NodeID {
+	ids := v.OnlineIDs()
+	out := make([]NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = NodeID(id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

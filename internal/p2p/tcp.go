@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2psum/internal/liveness"
 	"p2psum/internal/stats"
 	"p2psum/internal/topology"
 	"p2psum/internal/wire"
@@ -60,18 +61,21 @@ type TCPTransport struct {
 	ln    net.Listener
 	laddr string
 
-	mu      sync.Mutex // guards online, handler, drop
-	online  []bool
+	view *liveness.View
+
+	mu      sync.Mutex // guards handler, drop
 	handler []Handler
 	drop    func(*Message)
 
 	local  []bool   // id -> hosted in this process
 	hostOf []string // id -> remote process address ("" when local)
 
-	connMu   sync.Mutex
-	conns    map[string]*tcpConn // peer listen address -> registered connection
-	allConns []*tcpConn          // every started connection, for Close
-	closed   bool
+	connMu       sync.Mutex
+	conns        map[string]*tcpConn // peer listen address -> registered connection
+	allConns     []*tcpConn          // every started connection, for Close
+	reconnecting map[string]bool     // peer addresses with a live backoff loop
+	closed       bool
+	closeCh      chan struct{} // closed by Close; aborts reconnect backoffs
 
 	wireMu      sync.Mutex
 	sentTo      map[string]int64 // data frames enqueued per peer address
@@ -111,6 +115,18 @@ type TCPConfig struct {
 	DialTimeout time.Duration
 	// MaxFrame bounds the accepted unit size in bytes (default 64 MiB).
 	MaxFrame int
+	// ReconnectAttempts bounds the background redial loop started when a
+	// registered peer connection breaks: the transport retries with
+	// exponential backoff until the peer answers or the budget is spent
+	// (default 8; negative disables reconnection — sends keep failing into
+	// the §4.3 drop path until a send-triggered dial succeeds). A
+	// successful redial re-runs the hello handshake, and the protocol
+	// layer's liveness gossip reconciles the peer's nodes back to online.
+	ReconnectAttempts int
+	// ReconnectBackoff is the first redial delay (default 100ms).
+	ReconnectBackoff time.Duration
+	// ReconnectMax caps the growing redial delay (default 3s).
+	ReconnectMax time.Duration
 }
 
 // Stream unit kinds.
@@ -240,23 +256,31 @@ func NewTCPTransport(graph *topology.Graph, cfg TCPConfig) (*TCPTransport, error
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = 64 << 20
 	}
+	if cfg.ReconnectAttempts == 0 {
+		cfg.ReconnectAttempts = 8
+	}
+	if cfg.ReconnectBackoff <= 0 {
+		cfg.ReconnectBackoff = 100 * time.Millisecond
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 3 * time.Second
+	}
 	n := graph.Len()
 	t := &TCPTransport{
-		graph:       graph,
-		cfg:         cfg,
-		online:      make([]bool, n),
-		handler:     make([]Handler, n),
-		local:       make([]bool, n),
-		hostOf:      make([]string, n),
-		conns:       make(map[string]*tcpConn),
-		sentTo:      make(map[string]int64),
-		handledFrom: make(map[string]int64),
-		statusCh:    make(map[uint64]chan statusInfo),
-		barriers:    make(map[uint32]map[string]bool),
+		graph:        graph,
+		cfg:          cfg,
+		handler:      make([]Handler, n),
+		local:        make([]bool, n),
+		hostOf:       make([]string, n),
+		conns:        make(map[string]*tcpConn),
+		reconnecting: make(map[string]bool),
+		closeCh:      make(chan struct{}),
+		sentTo:       make(map[string]int64),
+		handledFrom:  make(map[string]int64),
+		statusCh:     make(map[uint64]chan statusInfo),
+		barriers:     make(map[uint32]map[string]bool),
 	}
-	for i := range t.online {
-		t.online[i] = true
-	}
+	t.view = liveness.NewView(n, func(id int) bool { return t.IsLocal(NodeID(id)) })
 	for _, id := range cfg.Local {
 		if id < 0 || int(id) >= n {
 			return nil, fmt.Errorf("p2p: local node %d out of range", id)
@@ -513,18 +537,78 @@ func (t *TCPTransport) readLoop(conn *tcpConn) {
 	}
 }
 
-// connDead unregisters a broken connection and shuts it down.
+// connDead unregisters a broken connection, shuts it down and — when the
+// peer is part of the host map — starts the background reconnect loop.
 func (t *TCPTransport) connDead(conn *tcpConn) {
 	if conn.dead.Load() {
 		return
 	}
 	conn.shutdown()
 	addr := conn.peerAddr()
+	wasRegistered := false
 	t.connMu.Lock()
 	if addr != "" && t.conns[addr] == conn {
 		delete(t.conns, addr)
+		wasRegistered = true
 	}
 	t.connMu.Unlock()
+	if wasRegistered && t.isPeerAddr(addr) {
+		t.scheduleReconnect(addr)
+	}
+}
+
+// isPeerAddr reports whether the address hosts nodes of the shared map —
+// only those peers are worth redialing.
+func (t *TCPTransport) isPeerAddr(addr string) bool {
+	for _, a := range t.hostOf {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleReconnect starts one background redial loop for the peer, with
+// bounded exponential backoff (TCPConfig.ReconnectAttempts/Backoff/Max).
+// At most one loop runs per address; Close aborts the backoff sleep. A
+// successful dial re-runs the hello handshake (dial always sends it), after
+// which the protocol layer's liveness gossip reconciles the peer's nodes
+// back to online in both views.
+func (t *TCPTransport) scheduleReconnect(addr string) {
+	if t.cfg.ReconnectAttempts < 0 {
+		return
+	}
+	t.connMu.Lock()
+	if t.closed || t.reconnecting[addr] {
+		t.connMu.Unlock()
+		return
+	}
+	t.reconnecting[addr] = true
+	t.wg.Add(1)
+	t.connMu.Unlock()
+	go func() {
+		defer t.wg.Done()
+		defer func() {
+			t.connMu.Lock()
+			delete(t.reconnecting, addr)
+			t.connMu.Unlock()
+		}()
+		backoff := t.cfg.ReconnectBackoff
+		for attempt := 0; attempt < t.cfg.ReconnectAttempts; attempt++ {
+			select {
+			case <-time.After(backoff):
+			case <-t.closeCh:
+				return
+			}
+			if _, ok := t.liveConn(addr); ok {
+				return // the peer dialed us (or a send-path dial won)
+			}
+			if _, err := t.dial(addr); err == nil {
+				return
+			}
+			backoff = min(2*backoff, t.cfg.ReconnectMax)
+		}
+	}()
 }
 
 // enqueue hands one unit to the peer's writer, dialing once on demand. It
@@ -692,8 +776,8 @@ func (t *TCPTransport) deliver(g int, env envelope) {
 		t.eng.finishPending(g)
 		return
 	}
+	up := t.view.Online(int(msg.To))
 	t.mu.Lock()
-	up := t.online[msg.To]
 	h := t.handler[msg.To]
 	drop := t.drop
 	t.mu.Unlock()
@@ -776,54 +860,34 @@ func (t *TCPTransport) SetDrop(fn func(*Message)) {
 	t.mu.Unlock()
 }
 
-// Online reports the local view of a node's connectivity (remote nodes
-// default to online).
-func (t *TCPTransport) Online(id NodeID) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.online[id]
-}
+// Liveness returns this process's membership view: authoritative for the
+// local nodes, convergent on the remote ones through the protocol layer's
+// liveness gossip (remote nodes default to alive until evidence arrives).
+func (t *TCPTransport) Liveness() *liveness.View { return t.view }
 
-// SetOnline flips the local view of a node's connectivity.
+// Online reports this process's view of a node's connectivity.
+func (t *TCPTransport) Online(id NodeID) bool { return t.view.Online(int(id)) }
+
+// SetOnline flips a node's connectivity in this process's view.
 func (t *TCPTransport) SetOnline(id NodeID, up bool) {
-	t.mu.Lock()
-	t.online[id] = up
-	t.mu.Unlock()
+	if up {
+		t.view.MarkAlive(int(id))
+	} else {
+		t.view.MarkDead(int(id))
+	}
 }
 
-// OnlineCount returns the number of nodes online in the local view.
-func (t *TCPTransport) OnlineCount() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	c := 0
-	for _, up := range t.online {
-		if up {
-			c++
-		}
-	}
-	return c
-}
+// OnlineCount returns the number of nodes online in this process's view.
+func (t *TCPTransport) OnlineCount() int { return t.view.OnlineCount() }
 
-// OnlineIDs returns the sorted ids of nodes online in the local view.
-func (t *TCPTransport) OnlineIDs() []NodeID {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var out []NodeID
-	for i, up := range t.online {
-		if up {
-			out = append(out, NodeID(i))
-		}
-	}
-	return out
-}
+// OnlineIDs returns the sorted ids of nodes online in this process's view.
+func (t *TCPTransport) OnlineIDs() []NodeID { return onlineNodeIDs(t.view) }
 
 // Neighbors returns the online neighbors of a node, in ascending id order.
 func (t *TCPTransport) Neighbors(id NodeID) []NodeID {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var out []NodeID
 	for _, v := range t.graph.Neighbors(int(id)) {
-		if t.online[v] {
+		if t.view.Online(v) {
 			out = append(out, NodeID(v))
 		}
 	}
@@ -1122,6 +1186,7 @@ func (t *TCPTransport) Close() {
 		return
 	}
 	t.closed = true
+	close(t.closeCh)
 	conns := append([]*tcpConn(nil), t.allConns...)
 	t.connMu.Unlock()
 	t.ln.Close()

@@ -243,6 +243,82 @@ func TestTCPBarrier(t *testing.T) {
 	}
 }
 
+// TestTCPReconnectWithBackoff breaks the registered peer link and asserts
+// the background redial loop re-establishes it — re-handshaking hello — so
+// a later send crosses the socket again instead of dying in the drop path.
+func TestTCPReconnectWithBackoff(t *testing.T) {
+	a, b := tcpPair(t, 2, 1)
+	var delivered atomic.Int64
+	b.SetHandler(1, func(*Message) { delivered.Add(1) })
+	a.SendNew("tcp-test", 0, 1, 0, tcpTestPayload{N: 1})
+	a.Settle()
+	if delivered.Load() != 1 {
+		t.Fatalf("pre-break delivery count = %d", delivered.Load())
+	}
+
+	// Break the link from A's side: both endpoints observe the dead socket
+	// and start their bounded-backoff redial loops.
+	conn, ok := a.liveConn(b.ListenAddr())
+	if !ok {
+		t.Fatal("no registered connection to B")
+	}
+	a.connDead(conn)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := a.liveConn(b.ListenAddr()); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reconnect loop never re-registered the peer connection")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	a.SendNew("tcp-test", 0, 1, 0, tcpTestPayload{N: 2})
+	a.Settle()
+	b.Settle()
+	if delivered.Load() != 2 {
+		t.Fatalf("post-reconnect delivery count = %d, want 2", delivered.Load())
+	}
+}
+
+// TestTCPReconnectDisabled pins the opt-out: with a negative attempt budget
+// a broken link stays broken until a send-path dial re-establishes it.
+func TestTCPReconnectDisabled(t *testing.T) {
+	g := topology.NewGraph(2)
+	if err := g.AddEdge(0, 1, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewTCPTransport(g, TCPConfig{Listen: "127.0.0.1:0", Local: []NodeID{0}, ReconnectAttempts: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	b, err := NewTCPTransport(g, TCPConfig{Listen: "127.0.0.1:0", Local: []NodeID{1}, ReconnectAttempts: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	if err := a.SetHosts(map[NodeID]string{1: b.ListenAddr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetHosts(map[NodeID]string{0: a.ListenAddr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.DialPeers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	conn, ok := a.liveConn(b.ListenAddr())
+	if !ok {
+		t.Fatal("no registered connection to B")
+	}
+	a.connDead(conn)
+	time.Sleep(300 * time.Millisecond)
+	if _, ok := a.liveConn(b.ListenAddr()); ok {
+		t.Fatal("connection re-registered although reconnection is disabled")
+	}
+}
+
 func TestTCPUnserializablePayloadDropsRemotely(t *testing.T) {
 	a, b := tcpPair(t, 2, 1)
 	b.SetHandler(1, func(*Message) {})

@@ -3,6 +3,7 @@ package p2p
 import (
 	"fmt"
 
+	"p2psum/internal/liveness"
 	"p2psum/internal/stats"
 	"p2psum/internal/topology"
 	"p2psum/internal/wire"
@@ -37,9 +38,18 @@ type Transport interface {
 	// topology, bounded by radius (nodes farther than radius are absent).
 	HopsWithin(src NodeID, radius int) map[NodeID]int
 
-	// Online reports whether the node is currently connected.
+	// Liveness exposes the transport's membership view — the single truth
+	// behind Online/SetOnline. In-memory transports hold one ground-truth
+	// view for the whole overlay; a TCP process's view is authoritative for
+	// its local nodes and converges on the rest through the protocol
+	// layer's liveness gossip. The view's observer (liveness.SetObserver)
+	// is the transport-level liveness hook.
+	Liveness() *liveness.View
+	// Online reports whether the node is believed connected (liveness
+	// state Alive; suspects count as offline).
 	Online(id NodeID) bool
-	// SetOnline flips a node's connectivity.
+	// SetOnline flips a node's connectivity in the liveness view: up marks
+	// it alive at the next incarnation, down marks it dead.
 	SetOnline(id NodeID, up bool)
 	// OnlineCount returns the number of connected nodes.
 	OnlineCount() int

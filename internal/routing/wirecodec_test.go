@@ -7,6 +7,7 @@ import (
 
 	"p2psum/internal/cells"
 	"p2psum/internal/core"
+	"p2psum/internal/liveness"
 	"p2psum/internal/p2p"
 	"p2psum/internal/query"
 	"p2psum/internal/saintetiq"
@@ -103,6 +104,14 @@ func registeredSamples() map[string]any {
 		core.MsgPush:     core.PushPayload{V: core.Stale},
 		core.MsgReconcile: core.ReconcilePayload{
 			SP: 2, Seq: 3, Remaining: []p2p.NodeID{4}, Merged: []p2p.NodeID{5, 6},
+			Gossip: []liveness.Entry{{State: liveness.Suspect, Inc: 2, SP: 2}},
+		},
+		core.MsgGossip: core.GossipPayload{
+			Entries: []liveness.Entry{
+				{State: liveness.Alive, Inc: 1, SP: 0},
+				{State: liveness.Dead, Inc: 9, SP: liveness.NoSP},
+			},
+			Reply: true,
 		},
 		MsgQuery:         QueryPayload{QID: 1, Query: sampleQuery()},
 		MsgQueryResponse: QueryResponsePayload{QID: 1, Peers: []p2p.NodeID{2}, Answer: sampleAnswer()},

@@ -8,6 +8,7 @@ import (
 
 	"p2psum/internal/bk"
 	"p2psum/internal/core"
+	"p2psum/internal/liveness"
 	"p2psum/internal/p2p"
 	"p2psum/internal/routing"
 	"p2psum/internal/topology"
@@ -190,5 +191,111 @@ func TestTCPLoopbackDomainEndToEnd(t *testing.T) {
 	}
 	if wsA.SentFrames == 0 || wsB.SentFrames == 0 {
 		t.Error("no frames crossed the sockets — the scenario did not exercise TCP")
+	}
+}
+
+// TestTCPLivenessGossipConvergence is the §4.3 symmetry acceptance test:
+// two processes of one TCP domain run the liveness gossip, one of them
+// silently kills a hosted peer, and the OTHER process's membership view
+// marks it dead — suspect first via drop echoes, dead via gossip or its own
+// confirmation timer — after which Coverage and DomainMembers report the
+// same figures on both sides. A rejoin converges back the same way.
+func TestTCPLivenessGossipConvergence(t *testing.T) {
+	g := topology.NewGraph(4)
+	for _, spoke := range []int{1, 2, 3} {
+		if err := g.AddEdge(0, spoke, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newProc := func(local []p2p.NodeID) (*p2p.TCPTransport, *core.System) {
+		tr, err := p2p.NewTCPTransport(g, p2p.TCPConfig{Listen: "127.0.0.1:0", Local: local})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(tr.Close)
+		cfg := core.DefaultConfig()
+		cfg.GossipInterval = 50 // 50 ms real at the 1ms/virtual-second scale
+		cfg.GossipPiggyback = true
+		cfg.SuspectTimeout = 20
+		cfg.ReconcileTimeout = 100000
+		sys, err := core.NewSystem(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, sys
+	}
+	trA, sysA := newProc([]p2p.NodeID{0, 1})
+	trB, sysB := newProc([]p2p.NodeID{2, 3})
+	if err := trA.SetHosts(map[p2p.NodeID]string{2: trB.ListenAddr(), 3: trB.ListenAddr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trB.SetHosts(map[p2p.NodeID]string{0: trA.ListenAddr(), 1: trA.ListenAddr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trA.DialPeers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := trB.DialPeers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sysA.AssignSummaryPeers([]p2p.NodeID{0})
+	sysB.AssignSummaryPeers([]p2p.NodeID{0})
+	if err := sysA.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sysB.Construct(); err != nil {
+		t.Fatal(err)
+	}
+	trB.Settle()
+	trA.Settle()
+
+	// bothAgree polls until the predicate holds on both systems — each
+	// side's view converges through gossip, a few intervals at most.
+	bothAgree := func(what string, pred func(sys *core.System) bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if pred(sysA) && pred(sysB) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: views never agreed: A cov=%.2f members=%v view=[%s] / B cov=%.2f members=%v view=[%s]",
+					what, sysA.Coverage(), sysA.DomainMembers(0), trA.Liveness(),
+					sysB.Coverage(), sysB.DomainMembers(0), trB.Liveness())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	members := func(want ...p2p.NodeID) func(sys *core.System) bool {
+		return func(sys *core.System) bool {
+			return reflect.DeepEqual(sys.DomainMembers(0), want)
+		}
+	}
+
+	// Construction seeds each process with its local claims only; gossip
+	// spreads the rest until both report the full domain.
+	bothAgree("after construction", members(0, 1, 2, 3))
+	if covA, covB := sysA.Coverage(), sysB.Coverage(); covA != 1 || covB != 1 {
+		t.Fatalf("coverage after convergence: A=%v B=%v, want 1", covA, covB)
+	}
+
+	// Process B silently kills its hosted peer 3. B's view walks
+	// suspect -> dead locally; A must learn it through gossip (or its own
+	// drop-echo suspicion) without any message from node 3 itself.
+	sysB.Leave(3, false)
+	bothAgree("after silent kill", members(0, 1, 2))
+	if got := trA.Liveness().StateOf(3); got != liveness.Dead {
+		t.Fatalf("A's view holds node 3 %s, want dead", got)
+	}
+	if covA, covB := sysA.Coverage(), sysB.Coverage(); covA != covB || covA != 1 {
+		t.Fatalf("coverage diverged after the kill: A=%v B=%v", covA, covB)
+	}
+
+	// The rejoin round-trips: B marks 3 alive at a higher incarnation, the
+	// adoption re-registers the domain claim, gossip convinces A.
+	sysB.Join(3)
+	bothAgree("after rejoin", members(0, 1, 2, 3))
+	if got := trA.Liveness().StateOf(3); got != liveness.Alive {
+		t.Fatalf("A's view holds node 3 %s after rejoin, want alive", got)
 	}
 }
