@@ -42,8 +42,10 @@
 // processes. The scripted phases are aligned with transport barriers, so
 // the processes may be started in any order within -connect-wait.
 //
-// SIGUSR1 dumps the liveness view (and, with -query set, re-asks the query
-// locally) — the probe the CI kill-one-process job uses to assert that the
+// SIGUSR1 dumps the liveness view and the per-peer flow counters
+// (bytes, units, EWMA rates, coalescing flushes, in-flight frames and
+// keepalive RTT per connection), and with -query set re-asks the query
+// locally — the probe the CI kill-one-process job uses to assert that the
 // survivor detected the failure and still answers.
 package main
 
@@ -360,6 +362,12 @@ func run(o options) error {
 			// path (the survivor's own summary peer answers locally).
 			logf("liveness view: %s", tr.Liveness())
 			logf("coverage: %.3f online=%d/%d", sys.Coverage(), tr.OnlineCount(), tr.Len())
+			for _, st := range tr.PeerStats() {
+				logf("peer %s: sent=%dB/%du recv=%dB/%du rate=%.0f/%.0f B/s flushes=%d queued=%du/%dB inflight=%d rtt=%s",
+					st.Addr, st.SentBytes, st.SentUnits, st.RecvBytes, st.RecvUnits,
+					st.SendRate, st.RecvRate, st.Flushes, st.QueuedUnits, st.QueuedBytes,
+					st.InFlight, st.RTT)
+			}
 			if o.query != "" {
 				if err := askQuery("requery"); err != nil {
 					logf("requery failed: %v", err)

@@ -105,6 +105,51 @@
 // Construct broadcasts only local summary peers and walks only local
 // stragglers, so every process drives exactly its share.
 //
+// # The wire hot path
+//
+// Encoding and decoding sit on every message of every transport, so the
+// steady-state path allocates nothing and issues one syscall per batch,
+// not per frame. The ownership rules that make this safe:
+//
+// Encode buffers are pooled. wire.GetEnc hands out a pooled encoder,
+// Release returns it; between the two the caller owns the buffer
+// exclusively. Frame.AppendTo appends a complete frame into a caller-
+// provided slice (the pooled buffer), and SizeWithPayload prices a frame
+// without materializing it, so the TCP send path reserves a length
+// prefix, encodes the payload codec straight into the batch buffer and
+// backfills the prefix — zero intermediate copies. Release drops buffers
+// that grew past a cap (64 KiB) so one giant summary cannot pin memory in
+// the pool forever. Under the race-detector build tag the pool poisons
+// released buffers and panics on use-after-release or double release;
+// regular builds pay no check on the hot path.
+//
+// Decode slices may be borrowed. wire.DecodeFrameShared parses a frame
+// whose payload (and any strings) are views into the caller's buffer —
+// the TCP read loop uses it on a read buffer it reuses for the next unit.
+// The borrow is legal because of a registry-wide contract: a
+// PayloadCodec's Decode returns a value that retains nothing of its
+// input (the routing package's TestSharedDecodeEveryRegisteredType
+// clobbers the buffer after decoding and fails any codec that kept a
+// view). The frame's Type string is the one exception a borrower never
+// sees: the shared decoder canonicalizes it through the codec registry's
+// interned names, so dispatch never holds a string into a dead buffer.
+// Everything longer-lived than the handler call — the channel transport's
+// in-process delivery, stored payloads — uses the copying DecodeFrame.
+//
+// Writes coalesce per peer. Senders append complete units into the
+// connection's batch buffer and never touch the socket; the per-peer
+// writer goroutine swaps the whole batch out and flushes it with ONE
+// write, lingering TCPConfig.FlushDelay for stragglers unless
+// TCPConfig.FlushBytes already accumulated. Each connection meters both
+// directions with EWMA flow rates and lifetime counters —
+// TCPTransport.PeerStats snapshots them (rates, bytes, units, flushes,
+// queued batch, in-flight frames, keepalive RTT), cmd/p2pnode dumps them
+// on SIGUSR1, and CI's benchgate step fails the build if encoding a
+// frame through the pooled path ever allocates again. Idle links are
+// probed: a connection silent for TCPConfig.KeepAlive gets a ping whose
+// pong carries the RTT into PeerStats, and a ping unanswered for twice
+// that tears the connection down into the reconnect/liveness machinery.
+//
 // # The liveness layer
 //
 // Who is online is its own subsystem (internal/liveness), not a boolean
@@ -131,11 +176,28 @@
 // On the in-memory transports the single view is ground truth for the
 // whole overlay. On TCP each process's view is authoritative for its local
 // nodes only, and the rest converges through gossip: a periodic
-// anti-entropy message (core.MsgGossip, Config.GossipInterval) carries the
-// full view to a deterministically round-robined neighbor, the receiver
+// anti-entropy message (core.MsgGossip, Config.GossipInterval) carries a
+// view tail to a deterministically round-robined neighbor, the receiver
 // merges and answers once when it knows more, and — with
-// Config.GossipPiggyback — push and reconcile payloads carry the view as
-// well, so membership rides the maintenance traffic for free. A process
+// Config.GossipPiggyback — push and reconcile payloads carry a tail as
+// well, so membership rides the maintenance traffic for free.
+//
+// Tails are deltas, not snapshots. The view stamps every entry with the
+// view version that last changed it, and each sender keeps a tiny link
+// record per partner (the partner's last seen version, the last version
+// it acknowledged merging, and an optimistic watermark of what has been
+// sent). A tail carries only the entries changed since the watermark,
+// plus the sender's version and an ack of the partner's; full snapshots
+// happen on first contact, when the partner acks nothing (its Ack is 0 —
+// views start at version 1, so 0 means it never merged us), when its
+// version regresses (a restart), and on a periodic resync that rebases
+// the watermark onto the acked version. A dropped gossip-carrying
+// message rewinds the watermark to the acked version through the same
+// drop callback §4.3 uses, so deltas lost in flight are re-covered.
+// Config.GossipFullSnapshots restores the old behavior for equivalence
+// tests and byte comparisons — the churn experiment shows the same
+// coverage and staleness, bit-identical, at a fraction of the gossip
+// bytes. A process
 // that sees a remote claim superseding one of its OWN nodes refutes it
 // (re-asserts its state above the remote incarnation), which is what
 // brings a reconnected process — the TCP transport redials broken peer
@@ -249,6 +311,18 @@
 //	                           wireMu (socket frame counters),
 //	                           statusMu/barrierMu (the distributed settle
 //	                           and barrier exchanges).
+//	p2p tcpConn.qmu            one connection's coalescing batch: senders
+//	                           append units under it, the writer swaps the
+//	                           batch out under it; NEVER held across the
+//	                           socket write (appending never blocks on
+//	                           I/O). qcond wakes the writer.
+//	p2p tcpConn flow counters  per-direction flowRate meters (each its own
+//	                           small mutex: window fold + lifetime total)
+//	                           plus atomics for unit/flush counts,
+//	                           last-receive time and keepalive RTT — read
+//	                           by PeerStats without touching qmu or the
+//	                           transport locks, cheap enough for a signal
+//	                           handler.
 //	p2p.Network                NO locks of its own (the discrete-event
 //	                           engine is single-threaded); its liveness
 //	                           view locks as above.

@@ -16,14 +16,43 @@ import (
 // node rejoins first.
 
 // MsgGossip is the anti-entropy liveness exchange (§4.3 made symmetric):
-// the payload carries the sender's whole membership view, the receiver
-// merges it, and answers once when it holds strictly newer information.
+// the payload carries the sender's membership view — a full snapshot on
+// first contact, a delta of the entries changed since the partner's last
+// acknowledged version afterwards — the receiver merges it, and answers
+// once when it holds strictly newer information.
 const MsgGossip = "gossip"
 
-// GossipPayload carries one process's liveness view.
-type GossipPayload struct {
-	// Entries is the sender's per-node liveness vector (index = node id).
+// GossipTail is one liveness exchange from a sender to one partner: either
+// a full positional snapshot (first contact, periodic resync from a stale
+// ack base, or Config.GossipFullSnapshots) or the delta of entries changed
+// since the version the sender believes the partner has. Ver stamps the
+// sender's view version the tail brings the partner up to; Ack confirms
+// the highest version of the PARTNER's view the sender has merged, which
+// is what lets the partner send deltas back instead of snapshots.
+type GossipTail struct {
+	// Full marks Entries as a positional whole-view snapshot; otherwise
+	// Delta carries the changed entries by id.
+	Full bool
+	// Entries is the sender's per-node liveness vector (index = node id),
+	// set when Full.
 	Entries []liveness.Entry
+	// Delta is the set of entries changed since the partner's last known
+	// version, ascending by id, set when !Full.
+	Delta []liveness.Change
+	// Ver is the sender's view version this tail represents. A partner
+	// that has merged it may be sent deltas based on it. A Ver below what
+	// the partner already saw from this sender reveals a sender restart.
+	Ver uint64
+	// Ack is the highest version of the receiver's view the sender has
+	// merged (0: never seen any — views start at version 1 — telling the
+	// receiver to fall back to a full snapshot).
+	Ack uint64
+}
+
+// GossipPayload carries one anti-entropy liveness exchange.
+type GossipPayload struct {
+	// Tail is the sender's view, as a snapshot or delta.
+	Tail GossipTail
 	// Reply marks the answer to a received gossip. Replies are never
 	// answered again, so one exchange is at most one round trip.
 	Reply bool
@@ -68,34 +97,149 @@ func (s *System) suspect(id p2p.NodeID) {
 // seconds) when Config.SuspectTimeout is zero.
 const DefaultSuspectTimeout = 30
 
-// piggyback returns the view snapshot to embed in a push/reconcile payload,
-// nil when piggybacking is off.
-func (s *System) piggyback() []liveness.Entry {
+// gossipLink is one peer's delta-gossip state toward one partner: what the
+// partner has confirmed of this view, and what this peer has merged of the
+// partner's. The map entry lives on the sending peer and is touched only
+// from its serialized contexts (its handlers, its timers, onDrop for its
+// messages, and Exec), like the rest of the Peer state.
+type gossipLink struct {
+	seen  uint64 // highest version of the partner's view merged here
+	acked uint64 // highest version of ours the partner confirmed merging
+	sent  uint64 // optimistic watermark: our version as of the last send
+	sends int    // sends on this link, for the periodic ack-base resync
+}
+
+// link returns (allocating on first use) the peer's gossip state toward
+// the partner.
+func (p *Peer) link(id p2p.NodeID) *gossipLink {
+	if p.links == nil {
+		p.links = make(map[p2p.NodeID]*gossipLink)
+	}
+	l := p.links[id]
+	if l == nil {
+		l = &gossipLink{}
+		p.links[id] = l
+	}
+	return l
+}
+
+// gossipResyncEvery rebases every Nth send on a link on the partner's
+// acknowledged version instead of the optimistic sent watermark. Acks lag
+// (they ride the partner's next tail back), so the optimistic watermark is
+// what keeps steady-state deltas small; the periodic rebase bounds how
+// long a divergence that slipped past drop detection can persist.
+const gossipResyncEvery = 16
+
+// tailFor builds the gossip tail from p to target and advances the link's
+// optimistic watermark. First contact (nothing acked, nothing sent) and
+// Config.GossipFullSnapshots send the whole view; otherwise the delta
+// since the watermark — rebased on the acknowledged version every
+// gossipResyncEvery sends.
+func (s *System) tailFor(p *Peer, target p2p.NodeID) GossipTail {
+	l := p.link(target)
+	l.sends++
+	base := l.sent
+	if s.cfg.GossipFullSnapshots {
+		base = 0
+	} else if l.sends%gossipResyncEvery == 0 {
+		base = l.acked
+	}
+	view := s.net.Liveness()
+	var tail GossipTail
+	if base == 0 {
+		tail.Full = true
+		tail.Entries, tail.Ver = view.VersionedSnapshot()
+	} else {
+		tail.Delta, tail.Ver = view.Since(base)
+	}
+	tail.Ack = l.seen
+	l.sent = tail.Ver
+	return tail
+}
+
+// piggyback returns the gossip tail to embed in a push/reconcile payload
+// from p to target, nil when piggybacking is off.
+func (s *System) piggyback(p *Peer, target p2p.NodeID) *GossipTail {
 	if !s.cfg.GossipPiggyback {
 		return nil
 	}
-	return s.net.Liveness().Snapshot()
+	tail := s.tailFor(p, target)
+	return &tail
 }
 
-// absorbGossip merges a received liveness vector into the view and — for a
-// first-hand gossip message — answers the sender once when this process
-// holds strictly newer information (refuted claims about local nodes, or
-// facts the sender has not heard yet).
-func (s *System) absorbGossip(p *Peer, from p2p.NodeID, entries []liveness.Entry, mayReply bool) {
-	if len(entries) == 0 {
+// absorbTail merges a received gossip tail into the view, updates the
+// link's protocol state (the partner's version, their ack of ours, restart
+// detection), and — for a first-hand gossip message — answers the sender
+// once when this process holds strictly newer information (refuted claims
+// about local nodes, or facts the sender has not heard yet).
+func (s *System) absorbTail(p *Peer, from p2p.NodeID, tail *GossipTail, mayReply bool) {
+	if tail == nil {
 		return
 	}
-	_, newerLocal := s.net.Liveness().Merge(entries)
+	l := p.link(from)
+	if tail.Ver < l.seen {
+		// The partner's version went backwards: it restarted with a fresh
+		// view. Everything this link believed about the exchange is void —
+		// re-baseline in both directions.
+		l.seen, l.acked, l.sent = 0, 0, 0
+	}
+	view := s.net.Liveness()
+	var newerLocal bool
+	if tail.Full {
+		_, newerLocal = view.Merge(tail.Entries)
+	} else {
+		_, newerLocal = view.MergeChanges(tail.Delta)
+		// A delta brings this view up to the partner's Ver only relative to
+		// the base the partner assumed; the Ack below tells them what that
+		// was, and the periodic resync covers any residual divergence.
+	}
+	if tail.Ver > l.seen {
+		l.seen = tail.Ver
+	}
+	if tail.Ack == 0 {
+		// The partner has never merged anything of this view (or restarted):
+		// the next tail to them must be a full snapshot.
+		l.acked, l.sent = 0, 0
+	} else if tail.Ack > l.acked {
+		l.acked = tail.Ack
+		if l.sent < l.acked {
+			l.sent = l.acked
+		}
+	}
 	if newerLocal && mayReply && s.net.Online(p.id) {
 		s.net.SendNew(MsgGossip, p.id, from, 0,
-			GossipPayload{Entries: s.net.Liveness().Snapshot(), Reply: true})
+			GossipPayload{Tail: s.tailFor(p, from), Reply: true})
 	}
 }
 
 // onGossip handles one anti-entropy exchange at the receiving peer.
 func (p *Peer) onGossip(msg *p2p.Message) {
 	pl := msg.Payload.(GossipPayload)
-	p.sys.absorbGossip(p, msg.From, pl.Entries, !pl.Reply)
+	p.sys.absorbTail(p, msg.From, &pl.Tail, !pl.Reply)
+}
+
+// regressGossip rewinds the sender's optimistic watermark toward a partner
+// that did not receive a gossip-carrying message: the next tail on the
+// link re-sends everything since the last acknowledged version (or a full
+// snapshot when nothing was ever acknowledged). Runs from the drop
+// callback, serialized with the sender's dispatch group.
+func (s *System) regressGossip(msg *p2p.Message) {
+	var tail *GossipTail
+	switch pl := msg.Payload.(type) {
+	case GossipPayload:
+		tail = &pl.Tail
+	case PushPayload:
+		tail = pl.Gossip
+	case ReconcilePayload:
+		tail = pl.Gossip
+	}
+	if tail == nil {
+		return
+	}
+	l := s.peers[msg.From].link(msg.To)
+	if l.sent > l.acked {
+		l.sent = l.acked
+	}
 }
 
 // armGossip starts the periodic per-node gossip timers for the local nodes
@@ -117,14 +261,14 @@ func (s *System) armGossip() {
 // rejoin; Transport.Close cancels the chain.
 func (s *System) scheduleGossip(p *Peer) {
 	s.net.After(p.id, s.cfg.GossipInterval, func() {
-		s.gossipFrom(p, nil)
+		s.gossipFrom(p)
 		s.scheduleGossip(p)
 	})
 }
 
-// gossipFrom sends one gossip message from p to its next target. snapshot
-// may be shared across the senders of one round; nil takes a fresh one.
-func (s *System) gossipFrom(p *Peer, snapshot []liveness.Entry) {
+// gossipFrom sends one gossip message from p to its next target. The tail
+// is built per link: what one partner still needs differs from the next.
+func (s *System) gossipFrom(p *Peer) {
 	if !s.net.Online(p.id) {
 		return
 	}
@@ -132,10 +276,7 @@ func (s *System) gossipFrom(p *Peer, snapshot []liveness.Entry) {
 	if target < 0 {
 		return
 	}
-	if snapshot == nil {
-		snapshot = s.net.Liveness().Snapshot()
-	}
-	s.net.SendNew(MsgGossip, p.id, target, 0, GossipPayload{Entries: snapshot})
+	s.net.SendNew(MsgGossip, p.id, target, 0, GossipPayload{Tail: s.tailFor(p, target)})
 }
 
 // nextGossipTarget picks the node's gossip partner: a deterministic round
@@ -178,10 +319,9 @@ func containsID(ids []p2p.NodeID, id p2p.NodeID) bool {
 // flush on the concurrent transports.
 func (s *System) GossipRound() {
 	s.net.Exec(func() {
-		snapshot := s.net.Liveness().Snapshot()
 		for _, p := range s.peers {
 			if p2p.IsLocal(s.net, p.id) {
-				s.gossipFrom(p, snapshot)
+				s.gossipFrom(p)
 			}
 		}
 	})

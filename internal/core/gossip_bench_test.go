@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2psum/internal/p2p"
+	"p2psum/internal/sim"
+	"p2psum/internal/topology"
+)
+
+// BenchmarkGossipRound measures full liveness-gossip rounds over a
+// 200-node multi-domain overlay on the discrete-event engine, including
+// the dispatch and merge of every tail. Steady-state rounds send deltas,
+// so the cost tracks how much actually changed: each iteration flips one
+// node offline and back so the tails stay realistic instead of empty.
+func BenchmarkGossipRound(b *testing.B) {
+	g, err := topology.BarabasiAlbert(200, 2, nil, rand.New(rand.NewSource(11)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := sim.New()
+	net := p2p.NewNetwork(engine, g, 11)
+	cfg := DefaultConfig()
+	cfg.GossipPiggyback = true
+	sys, err := NewSystem(net, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.ElectSummaryPeers(4)
+	if err := sys.Construct(); err != nil {
+		b.Fatal(err)
+	}
+	net.Settle()
+	sps := make(map[p2p.NodeID]bool)
+	for _, sp := range sys.SummaryPeers() {
+		sps[sp] = true
+	}
+	var clients []p2p.NodeID
+	for id := 0; id < net.Len(); id++ {
+		if !sps[p2p.NodeID(id)] {
+			clients = append(clients, p2p.NodeID(id))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := clients[i%len(clients)]
+		sys.Leave(id, false)
+		sys.GossipRound()
+		net.Settle()
+		sys.Join(id)
+		sys.GossipRound()
+		net.Settle()
+	}
+}

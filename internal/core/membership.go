@@ -39,7 +39,7 @@ func (s *System) leave(id p2p.NodeID, graceful bool) {
 			}
 		} else if sp := p.curSP(); sp >= 0 {
 			s.addStat(func(st *Stats) { st.GracefulLeaves++ })
-			s.net.SendNew(MsgPush, id, sp, 0, PushPayload{V: Unavailable, Gossip: s.piggyback()})
+			s.net.SendNew(MsgPush, id, sp, 0, PushPayload{V: Unavailable, Gossip: s.piggyback(p, sp)})
 		}
 		// The peer said goodbye: its liveness entry goes straight to Dead.
 		s.net.SetOnline(id, false)
@@ -106,6 +106,9 @@ func (s *System) onDrop(msg *p2p.Message) {
 	// remote nodes online unless flipped locally — is kept otherwise).
 	if s.gossipEnabled() {
 		s.suspect(msg.To)
+		// A gossip tail died with the message: rewind the link's optimistic
+		// watermark so the next tail re-covers what the drop lost.
+		s.regressGossip(msg)
 	}
 	switch msg.Type {
 	case MsgPush, MsgLocalsum:

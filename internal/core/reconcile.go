@@ -46,7 +46,7 @@ func (s *System) markModified(id p2p.NodeID) {
 		}
 		return
 	}
-	s.net.SendNew(MsgPush, id, sp, 0, PushPayload{V: Stale, Gossip: s.piggyback()})
+	s.net.SendNew(MsgPush, id, sp, 0, PushPayload{V: Stale, Gossip: s.piggyback(p, sp)})
 }
 
 // onPush updates the pushing partner's freshness value and checks the
@@ -54,7 +54,7 @@ func (s *System) markModified(id p2p.NodeID) {
 func (p *Peer) onPush(msg *p2p.Message) {
 	pl := msg.Payload.(PushPayload)
 	// Piggybacked liveness rides every push, partner or not.
-	p.sys.absorbGossip(p, msg.From, pl.Gossip, false)
+	p.sys.absorbTail(p, msg.From, pl.Gossip, false)
 	if p.role != RoleSummaryPeer || !p.cl.Has(msg.From) {
 		return
 	}
@@ -165,13 +165,15 @@ func (p *Peer) onlinePartners() []p2p.NodeID {
 // forwardReconcile sends the reconciliation token to the next online
 // partner, or back to the summary peer when the ring is exhausted.
 func (p *Peer) forwardReconcile(pl ReconcilePayload, remaining []p2p.NodeID) {
-	// Each hop refreshes the piggybacked liveness view (nil when off).
-	pl.Gossip = p.sys.piggyback()
 	for len(remaining) > 0 {
 		next := remaining[0]
 		rest := remaining[1:]
 		if p.sys.net.Online(next) {
 			pl.Remaining = rest
+			// Each hop rebuilds the piggybacked liveness tail for its own
+			// target (nil when off): what one partner still needs differs
+			// from the next.
+			pl.Gossip = p.sys.piggyback(p, next)
 			p.sys.net.SendNew(MsgReconcile, p.id, next, 0, pl)
 			return
 		}
@@ -181,9 +183,11 @@ func (p *Peer) forwardReconcile(pl ReconcilePayload, remaining []p2p.NodeID) {
 	pl.Remaining = nil
 	if p.id == pl.SP {
 		// Degenerate ring (no online partner): complete synchronously.
+		pl.Gossip = nil
 		p.completeReconcile(pl)
 		return
 	}
+	pl.Gossip = p.sys.piggyback(p, pl.SP)
 	p.sys.net.SendNew(MsgReconcile, p.id, pl.SP, 0, pl)
 }
 
@@ -191,7 +195,7 @@ func (p *Peer) forwardReconcile(pl ReconcilePayload, remaining []p2p.NodeID) {
 // peer when the token returns.
 func (p *Peer) onReconcile(msg *p2p.Message) {
 	pl := msg.Payload.(ReconcilePayload)
-	p.sys.absorbGossip(p, msg.From, pl.Gossip, false)
+	p.sys.absorbTail(p, msg.From, pl.Gossip, false)
 	if p.role == RoleSummaryPeer && p.id == pl.SP {
 		p.completeReconcile(pl)
 		return

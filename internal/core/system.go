@@ -91,6 +91,12 @@ type Config struct {
 	// reconcile payloads, so liveness spreads with the maintenance traffic
 	// at no extra message cost.
 	GossipPiggyback bool
+	// GossipFullSnapshots disables delta gossip: every tail carries the
+	// sender's whole view, as before per-link version tracking existed.
+	// Deltas and snapshots converge to the same views (the equivalence
+	// tests drive both modes over one churn trace); this flag exists for
+	// those tests and for byte-cost comparisons.
+	GossipFullSnapshots bool
 	// SuspectTimeout is the delay (virtual seconds) before a Suspect node —
 	// silently departed, or the target of a dropped message — is confirmed
 	// Dead in the liveness view. 0 uses DefaultSuspectTimeout; negative
@@ -127,7 +133,8 @@ type Peer struct {
 	spHops     atomic.Int32 // distance to it, in hops
 	local      *saintetiq.Tree
 	seenRounds map[sumpeerKey]bool
-	gossipTick int // round-robin cursor over the node's gossip targets
+	gossipTick int                        // round-robin cursor over the node's gossip targets
+	links      map[p2p.NodeID]*gossipLink // per-partner delta-gossip state (see gossipLink)
 
 	// Summary-peer state.
 	gs           summarystore.Store
@@ -249,10 +256,11 @@ func (p LocalsumPayload) WireSize() int {
 type PushPayload struct {
 	// V is the pushed freshness value.
 	V Freshness
-	// Gossip optionally piggybacks the sender's liveness view
-	// (Config.GossipPiggyback), so membership spreads with the maintenance
-	// traffic at no extra message cost. Nil when piggybacking is off.
-	Gossip []liveness.Entry
+	// Gossip optionally piggybacks the sender's liveness tail for the
+	// target (Config.GossipPiggyback), so membership spreads with the
+	// maintenance traffic at no extra message cost. Nil when piggybacking
+	// is off.
+	Gossip *GossipTail
 }
 
 // ReconcilePayload is the §4.2.2 ring token.
@@ -269,10 +277,10 @@ type ReconcilePayload struct {
 	Remaining []p2p.NodeID
 	// Merged lists the partners that merged their local summaries in.
 	Merged []p2p.NodeID
-	// Gossip optionally piggybacks the forwarding peer's liveness view
-	// (Config.GossipPiggyback); each ring hop refreshes it. Nil when
-	// piggybacking is off.
-	Gossip []liveness.Entry
+	// Gossip optionally piggybacks the forwarding peer's liveness tail
+	// for the next hop (Config.GossipPiggyback); each ring hop rebuilds
+	// it. Nil when piggybacking is off.
+	Gossip *GossipTail
 }
 
 // WireSize charges a reconciliation token for the in-flight new global

@@ -154,23 +154,99 @@ func decodeLivenessEntries(d *wire.Dec) ([]liveness.Entry, error) {
 	return out, nil
 }
 
-// encodeLivenessTail appends an optional piggybacked liveness vector as a
-// presence flag plus the entries.
-func encodeLivenessTail(e *wire.Enc, entries []liveness.Entry) {
-	if len(entries) == 0 {
+// encodeLivenessChanges appends a delta — entries named by id — with the
+// ids gap-encoded: changes arrive ascending (liveness.Since), so each id
+// is written as the uvarint distance to its predecessor (the first as
+// id+1). A sparse delta over a large overlay costs one or two bytes of id
+// per entry no matter how high the ids run.
+func encodeLivenessChanges(e *wire.Enc, delta []liveness.Change) {
+	e.Uvarint(uint64(len(delta)))
+	prev := -1
+	for _, c := range delta {
+		e.Uvarint(uint64(c.ID - prev))
+		e.Uvarint(c.E.Inc<<2 | uint64(c.E.State))
+		e.Varint(int64(c.E.SP))
+		prev = c.ID
+	}
+}
+
+// decodeLivenessChanges reverses encodeLivenessChanges (nil for an empty
+// delta). A zero id gap or an invalid state is a hard error, like in
+// decodeLivenessEntries.
+func decodeLivenessChanges(d *wire.Dec) ([]liveness.Change, error) {
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 {
+		return nil, d.Err()
+	}
+	var out []liveness.Change
+	prev := -1
+	for i := uint64(0); i < n; i++ {
+		gap := d.Uvarint()
+		packed := d.Uvarint()
+		sp := d.Varint()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if gap == 0 {
+			return nil, fmt.Errorf("core: non-ascending id in gossip delta")
+		}
+		st := liveness.State(packed & 3)
+		if st > liveness.Dead {
+			return nil, fmt.Errorf("core: invalid liveness state %d in gossip delta", st)
+		}
+		id := prev + int(gap)
+		out = append(out, liveness.Change{ID: id, E: liveness.Entry{State: st, Inc: packed >> 2, SP: int(sp)}})
+		prev = id
+	}
+	return out, nil
+}
+
+// encodeGossipTail appends one gossip tail: the full/delta marker, the
+// version pair, and the entries in the matching shape.
+func encodeGossipTail(e *wire.Enc, t *GossipTail) {
+	e.Bool(t.Full)
+	e.Uvarint(t.Ver)
+	e.Uvarint(t.Ack)
+	if t.Full {
+		encodeLivenessEntries(e, t.Entries)
+	} else {
+		encodeLivenessChanges(e, t.Delta)
+	}
+}
+
+// decodeGossipTail reverses encodeGossipTail.
+func decodeGossipTail(d *wire.Dec) (GossipTail, error) {
+	t := GossipTail{Full: d.Bool(), Ver: d.Uvarint(), Ack: d.Uvarint()}
+	var err error
+	if t.Full {
+		t.Entries, err = decodeLivenessEntries(d)
+	} else {
+		t.Delta, err = decodeLivenessChanges(d)
+	}
+	return t, err
+}
+
+// encodeLivenessTail appends an optional piggybacked gossip tail as a
+// presence flag plus the tail.
+func encodeLivenessTail(e *wire.Enc, t *GossipTail) {
+	if t == nil {
 		e.Bool(false)
 		return
 	}
 	e.Bool(true)
-	encodeLivenessEntries(e, entries)
+	encodeGossipTail(e, t)
 }
 
 // decodeLivenessTail reverses encodeLivenessTail.
-func decodeLivenessTail(d *wire.Dec) ([]liveness.Entry, error) {
+func decodeLivenessTail(d *wire.Dec) (*GossipTail, error) {
 	if !d.Bool() {
 		return nil, d.Err()
 	}
-	return decodeLivenessEntries(d)
+	t, err := decodeGossipTail(d)
+	if err != nil {
+		return nil, err
+	}
+	return &t, nil
 }
 
 func encodeGossip(e *wire.Enc, payload any) error {
@@ -178,18 +254,18 @@ func encodeGossip(e *wire.Enc, payload any) error {
 	if !ok {
 		return badPayload(MsgGossip, payload)
 	}
-	encodeLivenessEntries(e, p.Entries)
+	encodeGossipTail(e, &p.Tail)
 	e.Bool(p.Reply)
 	return nil
 }
 
 func decodeGossip(data []byte) (any, error) {
 	d := wire.NewDec(data)
-	entries, err := decodeLivenessEntries(d)
+	tail, err := decodeGossipTail(d)
 	if err != nil {
 		return nil, err
 	}
-	p := GossipPayload{Entries: entries}
+	p := GossipPayload{Tail: tail}
 	p.Reply = d.Bool()
 	return p, d.Done()
 }

@@ -84,7 +84,8 @@ func TestPushCodecRoundTrip(t *testing.T) {
 		{V: Fresh},
 		{V: Stale},
 		{V: Unavailable},
-		{V: Stale, Gossip: sampleLivenessEntries()},
+		{V: Stale, Gossip: sampleFullTail()},
+		{V: Fresh, Gossip: sampleDeltaTail()},
 	} {
 		if got := roundTrip(t, MsgPush, p); !reflect.DeepEqual(got, p) {
 			t.Fatalf("round-trip %+v -> %+v", p, got)
@@ -103,11 +104,30 @@ func sampleLivenessEntries() []liveness.Entry {
 	}
 }
 
+// sampleFullTail wraps the sample entries in a full-snapshot tail.
+func sampleFullTail() *GossipTail {
+	return &GossipTail{Full: true, Entries: sampleLivenessEntries(), Ver: 42, Ack: 7}
+}
+
+// sampleDeltaTail exercises the gap-encoded id path: sparse ascending ids
+// (including id 0, gap 1), every state, incarnations past one varint byte.
+func sampleDeltaTail() *GossipTail {
+	return &GossipTail{
+		Delta: []liveness.Change{
+			{ID: 0, E: liveness.Entry{State: liveness.Alive, Inc: 3, SP: liveness.NoSP}},
+			{ID: 7, E: liveness.Entry{State: liveness.Suspect, Inc: 1 << 33, SP: 7}},
+			{ID: 499, E: liveness.Entry{State: liveness.Dead, Inc: 2, SP: 4}},
+		},
+		Ver: 1 << 20, Ack: 3,
+	}
+}
+
 func TestGossipCodecRoundTrip(t *testing.T) {
 	for _, p := range []GossipPayload{
-		{Entries: sampleLivenessEntries()},
-		{Entries: sampleLivenessEntries(), Reply: true},
-		{Reply: true},
+		{Tail: *sampleFullTail()},
+		{Tail: *sampleFullTail(), Reply: true},
+		{Tail: *sampleDeltaTail()},
+		{Tail: GossipTail{Ver: 9, Ack: 9}, Reply: true}, // empty delta: nothing new
 	} {
 		if got := roundTrip(t, MsgGossip, p); !reflect.DeepEqual(got, p) {
 			t.Fatalf("round-trip %+v -> %+v", p, got)
@@ -151,7 +171,9 @@ func TestReconcileCodecRoundTrip(t *testing.T) {
 			p.NewGS = randTree(t, int64(100+i), 10+rng.Intn(30), saintetiq.PeerID(i))
 		}
 		if i%2 == 0 {
-			p.Gossip = sampleLivenessEntries()
+			p.Gossip = sampleFullTail()
+		} else if i%3 == 1 {
+			p.Gossip = sampleDeltaTail()
 		}
 		got := roundTrip(t, MsgReconcile, p).(ReconcilePayload)
 		if got.SP != p.SP || got.Seq != p.Seq ||
@@ -169,6 +191,9 @@ func TestReconcileCodecRoundTrip(t *testing.T) {
 // no unread tail for Done to catch, so the decoder has to reject it itself.
 func TestGossipCodecRejectsInvalidState(t *testing.T) {
 	var e wire.Enc
+	e.Bool(true)        // full snapshot
+	e.Uvarint(9)        // Ver
+	e.Uvarint(0)        // Ack
 	e.Uvarint(1)        // one entry
 	e.Uvarint(5<<2 | 3) // inc 5, state 3: invalid
 	e.Varint(-1)        // SP claim
@@ -176,6 +201,42 @@ func TestGossipCodecRejectsInvalidState(t *testing.T) {
 	c, _ := wire.Lookup(MsgGossip)
 	if _, err := c.Decode(e.Bytes()); err == nil {
 		t.Fatal("gossip vector with an invalid trailing state decoded successfully")
+	}
+}
+
+// TestGossipCodecRejectsBadDelta: delta tails reject an invalid state and
+// a zero id gap (ids must ascend) even on the last entry.
+func TestGossipCodecRejectsBadDelta(t *testing.T) {
+	c, _ := wire.Lookup(MsgGossip)
+	bad := func(build func(e *wire.Enc)) []byte {
+		var e wire.Enc
+		e.Bool(false) // delta
+		e.Uvarint(9)  // Ver
+		e.Uvarint(3)  // Ack
+		build(&e)
+		e.Bool(false) // Reply
+		return append([]byte(nil), e.Bytes()...)
+	}
+	invalidState := bad(func(e *wire.Enc) {
+		e.Uvarint(1)        // one change
+		e.Uvarint(4)        // id gap
+		e.Uvarint(5<<2 | 3) // state 3: invalid
+		e.Varint(-1)
+	})
+	if _, err := c.Decode(invalidState); err == nil {
+		t.Fatal("delta with an invalid trailing state decoded successfully")
+	}
+	zeroGap := bad(func(e *wire.Enc) {
+		e.Uvarint(2)
+		e.Uvarint(1) // id 0
+		e.Uvarint(5 << 2)
+		e.Varint(-1)
+		e.Uvarint(0) // zero gap: ids must strictly ascend
+		e.Uvarint(5 << 2)
+		e.Varint(-1)
+	})
+	if _, err := c.Decode(zeroGap); err == nil {
+		t.Fatal("delta with a zero id gap decoded successfully")
 	}
 }
 
@@ -216,16 +277,16 @@ func truncationPayloads(t *testing.T) map[string]any {
 	t.Helper()
 	return map[string]any{
 		MsgSumpeer:  SumpeerPayload{SP: 3, Round: 2, Hops: 1},
-		MsgPush:     PushPayload{V: Stale, Gossip: sampleLivenessEntries()},
+		MsgPush:     PushPayload{V: Stale, Gossip: sampleDeltaTail()},
 		MsgLocalsum: LocalsumPayload{Rejoin: true, Tree: randTree(t, 31, 20, 2)},
 		MsgReconcile: ReconcilePayload{
 			SP: 7, Seq: 9,
 			Remaining: []p2p.NodeID{1, 2, 3},
 			Merged:    []p2p.NodeID{4, 5},
-			Gossip:    sampleLivenessEntries(),
+			Gossip:    sampleFullTail(),
 			NewGS:     randTree(t, 32, 15, 1),
 		},
-		MsgGossip: GossipPayload{Entries: sampleLivenessEntries(), Reply: true},
+		MsgGossip: GossipPayload{Tail: *sampleFullTail(), Reply: true},
 	}
 }
 

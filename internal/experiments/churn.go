@@ -46,6 +46,12 @@ type ChurnRateResult struct {
 	Reconciliations int     `json:"reconciliations"`
 	MaintenanceMsgs int64   `json:"maintenance_msgs"`
 	GossipMsgs      int64   `json:"gossip_msgs"`
+	// Byte volumes for the same traffic (encoded frame lengths): the delta
+	// gossip work is judged on GossipBytes at equal GossipMsgs — same
+	// exchanges, smaller tails. MaintenanceBytes also moves, because the
+	// piggybacked tails ride push/reconcile payloads.
+	MaintenanceBytes int64 `json:"maintenance_bytes"`
+	GossipBytes      int64 `json:"gossip_bytes"`
 	// Samples is the coverage/staleness-over-time series.
 	Samples []ChurnSample `json:"samples"`
 }
@@ -92,6 +98,7 @@ func runChurnRate(cfg Config, n, domains int, rate float64) (ChurnRateResult, er
 		return out, err
 	}
 	baseline := net.Counter().TotalOf(maintenanceTypes...)
+	baselineBytes := net.Bytes().TotalOf(maintenanceTypes...)
 
 	lifetimes, err := workload.NewLifetimeDist(3*3600/rate, 3600/rate)
 	if err != nil {
@@ -183,6 +190,8 @@ func runChurnRate(cfg Config, n, domains int, rate float64) (ChurnRateResult, er
 	out.Reconciliations = sys.Stats().Reconciliations
 	out.MaintenanceMsgs = net.Counter().TotalOf(maintenanceTypes...) - baseline
 	out.GossipMsgs = net.Counter().Get(core.MsgGossip)
+	out.MaintenanceBytes = net.Bytes().TotalOf(maintenanceTypes...) - baselineBytes
+	out.GossipBytes = net.Bytes().Get(core.MsgGossip)
 	return out, nil
 }
 
@@ -224,21 +233,24 @@ func ChurnExperiment(cfg Config) (*stats.Table, *ChurnResult, error) {
 	stale := &stats.Series{Name: "mean stale frac"}
 	perNode := &stats.Series{Name: "maint msg/node/h"}
 	gossip := &stats.Series{Name: "gossip msg/node/h"}
+	gossipKB := &stats.Series{Name: "gossip KB/node/h"}
 	for _, r := range res.Rates {
 		meanCov.Add(r.Rate, r.MeanCoverage)
 		minCov.Add(r.Rate, r.MinCoverage)
 		stale.Add(r.Rate, r.MeanStale)
 		perNode.Add(r.Rate, float64(r.MaintenanceMsgs)/float64(n)/cfg.SimHours)
 		gossip.Add(r.Rate, float64(r.GossipMsgs)/float64(n)/cfg.SimHours)
+		gossipKB.Add(r.Rate, float64(r.GossipBytes)/1024/float64(n)/cfg.SimHours)
 	}
 	t := stats.NewTable(
 		fmt.Sprintf("Churn: coverage and staleness vs session-lifetime compression (n=%d, %d domains)", n, domains),
-		"churn rate", meanCov, minCov, stale, perNode, gossip)
+		"churn rate", meanCov, minCov, stale, perNode, gossip, gossipKB)
 	t.Decimal = 3
 	for _, r := range res.Rates {
 		t.AddNote("rate %g: %d sessions, mean %.0fs / median %.0fs, uptime %.0f%%, %d reconciliations",
 			r.Rate, r.Sessions, r.MeanSessionSec, r.MedianSessionSec, 100*r.UptimeFraction, r.Reconciliations)
 	}
 	t.AddNote("liveness gossip every %.0f virtual s (scheduled rounds; piggyback on push/reconcile)", churnGossipEvery)
+	t.AddNote("gossip tails are deltas (entries changed since the partner's acked version); full snapshots only on first contact and resyncs")
 	return t, res, nil
 }

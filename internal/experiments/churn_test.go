@@ -34,6 +34,9 @@ func TestChurnExperimentQuick(t *testing.T) {
 		if r.GossipMsgs == 0 {
 			t.Errorf("rate %g: no gossip traffic — the liveness layer was idle", r.Rate)
 		}
+		if r.GossipBytes == 0 {
+			t.Errorf("rate %g: gossip traffic carried no bytes — the byte accounting went dark", r.Rate)
+		}
 		if r.Reconciliations == 0 {
 			t.Errorf("rate %g: no reconciliation under churn", r.Rate)
 		}
@@ -46,8 +49,8 @@ func TestChurnExperimentQuick(t *testing.T) {
 	}
 	// The table mirrors the result and the result serializes (the driver
 	// writes it as BENCH_churn.json).
-	if len(tbl.Series) != 5 {
-		t.Fatalf("table has %d series, want 5", len(tbl.Series))
+	if len(tbl.Series) != 6 {
+		t.Fatalf("table has %d series, want 6", len(tbl.Series))
 	}
 	if _, err := json.Marshal(res); err != nil {
 		t.Fatalf("ChurnResult not serializable: %v", err)

@@ -85,9 +85,14 @@ func (e Entry) Supersedes(old Entry) bool {
 // View is one process's membership view over n overlay nodes. All methods
 // are safe for concurrent use; the observer (SetObserver) is invoked
 // outside the view lock and may run concurrently with other mutations.
+//
+// Every effective mutation bumps the view-wide version counter and stamps
+// the mutated entry with it, so the entries changed since any past version
+// are exactly {id : vers[id] > then} — the basis of delta gossip (Since).
 type View struct {
 	mu      sync.RWMutex
 	entries []Entry
+	vers    []uint64          // per-entry: version at last effective change
 	local   func(id int) bool // nil: every node is local (in-memory transports)
 	version uint64
 
@@ -98,13 +103,22 @@ type View struct {
 // NewView builds a view over n nodes, all alive at incarnation 0 with no
 // domain claim. local reports whether a node's ground truth lives in this
 // process (its entries are never overwritten by merges, only re-asserted);
-// nil marks every node local — the in-memory transports.
+// nil marks every node local — the in-memory transports. The view starts
+// at version 1 with every entry stamped 1, so version 0 unambiguously
+// means "has never seen anything of this view" to a gossip partner.
 func NewView(n int, local func(id int) bool) *View {
-	v := &View{entries: make([]Entry, n), local: local}
+	v := &View{entries: make([]Entry, n), vers: make([]uint64, n), local: local, version: 1}
 	for i := range v.entries {
 		v.entries[i].SP = NoSP
+		v.vers[i] = 1
 	}
 	return v
+}
+
+// bump stamps an effective mutation of entry id. Caller holds mu.
+func (v *View) bump(id int) {
+	v.version++
+	v.vers[id] = v.version
 }
 
 // Len returns the number of nodes.
@@ -216,7 +230,7 @@ func (v *View) MarkAlive(id int) bool {
 	}
 	e.State = Alive
 	e.Inc++
-	v.version++
+	v.bump(id)
 	out := *e
 	v.mu.Unlock()
 	v.notify(id, out)
@@ -235,7 +249,7 @@ func (v *View) MarkDead(id int) bool {
 		return false
 	}
 	e.State = Dead
-	v.version++
+	v.bump(id)
 	out := *e
 	v.mu.Unlock()
 	v.notify(id, out)
@@ -256,7 +270,7 @@ func (v *View) MarkSuspect(id int) (inc uint64, changed bool) {
 		return inc, false
 	}
 	e.State = Suspect
-	v.version++
+	v.bump(id)
 	out := *e
 	v.mu.Unlock()
 	v.notify(id, out)
@@ -275,7 +289,7 @@ func (v *View) Confirm(id int, inc uint64) bool {
 		return false
 	}
 	e.State = Dead
-	v.version++
+	v.bump(id)
 	out := *e
 	v.mu.Unlock()
 	v.notify(id, out)
@@ -300,7 +314,7 @@ func (v *View) SetSP(id, sp int) bool {
 	if e.State == Alive {
 		e.Inc++
 	}
-	v.version++
+	v.bump(id)
 	out := *e
 	v.mu.Unlock()
 	v.notify(id, out)
@@ -315,6 +329,39 @@ func (v *View) Snapshot() []Entry {
 	return append([]Entry(nil), v.entries...)
 }
 
+// VersionedSnapshot copies the current entries together with the version
+// they represent — the payload of a full-sync gossip message. Merging the
+// entries and acknowledging the version hands the partner a consistent
+// baseline for future deltas.
+func (v *View) VersionedSnapshot() ([]Entry, uint64) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return append([]Entry(nil), v.entries...), v.version
+}
+
+// Change names one entry of a delta: the node id and its record.
+type Change struct {
+	ID int
+	E  Entry
+}
+
+// Since returns the entries whose last effective change is newer than
+// after, ascending by id, together with the view's current version — the
+// delta a partner that has merged everything up to version after still
+// needs. Since(0) returns every entry: a fresh view stamps everything at
+// version 1.
+func (v *View) Since(after uint64) ([]Change, uint64) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var out []Change
+	for id, ver := range v.vers {
+		if ver > after {
+			out = append(out, Change{ID: id, E: v.entries[id]})
+		}
+	}
+	return out, v.version
+}
+
 // Merge folds a remote view's entries in — the anti-entropy step. For
 // non-local nodes the superseding remote entry is adopted verbatim. For
 // nodes this process hosts the view is authoritative: a remote entry that
@@ -325,43 +372,72 @@ func (v *View) Snapshot() []Entry {
 // lacks (any local entry superseding the corresponding remote one) — the
 // signal to send a reply gossip.
 func (v *View) Merge(remote []Entry) (changed []int, newerLocal bool) {
-	type change struct {
-		id int
-		e  Entry
-	}
-	var notes []change
+	var notes []Change
 	v.mu.Lock()
 	for id := 0; id < len(v.entries) && id < len(remote); id++ {
-		cur := &v.entries[id]
-		r := remote[id]
-		switch {
-		case !r.Supersedes(*cur):
-			if cur.Supersedes(r) {
-				newerLocal = true
-			}
-		case v.Local(id):
-			// Authoritative entry: re-assert the local state above the
-			// remote's incarnation instead of adopting.
-			cur.Inc = r.Inc + 1
-			v.version++
+		if v.mergeOne(id, remote[id], &notes) {
 			newerLocal = true
-			notes = append(notes, change{id, *cur})
-		default:
-			*cur = r
-			v.version++
-			notes = append(notes, change{id, *cur})
 		}
 	}
 	v.mu.Unlock()
-	changed = make([]int, 0, len(notes))
+	return v.noteChanges(notes), newerLocal
+}
+
+// MergeChanges folds a delta — remote records for named ids — into the
+// view with the same per-entry semantics as Merge. Ids outside the view
+// are ignored (a partner sized for a different overlay). It returns the
+// ids whose entries changed and whether this view holds information the
+// remote lacks among the named entries.
+func (v *View) MergeChanges(delta []Change) (changed []int, newerLocal bool) {
+	var notes []Change
+	v.mu.Lock()
+	for _, c := range delta {
+		if c.ID < 0 || c.ID >= len(v.entries) {
+			continue
+		}
+		if v.mergeOne(c.ID, c.E, &notes) {
+			newerLocal = true
+		}
+	}
+	v.mu.Unlock()
+	return v.noteChanges(notes), newerLocal
+}
+
+// mergeOne folds one remote record into entry id, appending any effective
+// change to notes. It reports whether the local entry supersedes the remote
+// one — information the remote lacks. Caller holds mu.
+func (v *View) mergeOne(id int, r Entry, notes *[]Change) (newerLocal bool) {
+	cur := &v.entries[id]
+	switch {
+	case !r.Supersedes(*cur):
+		return cur.Supersedes(r)
+	case v.Local(id):
+		// Authoritative entry: re-assert the local state above the
+		// remote's incarnation instead of adopting.
+		cur.Inc = r.Inc + 1
+		v.bump(id)
+		*notes = append(*notes, Change{id, *cur})
+		return true
+	default:
+		*cur = r
+		v.bump(id)
+		*notes = append(*notes, Change{id, *cur})
+		return false
+	}
+}
+
+// noteChanges fires the observer for each note outside the lock and
+// collects the changed ids (nil when the merge was vacuous).
+func (v *View) noteChanges(notes []Change) []int {
+	if len(notes) == 0 {
+		return nil
+	}
+	changed := make([]int, 0, len(notes))
 	for _, n := range notes {
-		changed = append(changed, n.id)
-		v.notify(n.id, n.e)
+		changed = append(changed, n.ID)
+		v.notify(n.ID, n.E)
 	}
-	if len(changed) == 0 {
-		changed = nil
-	}
-	return changed, newerLocal
+	return changed
 }
 
 // String renders a compact dump, e.g. "0=alive/sp0 1=suspect/sp0 2=dead".

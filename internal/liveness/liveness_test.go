@@ -234,3 +234,75 @@ func TestObserverAndVersion(t *testing.T) {
 		t.Errorf("observer saw %v, want [1 1]", seen)
 	}
 }
+
+// TestSinceAndVersionedSnapshot: Since returns exactly the entries stamped
+// after the given version, ascending by id, and the version pair lines up
+// with VersionedSnapshot.
+func TestSinceAndVersionedSnapshot(t *testing.T) {
+	v := NewView(5, nil)
+	entries, ver := v.VersionedSnapshot()
+	if len(entries) != 5 || ver != v.Version() {
+		t.Fatalf("snapshot %d entries at version %d, want 5 at %d", len(entries), ver, v.Version())
+	}
+	// A fresh view stamps everything at version 1: Since(0) is everything,
+	// Since(1) is nothing.
+	if all, _ := v.Since(0); len(all) != 5 {
+		t.Fatalf("Since(0) returned %d entries, want all 5", len(all))
+	}
+	if none, _ := v.Since(ver); len(none) != 0 {
+		t.Fatalf("Since(current) returned %d entries, want none", len(none))
+	}
+
+	v.MarkDead(3)
+	v.SetSP(1, 0)
+	delta, now := v.Since(ver)
+	if now != v.Version() {
+		t.Fatalf("Since reported version %d, view at %d", now, v.Version())
+	}
+	if len(delta) != 2 || delta[0].ID != 1 || delta[1].ID != 3 {
+		t.Fatalf("delta = %+v, want ids [1 3] ascending", delta)
+	}
+	if delta[1].E.State != Dead || delta[0].E.SP != 0 {
+		t.Fatalf("delta carries wrong records: %+v", delta)
+	}
+	// Re-marking dead is a no-op: no new stamp.
+	v.MarkDead(3)
+	if d2, _ := v.Since(now); len(d2) != 0 {
+		t.Fatalf("vacuous mutation produced a delta: %+v", d2)
+	}
+}
+
+// TestMergeChangesMatchesMerge: folding a delta by named ids has the same
+// per-entry semantics as the positional Merge — adoption for non-local
+// nodes, refutation for local ones — and ignores out-of-range ids.
+func TestMergeChangesMatchesMerge(t *testing.T) {
+	a := NewView(4, func(id int) bool { return id < 2 })
+	b := NewView(4, func(id int) bool { return id >= 2 })
+	b.MarkDead(3)
+	b.SetSP(2, 0)
+	b.MarkDead(1) // B's claim about A's own node: must be refuted
+
+	ver := uint64(0) // everything
+	delta, _ := b.Since(ver)
+	changed, newerLocal := a.MergeChanges(delta)
+	if !reflect.DeepEqual(changed, []int{1, 2, 3}) {
+		t.Fatalf("changed = %v, want [1 2 3]", changed)
+	}
+	if !newerLocal {
+		t.Error("refutation did not flag newer local info")
+	}
+	if a.StateOf(3) != Dead || a.SPOf(2) != 0 {
+		t.Errorf("A did not adopt B's entries: %s", a)
+	}
+	if a.StateOf(1) != Alive || a.EntryOf(1).Inc != b.EntryOf(1).Inc+1 {
+		t.Errorf("A did not refute the claim about its own node: %+v", a.EntryOf(1))
+	}
+
+	// Idempotent, and ids outside the view are skipped.
+	if changed, _ := a.MergeChanges(delta); changed != nil {
+		t.Errorf("re-merge changed %v", changed)
+	}
+	if changed, newer := a.MergeChanges([]Change{{ID: -1}, {ID: 99, E: Entry{State: Dead, Inc: 9}}}); changed != nil || newer {
+		t.Errorf("out-of-range ids had an effect: changed=%v newer=%v", changed, newer)
+	}
+}

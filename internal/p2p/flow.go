@@ -1,0 +1,67 @@
+package p2p
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// flowRate is an exponentially-weighted moving rate meter (bytes per
+// second) in the style of the per-connection flow monitors of
+// production p2p stacks: traffic accumulates into a short sample window,
+// and each completed window folds into the estimate with a weight that
+// grows with the window's length, so the estimate has a fixed half-life
+// in real time regardless of how bursty the traffic is. An idle meter
+// decays toward zero as soon as it is read.
+type flowRate struct {
+	mu    sync.Mutex
+	start time.Time // current sample window start (zero until first add)
+	acc   int64     // bytes accumulated in the current window
+	rate  float64   // bytes/sec estimate
+	total int64     // lifetime bytes
+}
+
+// flowHalfLife is the estimate's half-life in seconds: after this much
+// time at a new steady rate, the estimate has moved half-way there.
+const flowHalfLife = 2.0
+
+// flowWindow is the minimum sample window: adds closer together than this
+// accumulate instead of folding, keeping the estimate stable under bursts.
+const flowWindow = 100 * time.Millisecond
+
+// add records n bytes now.
+func (f *flowRate) add(n int64) {
+	f.mu.Lock()
+	now := time.Now()
+	if f.start.IsZero() {
+		f.start = now
+	}
+	f.tick(now)
+	f.acc += n
+	f.total += n
+	f.mu.Unlock()
+}
+
+// tick folds a completed sample window into the estimate. Caller holds mu.
+func (f *flowRate) tick(now time.Time) {
+	elapsed := now.Sub(f.start)
+	if elapsed < flowWindow {
+		return
+	}
+	dt := elapsed.Seconds()
+	inst := float64(f.acc) / dt
+	w := 1 - math.Exp2(-dt/flowHalfLife)
+	f.rate += w * (inst - f.rate)
+	f.acc = 0
+	f.start = now
+}
+
+// snapshot returns the current rate estimate and the lifetime byte total.
+func (f *flowRate) snapshot() (rate float64, total int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.start.IsZero() {
+		f.tick(time.Now())
+	}
+	return f.rate, f.total
+}

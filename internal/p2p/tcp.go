@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,7 @@ type TCPTransport struct {
 	wireMu      sync.Mutex
 	sentTo      map[string]int64 // data frames enqueued per peer address
 	handledFrom map[string]int64 // data frames fully handled per peer address
+	peerHandled map[string]int64 // peer's last-reported handled count (status exchanges)
 	ws          WireStats
 
 	statusMu sync.Mutex
@@ -127,6 +129,20 @@ type TCPConfig struct {
 	ReconnectBackoff time.Duration
 	// ReconnectMax caps the growing redial delay (default 3s).
 	ReconnectMax time.Duration
+	// FlushDelay bounds the writer's coalescing wait: once a batch holds at
+	// least one unit, the writer lingers this long for more before issuing
+	// the socket write (default 500µs; negative flushes immediately —
+	// batches then only form while a previous write is in flight).
+	FlushDelay time.Duration
+	// FlushBytes is the batch size that flushes without waiting out
+	// FlushDelay (default 32 KiB).
+	FlushBytes int
+	// KeepAlive is the idle-link probe interval: a connection that has
+	// received nothing for this long is pinged, and torn down when the pong
+	// stays out for another 2×KeepAlive — the cheap liveness signal for
+	// idle links, where no data frame would ever bounce (default 15s;
+	// negative disables probing).
+	KeepAlive time.Duration
 }
 
 // Stream unit kinds.
@@ -137,6 +153,8 @@ const (
 	kStatusReq  = 4 // distributed-settle probe
 	kStatusResp = 5 // distributed-settle answer
 	kBarrier    = 6 // named driver barrier marker
+	kPing       = 7 // keepalive probe (body: sender's send-time nanos)
+	kPong       = 8 // keepalive answer (body echoed back)
 )
 
 // statusInfo is one peer's answer to a settle probe.
@@ -166,22 +184,36 @@ type WireStats struct {
 	ChargedMsgs, ChargedBytes int64
 }
 
-// tcpConn is one persistent peer connection: a writer goroutine drains the
-// unbounded send queue onto the socket (the per-connection send routine
-// idiom), a reader goroutine parses inbound units. The queue is unbounded
-// on purpose: a dispatcher must never block on a peer's socket
-// backpressure, or two processes flooding each other could deadlock in a
-// cycle (dispatcher -> full send queue -> peer's reader -> peer's full
+// tcpConn is one persistent peer connection: senders append complete units
+// directly into a pooled batch buffer, a writer goroutine swaps the batch
+// out and flushes it with one socket write (the throttled send-routine
+// idiom — coalescing amortizes syscalls and small-packet overhead), a
+// reader goroutine parses inbound units out of a reused read buffer. The
+// batch is unbounded on purpose: a dispatcher must never block on a peer's
+// socket backpressure, or two processes flooding each other could deadlock
+// in a cycle (dispatcher -> full send queue -> peer's reader -> peer's full
 // inbox -> peer's dispatcher -> ...). The production-grade refinement —
-// disconnect a peer whose queue exceeds a budget — is a documented
-// follow-up; enqueueing never blocks and never holds a lock across I/O.
+// disconnect a peer whose backlog exceeds a budget — is a documented
+// follow-up; appending never blocks and never holds a lock across I/O.
 type tcpConn struct {
 	c    net.Conn
 	dead atomic.Bool
 
-	qmu   sync.Mutex
-	qcond *sync.Cond
-	queue [][]byte // complete units, length prefix included
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	batch   *wire.Enc // pending units; nil while empty (writer owns no batch)
+	pending int       // units in batch
+
+	// Flow accounting (PeerStats): EWMA rates plus lifetime unit counts on
+	// both directions, flush counts on the send side, ping RTT.
+	sendFlow  flowRate
+	recvFlow  flowRate
+	sentUnits atomic.Int64
+	recvUnits atomic.Int64
+	flushes   atomic.Int64
+	lastRecv  atomic.Int64 // unix nanos of the last received unit
+	pingSent  atomic.Int64 // unix nanos of the outstanding ping (0: none)
+	lastRTT   atomic.Int64 // nanos of the last completed ping round trip
 
 	mu   sync.Mutex
 	addr string // peer's listen address, learned from hello (dialed: preset)
@@ -190,6 +222,7 @@ type tcpConn struct {
 func newTCPConn(c net.Conn) *tcpConn {
 	conn := &tcpConn{c: c}
 	conn.qcond = sync.NewCond(&conn.qmu)
+	conn.lastRecv.Store(time.Now().UnixNano())
 	return conn
 }
 
@@ -199,40 +232,81 @@ func (c *tcpConn) peerAddr() string {
 	return c.addr
 }
 
-// send enqueues one unit for the writer; it reports false once the
-// connection is dead. It never blocks on the socket.
-func (c *tcpConn) send(u []byte) bool {
+// appendUnit appends one stream unit — length prefix, kind, body — to the
+// batch buffer, building the body in place via fill (which must append
+// through e and report success). The length prefix is reserved up front
+// and backfilled, so even a body whose size is unknown beforehand (a frame
+// encoded straight off its payload codec) costs no intermediate buffer. A
+// failed fill rolls the batch back to its previous state. appendUnit
+// reports false — nothing appended — once the connection is dead. It never
+// blocks on the socket: only the writer does I/O.
+func (c *tcpConn) appendUnit(kind byte, fill func(e *wire.Enc) bool) bool {
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
 	if c.dead.Load() {
 		return false
 	}
-	c.queue = append(c.queue, u)
+	if c.batch == nil {
+		c.batch = wire.GetEnc()
+	}
+	e := c.batch
+	start := e.Len()
+	off := e.Skip(4)
+	e.Uint8(kind)
+	if fill != nil && !fill(e) {
+		e.Truncate(start)
+		return false
+	}
+	e.FillUint32(off, uint32(e.Len()-start-4))
+	c.pending++
 	c.qcond.Signal()
 	return true
 }
 
-// next blocks until a unit is queued or the connection dies.
-func (c *tcpConn) next() ([]byte, bool) {
+// sendRaw appends one unit with a prebuilt body (control traffic).
+func (c *tcpConn) sendRaw(kind byte, body []byte) bool {
+	return c.appendUnit(kind, func(e *wire.Enc) bool {
+		e.Raw(body)
+		return true
+	})
+}
+
+// takeBatch blocks until units are pending or the connection dies, lingers
+// up to delay for more units to coalesce (unless the batch already holds
+// flushBytes), then hands the batch — and the number of units in it — to
+// the writer. The caller owns the returned Enc and must Release it.
+func (c *tcpConn) takeBatch(delay time.Duration, flushBytes int) (*wire.Enc, int, bool) {
 	c.qmu.Lock()
-	defer c.qmu.Unlock()
-	for len(c.queue) == 0 && !c.dead.Load() {
+	for c.pending == 0 && !c.dead.Load() {
 		c.qcond.Wait()
 	}
-	if len(c.queue) == 0 {
-		return nil, false
+	if c.pending > 0 && delay > 0 && c.batch.Len() < flushBytes {
+		c.qmu.Unlock()
+		time.Sleep(delay)
+		c.qmu.Lock()
 	}
-	u := c.queue[0]
-	c.queue = c.queue[1:]
-	return u, true
+	if c.pending == 0 || c.batch == nil {
+		c.qmu.Unlock()
+		return nil, 0, false
+	}
+	e := c.batch
+	n := c.pending
+	c.batch = nil
+	c.pending = 0
+	c.qmu.Unlock()
+	return e, n, true
 }
 
 // shutdown marks the connection dead exactly once, closing the socket and
-// waking the writer (queued units are discarded — the peer is gone).
+// waking the writer (pending units are discarded — the peer is gone).
 func (c *tcpConn) shutdown() {
 	c.qmu.Lock()
 	if !c.dead.Swap(true) {
-		c.queue = nil
+		if c.batch != nil {
+			c.batch.Release()
+			c.batch = nil
+		}
+		c.pending = 0
 		c.qcond.Broadcast()
 	}
 	c.qmu.Unlock()
@@ -265,6 +339,15 @@ func NewTCPTransport(graph *topology.Graph, cfg TCPConfig) (*TCPTransport, error
 	if cfg.ReconnectMax <= 0 {
 		cfg.ReconnectMax = 3 * time.Second
 	}
+	if cfg.FlushDelay == 0 {
+		cfg.FlushDelay = 500 * time.Microsecond
+	}
+	if cfg.FlushBytes <= 0 {
+		cfg.FlushBytes = 32 << 10
+	}
+	if cfg.KeepAlive == 0 {
+		cfg.KeepAlive = 15 * time.Second
+	}
 	n := graph.Len()
 	t := &TCPTransport{
 		graph:        graph,
@@ -277,6 +360,7 @@ func NewTCPTransport(graph *topology.Graph, cfg TCPConfig) (*TCPTransport, error
 		closeCh:      make(chan struct{}),
 		sentTo:       make(map[string]int64),
 		handledFrom:  make(map[string]int64),
+		peerHandled:  make(map[string]int64),
 		statusCh:     make(map[uint64]chan statusInfo),
 		barriers:     make(map[uint32]map[string]bool),
 	}
@@ -301,6 +385,10 @@ func NewTCPTransport(graph *topology.Graph, cfg TCPConfig) (*TCPTransport, error
 	t.eng = newDispatchEngine(n, cfg.Dispatchers, cfg.GroupBy, t.deliver)
 	t.wg.Add(1)
 	go t.acceptLoop()
+	if cfg.KeepAlive > 0 {
+		t.wg.Add(1)
+		go t.keepaliveLoop()
+	}
 	return t, nil
 }
 
@@ -366,10 +454,128 @@ func (t *TCPTransport) WireStats() WireStats {
 	return t.ws
 }
 
+// PeerStat is one live peer connection's flow snapshot (PeerStats).
+type PeerStat struct {
+	// Addr is the peer process's listen address.
+	Addr string
+	// SendRate and RecvRate are bytes/sec EWMA estimates of the socket
+	// traffic in each direction (length prefixes included).
+	SendRate, RecvRate float64
+	// SentBytes and RecvBytes are lifetime socket bytes of this connection.
+	SentBytes, RecvBytes int64
+	// SentUnits and RecvUnits count stream units (data and control).
+	SentUnits, RecvUnits int64
+	// Flushes counts socket writes; SentUnits/Flushes is the mean batch
+	// coalescing factor.
+	Flushes int64
+	// QueuedUnits and QueuedBytes measure the batch not yet flushed.
+	QueuedUnits, QueuedBytes int
+	// InFlight is the number of data frames sent to the peer and not yet
+	// known handled — refreshed by status exchanges (Settle), so between
+	// exchanges it is an upper bound.
+	InFlight int64
+	// RTT is the last completed keepalive round trip (0 before the first).
+	RTT time.Duration
+}
+
+// PeerStats snapshots the per-peer flow counters of every registered
+// connection, ordered by peer address. It is cheap enough for a signal
+// handler: no I/O, a handful of mutexes.
+func (t *TCPTransport) PeerStats() []PeerStat {
+	t.connMu.Lock()
+	addrs := make([]string, 0, len(t.conns))
+	conns := make([]*tcpConn, 0, len(t.conns))
+	for a, c := range t.conns {
+		addrs = append(addrs, a)
+		conns = append(conns, c)
+	}
+	t.connMu.Unlock()
+	sort.Sort(&peerStatOrder{addrs, conns})
+	out := make([]PeerStat, 0, len(conns))
+	for i, c := range conns {
+		st := PeerStat{
+			Addr:      addrs[i],
+			SentUnits: c.sentUnits.Load(),
+			RecvUnits: c.recvUnits.Load(),
+			Flushes:   c.flushes.Load(),
+			RTT:       time.Duration(c.lastRTT.Load()),
+		}
+		st.SendRate, st.SentBytes = c.sendFlow.snapshot()
+		st.RecvRate, st.RecvBytes = c.recvFlow.snapshot()
+		c.qmu.Lock()
+		st.QueuedUnits = c.pending
+		if c.batch != nil {
+			st.QueuedBytes = c.batch.Len()
+		}
+		c.qmu.Unlock()
+		t.wireMu.Lock()
+		st.InFlight = t.sentTo[st.Addr] - t.peerHandled[st.Addr]
+		t.wireMu.Unlock()
+		if st.InFlight < 0 {
+			st.InFlight = 0
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// peerStatOrder sorts the address and connection slices in lockstep.
+type peerStatOrder struct {
+	addrs []string
+	conns []*tcpConn
+}
+
+func (o *peerStatOrder) Len() int           { return len(o.addrs) }
+func (o *peerStatOrder) Less(i, j int) bool { return o.addrs[i] < o.addrs[j] }
+func (o *peerStatOrder) Swap(i, j int) {
+	o.addrs[i], o.addrs[j] = o.addrs[j], o.addrs[i]
+	o.conns[i], o.conns[j] = o.conns[j], o.conns[i]
+}
+
+// keepaliveLoop probes idle registered connections: a connection that has
+// received nothing for KeepAlive gets a ping (the pong carries the RTT
+// into PeerStats), and a ping unanswered for 2×KeepAlive tears the
+// connection down — the cheap liveness signal for idle links, which would
+// otherwise only notice a silently dead peer on the next data frame.
+func (t *TCPTransport) keepaliveLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.cfg.KeepAlive / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.closeCh:
+			return
+		case now := <-tick.C:
+			t.connMu.Lock()
+			conns := make([]*tcpConn, 0, len(t.conns))
+			for _, c := range t.conns {
+				conns = append(conns, c)
+			}
+			t.connMu.Unlock()
+			for _, c := range conns {
+				if ps := c.pingSent.Load(); ps != 0 {
+					if now.Sub(time.Unix(0, ps)) > 2*t.cfg.KeepAlive {
+						t.connDead(c) // peer hung: ping stayed unanswered
+					}
+					continue
+				}
+				if now.Sub(time.Unix(0, c.lastRecv.Load())) < t.cfg.KeepAlive {
+					continue
+				}
+				nanos := now.UnixNano()
+				c.pingSent.Store(nanos)
+				var e wire.Enc
+				e.Uvarint(uint64(nanos))
+				c.sendRaw(kPing, e.Bytes())
+			}
+		}
+	}
+}
+
 // --- connection management -------------------------------------------------
 
-// helloUnit encodes this process's handshake.
-func (t *TCPTransport) helloUnit() []byte {
+// helloBody encodes this process's handshake body.
+func (t *TCPTransport) helloBody() []byte {
 	var e wire.Enc
 	e.String(t.laddr)
 	locals := t.LocalIDs()
@@ -377,16 +583,7 @@ func (t *TCPTransport) helloUnit() []byte {
 	for _, id := range locals {
 		e.Varint(int64(id))
 	}
-	return unit(kHello, e.Bytes())
-}
-
-// unit assembles one stream unit: length prefix, kind, body.
-func unit(kind byte, body []byte) []byte {
-	b := make([]byte, 4+1+len(body))
-	binary.BigEndian.PutUint32(b, uint32(1+len(body)))
-	b[4] = kind
-	copy(b[5:], body)
-	return b
+	return e.Bytes()
 }
 
 // DialPeers connects to every remote process of the host map, retrying
@@ -437,7 +634,7 @@ func (t *TCPTransport) dial(addr string) (*tcpConn, error) {
 		// read-only (the peer may have registered it on its side).
 		t.connMu.Unlock()
 		if t.startConn(conn) {
-			conn.send(t.helloUnit())
+			conn.sendRaw(kHello, t.helloBody())
 		}
 		return existing, nil
 	}
@@ -451,7 +648,7 @@ func (t *TCPTransport) dial(addr string) (*tcpConn, error) {
 		t.connMu.Unlock()
 		return nil, errors.New("p2p: transport closed")
 	}
-	conn.send(t.helloUnit())
+	conn.sendRaw(kHello, t.helloBody())
 	return conn, nil
 }
 
@@ -497,30 +694,44 @@ func (t *TCPTransport) acceptLoop() {
 	}
 }
 
-// writeLoop drains the connection's send queue onto the socket. A write
-// error marks the connection dead: subsequent sends to the peer run the
-// drop callback instead (§4.3 failure detection for dead connections).
+// writeLoop flushes the connection's batch buffer onto the socket: it
+// takes whatever units have coalesced (lingering FlushDelay for stragglers
+// unless FlushBytes already accumulated), issues one write for the whole
+// batch, and returns the buffer to the encoder pool. A write error marks
+// the connection dead: subsequent sends to the peer run the drop callback
+// instead (§4.3 failure detection for dead connections).
 func (t *TCPTransport) writeLoop(conn *tcpConn) {
 	defer t.wg.Done()
 	for {
-		b, ok := conn.next()
+		e, units, ok := conn.takeBatch(t.cfg.FlushDelay, t.cfg.FlushBytes)
 		if !ok {
 			conn.c.Close()
 			return
 		}
-		if _, err := conn.c.Write(b); err != nil {
+		b := e.Bytes()
+		_, err := conn.c.Write(b)
+		n := int64(len(b))
+		e.Release()
+		conn.sendFlow.add(n)
+		conn.sentUnits.Add(int64(units))
+		conn.flushes.Add(1)
+		if err != nil {
 			t.connDead(conn)
 			return
 		}
 	}
 }
 
-// readLoop parses units off the socket until it breaks.
+// readLoop parses units off the socket until it breaks. The body buffer is
+// reused across units: handleUnit fully consumes every borrowed byte before
+// returning (frames decode their payloads through the codecs, control
+// bodies are copied), so no allocation rides the per-unit path.
 func (t *TCPTransport) readLoop(conn *tcpConn) {
 	defer t.wg.Done()
 	defer t.connDead(conn)
 	br := bufio.NewReader(conn.c)
 	hdr := make([]byte, 4)
+	var body []byte
 	for {
 		if _, err := io.ReadFull(br, hdr); err != nil {
 			return
@@ -529,13 +740,25 @@ func (t *TCPTransport) readLoop(conn *tcpConn) {
 		if n < 1 || n > t.cfg.MaxFrame {
 			return // corrupt or hostile length
 		}
-		body := make([]byte, n)
+		if cap(body) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
 		if _, err := io.ReadFull(br, body); err != nil {
 			return
 		}
+		conn.recvFlow.add(int64(4 + n))
+		conn.recvUnits.Add(1)
+		conn.lastRecv.Store(time.Now().UnixNano())
 		t.handleUnit(conn, body[0], body[1:])
+		if cap(body) > maxReadBuf {
+			body = nil // give a one-off huge frame's buffer back to the GC
+		}
 	}
 }
+
+// maxReadBuf bounds the reused read buffer kept across units.
+const maxReadBuf = 1 << 20
 
 // connDead unregisters a broken connection, shuts it down and — when the
 // peer is part of the host map — starts the background reconnect loop.
@@ -611,17 +834,46 @@ func (t *TCPTransport) scheduleReconnect(addr string) {
 	}()
 }
 
-// enqueue hands one unit to the peer's writer, dialing once on demand. It
-// reports false when the peer is unreachable.
-func (t *TCPTransport) enqueue(addr string, u []byte) bool {
+// connFor returns the live connection for addr, dialing once on demand.
+func (t *TCPTransport) connFor(addr string) (*tcpConn, bool) {
 	conn, ok := t.liveConn(addr)
 	if !ok {
 		var err error
 		if conn, err = t.dial(addr); err != nil {
-			return false
+			return nil, false
 		}
 	}
-	return conn.send(u)
+	return conn, true
+}
+
+// enqueue hands one control unit to the peer's writer, dialing once on
+// demand. It reports false when the peer is unreachable.
+func (t *TCPTransport) enqueue(addr string, kind byte, body []byte) bool {
+	conn, ok := t.connFor(addr)
+	return ok && conn.sendRaw(kind, body)
+}
+
+// enqueueFrame appends msg's frame as one unit of the given kind straight
+// into the peer's batch buffer — the zero-copy send path: the payload
+// codec writes into the same pooled buffer the socket write reads from.
+// size is the precomputed frame length (frameSize), asserted against what
+// the codec actually wrote.
+func (t *TCPTransport) enqueueFrame(addr string, kind byte, msg *Message, size int64) bool {
+	conn, ok := t.connFor(addr)
+	if !ok {
+		return false
+	}
+	return conn.appendUnit(kind, func(e *wire.Enc) bool {
+		start := e.Len()
+		if !appendFrame(e, msg) {
+			return false
+		}
+		if int64(e.Len()-start) != size {
+			panic(fmt.Sprintf("p2p: frame for %q measured %d bytes, wrote %d",
+				msg.Type, size, e.Len()-start))
+		}
+		return true
+	})
 }
 
 // --- unit handling ---------------------------------------------------------
@@ -661,7 +913,7 @@ func (t *TCPTransport) handleUnit(conn *tcpConn, kind byte, body []byte) {
 		if origin == "" {
 			return // data before hello: protocol violation, drop
 		}
-		msg, err := decodeFrame(body)
+		msg, err := decodeFrameShared(body)
 		if err != nil {
 			return // undecodable frame: drop (logged by byte counters' absence)
 		}
@@ -680,7 +932,7 @@ func (t *TCPTransport) handleUnit(conn *tcpConn, kind byte, body []byte) {
 		}
 		t.eng.groups[g].inbox <- envelope{msg: msg, origin: origin}
 	case kDropEcho:
-		msg, err := decodeFrame(body)
+		msg, err := decodeFrameShared(body)
 		if err != nil {
 			return
 		}
@@ -701,13 +953,22 @@ func (t *TCPTransport) handleUnit(conn *tcpConn, kind byte, body []byte) {
 		e.Uvarint(uint64(handled))
 		e.Uvarint(uint64(sent))
 		e.Bool(t.eng.idleNow())
-		conn.send(unit(kStatusResp, e.Bytes()))
+		conn.sendRaw(kStatusResp, e.Bytes())
 	case kStatusResp:
 		d := wire.NewDec(body)
 		nonce := d.Uvarint()
 		st := statusInfo{handled: int64(d.Uvarint()), sent: int64(d.Uvarint()), idle: d.Bool()}
 		if d.Err() != nil {
 			return
+		}
+		if origin := conn.peerAddr(); origin != "" {
+			// The peer's handled count doubles as the in-flight baseline of
+			// PeerStats, refreshed by every status exchange.
+			t.wireMu.Lock()
+			if st.handled > t.peerHandled[origin] {
+				t.peerHandled[origin] = st.handled
+			}
+			t.wireMu.Unlock()
 		}
 		t.statusMu.Lock()
 		ch := t.statusCh[nonce]
@@ -729,6 +990,20 @@ func (t *TCPTransport) handleUnit(conn *tcpConn, kind byte, body []byte) {
 		}
 		t.barriers[tag][from] = true
 		t.barrierMu.Unlock()
+	case kPing:
+		// Echo the probe body back; the sender computes the RTT from it.
+		nanos := append([]byte(nil), body...)
+		conn.sendRaw(kPong, nanos)
+	case kPong:
+		d := wire.NewDec(body)
+		sent := int64(d.Uvarint())
+		if d.Err() != nil {
+			return
+		}
+		if conn.pingSent.Load() == sent {
+			conn.pingSent.Store(0)
+			conn.lastRTT.Store(time.Now().UnixNano() - sent)
+		}
 	}
 }
 
@@ -805,8 +1080,8 @@ func (t *TCPTransport) deliver(g int, env envelope) {
 	case env.origin != "":
 		// Bounce the frame to the sender's process; its transport runs the
 		// drop callback in the sender's group.
-		if frame, ok := encodeFrame(msg); ok {
-			t.enqueue(env.origin, unit(kDropEcho, frame))
+		if size, ok := frameSize(msg); ok {
+			t.enqueueFrame(env.origin, kDropEcho, msg, size)
 		}
 	}
 	t.eng.finishPending(g)
@@ -952,23 +1227,27 @@ func (t *TCPTransport) Send(msg *Message) {
 	if msg.ID == 0 {
 		msg.ID = id
 	}
-	frame, framed := encodeFrame(msg)
+	size, framed := frameSize(msg)
 
 	if t.IsLocal(msg.To) {
-		size := int64(BaseMessageBytes)
 		if framed {
-			size = int64(len(frame))
-			// Round-trip through the codec: local delivery observes exactly
-			// what a remote process would have decoded.
-			if m2, err := decodeFrame(frame); err == nil {
-				m2.ID = msg.ID
-				msg = m2
+			// Round-trip through the codec out of a pooled buffer: local
+			// delivery observes exactly what a remote process would have
+			// decoded, without the old Encode allocation.
+			e := wire.GetEnc()
+			if appendFrame(e, msg) {
+				if m2, err := decodeFrameShared(e.Bytes()); err == nil {
+					m2.ID = msg.ID
+					msg = m2
+				}
 			}
+			e.Release()
 			t.wireMu.Lock()
 			t.ws.LocalFrames++
 			t.ws.LocalBytes += size
 			t.wireMu.Unlock()
 		} else {
+			size = int64(BaseMessageBytes)
 			if s, ok := msg.Payload.(Sizer); ok {
 				size += int64(s.WireSize())
 			}
@@ -986,7 +1265,7 @@ func (t *TCPTransport) Send(msg *Message) {
 	addr := t.hostOf[msg.To]
 	g := t.chargeGroupOf(msg)
 	if !framed {
-		size := int64(BaseMessageBytes)
+		size = int64(BaseMessageBytes)
 		if s, ok := msg.Payload.(Sizer); ok {
 			size += int64(s.WireSize())
 		}
@@ -995,20 +1274,20 @@ func (t *TCPTransport) Send(msg *Message) {
 		t.dropToSender(msg)
 		return
 	}
-	t.eng.chargeMessage(g, msg.Type, int64(len(frame)))
-	if addr == "" || !t.enqueue(addr, unit(kData, frame)) {
+	t.eng.chargeMessage(g, msg.Type, size)
+	if addr == "" || !t.enqueueFrame(addr, kData, msg, size) {
 		// Unmapped node or dead connection: the message was charged as
 		// sent (the bytes hit the wire as far as accounting is concerned)
 		// but no frame bucket took it — book it frameless so the
 		// WireStats identity survives the §4.3 failure path.
-		t.chargeFrameless(1, int64(len(frame)))
+		t.chargeFrameless(1, size)
 		t.dropToSender(msg)
 		return
 	}
 	t.wireMu.Lock()
 	t.sentTo[addr]++
 	t.ws.SentFrames++
-	t.ws.SentBytes += int64(len(frame))
+	t.ws.SentBytes += size
 	t.wireMu.Unlock()
 }
 
@@ -1126,7 +1405,7 @@ func (t *TCPTransport) peerStatus(addr string, timeout time.Duration) (statusInf
 	t.statusMu.Unlock()
 	var e wire.Enc
 	e.Uvarint(nonce)
-	if !t.enqueue(addr, unit(kStatusReq, e.Bytes())) {
+	if !t.enqueue(addr, kStatusReq, e.Bytes()) {
 		t.statusMu.Lock()
 		delete(t.statusCh, nonce)
 		t.statusMu.Unlock()
@@ -1153,7 +1432,7 @@ func (t *TCPTransport) Barrier(tag uint32, timeout time.Duration) error {
 	e.Uvarint(uint64(tag))
 	e.String(t.laddr)
 	for _, addr := range peers {
-		if !t.enqueue(addr, unit(kBarrier, e.Bytes())) {
+		if !t.enqueue(addr, kBarrier, e.Bytes()) {
 			return fmt.Errorf("p2p: barrier %d: peer %s unreachable", tag, addr)
 		}
 	}

@@ -187,25 +187,60 @@ func frameOf(msg *Message, hasPayload bool) wire.Frame {
 // It reports false for payloads the codec registry cannot serialize — the
 // caller falls back to shared-memory delivery and Sizer accounting.
 func encodeFrame(msg *Message) ([]byte, bool) {
-	has := msg.Payload != nil
-	f := frameOf(msg, has)
-	if has {
-		c, ok := wire.Lookup(msg.Type)
-		if !ok {
-			return nil, false
-		}
-		var pe wire.Enc
-		if err := c.Encode(&pe, msg.Payload); err != nil {
-			return nil, false
-		}
-		f.Payload = pe.Bytes()
+	e := wire.GetEnc()
+	defer e.Release()
+	if !appendFrame(e, msg) {
+		return nil, false
 	}
-	return f.Encode(), true
+	return append([]byte(nil), e.Bytes()...), true
+}
+
+// appendFrame appends msg's full frame encoding to e (codec payload
+// included) with no intermediate buffer: the payload codec runs once
+// against a pooled counting Enc to learn the length prefix, then once
+// against e itself. It reports false — leaving e exactly as it was — when
+// the payload has no registered codec or the codec fails.
+func appendFrame(e *wire.Enc, msg *Message) bool {
+	has := msg.Payload != nil
+	var c wire.PayloadCodec
+	payloadLen := 0
+	if has {
+		var ok bool
+		c, ok = wire.Lookup(msg.Type)
+		if !ok {
+			return false
+		}
+		ce := wire.GetCountEnc()
+		err := c.Encode(ce, msg.Payload)
+		payloadLen = ce.Len()
+		ce.Release()
+		if err != nil {
+			return false
+		}
+	}
+	f := frameOf(msg, has)
+	start := e.Len()
+	f.AppendHeaderTo(e, payloadLen)
+	if has {
+		payloadStart := e.Len()
+		if err := c.Encode(e, msg.Payload); err != nil {
+			e.Truncate(start)
+			return false
+		}
+		if e.Len()-payloadStart != payloadLen {
+			// The codec is non-deterministic: the counted and written
+			// lengths disagree, so the frame on the wire is corrupt. This
+			// is a wiring bug in the codec, not a runtime condition.
+			panic(fmt.Sprintf("p2p: codec for %q wrote %d bytes, counted %d",
+				msg.Type, e.Len()-payloadStart, payloadLen))
+		}
+	}
+	return true
 }
 
 // frameSize measures the encoded frame length of msg without building the
-// bytes (counting Enc all the way down). It must agree exactly with
-// len(encodeFrame(msg)) — TestByteAccounting pins that.
+// bytes (pooled counting Enc all the way down, no allocation). It must
+// agree exactly with len(encodeFrame(msg)) — TestByteAccounting pins that.
 func frameSize(msg *Message) (int64, bool) {
 	has := msg.Payload != nil
 	payloadLen := 0
@@ -214,11 +249,13 @@ func frameSize(msg *Message) (int64, bool) {
 		if !ok {
 			return 0, false
 		}
-		ce := wire.NewCountEnc()
-		if err := c.Encode(ce, msg.Payload); err != nil {
+		ce := wire.GetCountEnc()
+		err := c.Encode(ce, msg.Payload)
+		payloadLen = ce.Len()
+		ce.Release()
+		if err != nil {
 			return 0, false
 		}
-		payloadLen = ce.Len()
 	}
 	f := frameOf(msg, has)
 	return int64(f.SizeWithPayload(payloadLen)), true
@@ -228,7 +265,20 @@ func frameSize(msg *Message) (int64, bool) {
 // payload through the registered codec. Frames without a payload need no
 // codec.
 func decodeFrame(b []byte) (*Message, error) {
-	f, err := wire.DecodeFrame(b)
+	return decodeFrameWith(b, wire.DecodeFrame)
+}
+
+// decodeFrameShared is decodeFrame over a borrowed buffer: the frame-level
+// payload blob aliases b instead of being copied, and the type string is
+// interned through the registry. Safe because the payload codec consumes
+// the blob before this function returns and must not retain it (the
+// PayloadCodec contract) — so the caller may reuse b immediately.
+func decodeFrameShared(b []byte) (*Message, error) {
+	return decodeFrameWith(b, wire.DecodeFrameShared)
+}
+
+func decodeFrameWith(b []byte, parse func([]byte) (*wire.Frame, error)) (*Message, error) {
+	f, err := parse(b)
 	if err != nil {
 		return nil, err
 	}

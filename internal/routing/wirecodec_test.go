@@ -104,12 +104,19 @@ func registeredSamples() map[string]any {
 		core.MsgPush:     core.PushPayload{V: core.Stale},
 		core.MsgReconcile: core.ReconcilePayload{
 			SP: 2, Seq: 3, Remaining: []p2p.NodeID{4}, Merged: []p2p.NodeID{5, 6},
-			Gossip: []liveness.Entry{{State: liveness.Suspect, Inc: 2, SP: 2}},
+			Gossip: &core.GossipTail{
+				Delta: []liveness.Change{{ID: 3, E: liveness.Entry{State: liveness.Suspect, Inc: 2, SP: 2}}},
+				Ver:   8, Ack: 5,
+			},
 		},
 		core.MsgGossip: core.GossipPayload{
-			Entries: []liveness.Entry{
-				{State: liveness.Alive, Inc: 1, SP: 0},
-				{State: liveness.Dead, Inc: 9, SP: liveness.NoSP},
+			Tail: core.GossipTail{
+				Full: true,
+				Entries: []liveness.Entry{
+					{State: liveness.Alive, Inc: 1, SP: 0},
+					{State: liveness.Dead, Inc: 9, SP: liveness.NoSP},
+				},
+				Ver: 12, Ack: 4,
 			},
 			Reply: true,
 		},
@@ -149,6 +156,61 @@ func TestEveryRegisteredTypeCovered(t *testing.T) {
 			if _, err := c.Decode(full[:cut]); err == nil {
 				t.Errorf("%s: truncation at %d/%d decoded successfully", typ, cut, len(full))
 			}
+		}
+	}
+}
+
+// TestSharedDecodeEveryRegisteredType frames each sample payload and
+// decodes the frame through both the copying and the borrowing decoder,
+// feeding each payload back through the type's codec. The results must
+// match — and must keep matching after the borrowed buffer is clobbered,
+// which is exactly what the TCP read loop does when it reuses its read
+// buffer: the PayloadCodec contract says Decode retains nothing.
+func TestSharedDecodeEveryRegisteredType(t *testing.T) {
+	samples := registeredSamples()
+	for _, typ := range wire.Types() {
+		sample, ok := samples[typ]
+		if !ok {
+			continue // TestEveryRegisteredTypeCovered reports the gap
+		}
+		c, _ := wire.Lookup(typ)
+		var e wire.Enc
+		if err := c.Encode(&e, sample); err != nil {
+			t.Fatalf("%s: encode: %v", typ, err)
+		}
+		f := &wire.Frame{Type: typ, From: 3, To: 9, TTL: 1, HasPayload: true}
+		f.Payload = e.Bytes()
+		buf := f.Encode()
+
+		fromCopy, err := wire.DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("%s: copying frame decode: %v", typ, err)
+		}
+		shared, err := wire.DecodeFrameShared(buf)
+		if err != nil {
+			t.Fatalf("%s: shared frame decode: %v", typ, err)
+		}
+		if shared.Type != typ {
+			t.Fatalf("%s: shared decode canonicalized Type to %q", typ, shared.Type)
+		}
+		wantPayload, err := c.Decode(fromCopy.Payload)
+		if err != nil {
+			t.Fatalf("%s: payload decode (copy): %v", typ, err)
+		}
+		gotPayload, err := c.Decode(shared.Payload)
+		if err != nil {
+			t.Fatalf("%s: payload decode (shared): %v", typ, err)
+		}
+		if !reflect.DeepEqual(gotPayload, wantPayload) {
+			t.Fatalf("%s: shared and copying decode disagree:\nwant %+v\ngot  %+v", typ, wantPayload, gotPayload)
+		}
+		// Clobber the frame buffer the shared decode borrowed from: a
+		// codec that retained borrowed bytes now shows garbage.
+		for i := range buf {
+			buf[i] ^= 0xFF
+		}
+		if !reflect.DeepEqual(gotPayload, wantPayload) {
+			t.Fatalf("%s: codec retained borrowed payload bytes", typ)
 		}
 	}
 	for typ := range samples {

@@ -1,0 +1,89 @@
+// Command benchgate fails when a benchmark's allocations exceed a bound —
+// the allocation-regression smoke test of the wire hot path, reimplemented
+// on the standard library so CI needs no third-party tool. It reads `go
+// test -bench -benchmem` output and asserts allocs/op for the named
+// benchmarks.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=BenchmarkFrameEncode -benchmem ./internal/wire/ | \
+//	    go run ./internal/tools/benchgate -bench BenchmarkFrameEncode -max-allocs 0
+//
+// The -bench flag is a substring match against the benchmark name (the
+// part before the parallelism suffix); every matching result line must
+// satisfy the bound, and at least one must be present — a benchmark that
+// silently stopped running is itself a failure.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name substring to gate (required)")
+	maxAllocs := flag.Int64("max-allocs", 0, "maximum allowed allocs/op")
+	flag.Parse()
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -bench NAME [-max-allocs N] < bench-output")
+		os.Exit(2)
+	}
+
+	matched, bad := 0, 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the report through for the CI log
+		name, allocs, ok := parseBenchLine(line)
+		if !ok || !strings.Contains(name, *bench) {
+			continue
+		}
+		matched++
+		if allocs > *maxAllocs {
+			bad++
+			fmt.Fprintf(os.Stderr, "benchgate: %s allocates %d/op, want <= %d\n", name, allocs, *maxAllocs)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: reading input: %v\n", err)
+		os.Exit(2)
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark matching %q in the input — did it run with -benchmem?\n", *bench)
+		os.Exit(1)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) matching %q within %d allocs/op\n", matched, *bench, *maxAllocs)
+}
+
+// parseBenchLine extracts the name and allocs/op from one `go test -bench
+// -benchmem` result line, e.g.
+//
+//	BenchmarkFrameEncode-8   28143813   44.32 ns/op   0 B/op   0 allocs/op
+//
+// ok is false for non-result lines and for results without the -benchmem
+// allocation column.
+func parseBenchLine(line string) (name string, allocs int64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i, f := range fields {
+		if f == "allocs/op" && i > 0 {
+			n, err := strconv.ParseInt(fields[i-1], 10, 64)
+			if err != nil {
+				return "", 0, false
+			}
+			name, _, _ = strings.Cut(fields[0], "-")
+			return name, n, true
+		}
+	}
+	return "", 0, false
+}

@@ -1,0 +1,76 @@
+package wire
+
+import "testing"
+
+// benchFrame is a representative data frame: a realistic type name, wide
+// node ids, and a payload big enough that the blob copy dominates.
+func benchFrame(payload []byte) *Frame {
+	return &Frame{
+		Type: "push", From: 12, To: 34567, TTL: 2, Hops: 1,
+		HasPayload: true, Payload: payload,
+	}
+}
+
+// BenchmarkFrameEncode is the allocation gate of the wire hot path: one
+// frame encoding through a pooled encoder must not allocate (the CI bench
+// smoke fails the build when allocs/op leaves zero). The pool warms up on
+// the first iterations; steady state reuses one buffer.
+func BenchmarkFrameEncode(b *testing.B) {
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	f := benchFrame(payload)
+	b.ReportAllocs()
+	b.SetBytes(int64(f.SizeWithPayload(len(payload))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := GetEnc()
+		e.Raw(f.AppendTo(e.Bytes()[:0]))
+		if e.Len() == 0 {
+			b.Fatal("empty encoding")
+		}
+		e.Release()
+	}
+}
+
+// BenchmarkFrameDecode compares the copying and the borrowing decode of
+// the same frame: the shared variant is what the TCP read loop runs, where
+// the frame buffer outlives the decode.
+func BenchmarkFrameDecode(b *testing.B) {
+	payload := make([]byte, 512)
+	buf := benchFrame(payload).Encode()
+	for _, mode := range []struct {
+		name string
+		dec  func([]byte) (*Frame, error)
+	}{
+		{"copy", DecodeFrame},
+		{"shared", DecodeFrameShared},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(buf)))
+			for i := 0; i < b.N; i++ {
+				f, err := mode.dec(buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(f.Payload) != len(payload) {
+					b.Fatal("short payload")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFrameSize guards the byte-accounting path: counting an encoded
+// frame length must not materialize any bytes.
+func BenchmarkFrameSize(b *testing.B) {
+	f := benchFrame(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if f.SizeWithPayload(512) == 0 {
+			b.Fatal("zero size")
+		}
+	}
+}

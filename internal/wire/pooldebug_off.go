@@ -1,0 +1,7 @@
+//go:build !race
+
+package wire
+
+// poolDebug is off in regular builds: the hot path carries no
+// use-after-release checks. See pooldebug_race.go.
+const poolDebug = false

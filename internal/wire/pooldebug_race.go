@@ -1,0 +1,10 @@
+//go:build race
+
+package wire
+
+// poolDebug turns on the pooled-encoder misuse checks in race-instrumented
+// builds (the builds CI runs the tests under): Release poisons the buffer
+// so stale Bytes() holders read garbage instead of silently-recycled data,
+// and any Enc method called after Release panics. Regular builds compile
+// the checks away.
+const poolDebug = true

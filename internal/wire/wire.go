@@ -35,7 +35,9 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
+	"unsafe"
 )
 
 // FrameVersion is the encoding version stamped on every frame; decoders
@@ -46,18 +48,84 @@ const FrameVersion = 1
 // ready to use. A counting Enc (NewCountEnc) runs the identical encoding
 // logic but only tallies lengths — transports use it to charge a message
 // its exact frame size without allocating the serialized bytes.
+//
+// The hot path uses pooled instances: GetEnc and GetCountEnc hand out
+// recycled encoders, Release returns them. A released Enc must not be
+// touched again, and no slice obtained from Bytes() may be read after
+// Release — race-instrumented builds poison released buffers and panic on
+// reuse to surface violations.
 type Enc struct {
-	buf   []byte
-	count bool
-	n     int
+	buf      []byte
+	count    bool
+	n        int
+	released bool // poolDebug builds only: set between Release and Get
 }
 
 // NewCountEnc returns an Enc that measures instead of writing: every
 // primitive adds its encoded length to Len() and Bytes() stays nil.
 func NewCountEnc() *Enc { return &Enc{count: true} }
 
-// Bytes returns the encoded buffer (nil on a counting Enc).
-func (e *Enc) Bytes() []byte { return e.buf }
+// maxPooledEnc caps the capacity of buffers kept in the encoder pool:
+// recycling the occasional huge frame buffer would pin its memory for the
+// lifetime of the pool, so oversized encoders are dropped on Release.
+const maxPooledEnc = 64 << 10
+
+var encPool = sync.Pool{New: func() any { return new(Enc) }}
+
+// GetEnc returns a pooled writing encoder with an empty buffer. Pair it
+// with Release; an Enc that is never released is merely garbage, not a
+// leak.
+func GetEnc() *Enc {
+	e := encPool.Get().(*Enc)
+	e.buf = e.buf[:0]
+	e.count = false
+	e.n = 0
+	e.released = false
+	return e
+}
+
+// GetCountEnc returns a pooled counting encoder (see NewCountEnc). Pair it
+// with Release.
+func GetCountEnc() *Enc {
+	e := GetEnc()
+	e.count = true
+	return e
+}
+
+// Release returns a pooled encoder for reuse. The encoder and every slice
+// its Bytes() ever returned become invalid: under the race detector the
+// buffer is poisoned and any further method call panics.
+func (e *Enc) Release() {
+	if poolDebug {
+		if e.released {
+			panic("wire: Enc released twice")
+		}
+		e.released = true
+		for i := range e.buf {
+			e.buf[i] = 0xDB // poison: stale readers see garbage, loudly
+		}
+	}
+	if cap(e.buf) > maxPooledEnc {
+		return // oversized: let the GC take it, keep the pool bounded
+	}
+	encPool.Put(e)
+}
+
+// check panics on use-after-Release in race-instrumented builds; in
+// regular builds poolDebug is a false constant and the branch compiles
+// away.
+func (e *Enc) check() {
+	if poolDebug && e.released {
+		panic("wire: Enc used after Release")
+	}
+}
+
+// Bytes returns the encoded buffer (nil on a counting Enc). For a pooled
+// encoder the slice is only valid until Release.
+func (e *Enc) Bytes() []byte {
+	e.check()
+	return e.buf
+}
 
 // Len returns the number of bytes encoded (or counted) so far.
 func (e *Enc) Len() int {
@@ -72,6 +140,7 @@ func uvarintLen(u uint64) int { return (bits.Len64(u|1) + 6) / 7 }
 
 // Uint8 appends one raw byte.
 func (e *Enc) Uint8(b uint8) {
+	e.check()
 	if e.count {
 		e.n++
 		return
@@ -81,6 +150,7 @@ func (e *Enc) Uint8(b uint8) {
 
 // Uvarint appends an unsigned varint.
 func (e *Enc) Uvarint(u uint64) {
+	e.check()
 	if e.count {
 		e.n += uvarintLen(u)
 		return
@@ -90,6 +160,7 @@ func (e *Enc) Uvarint(u uint64) {
 
 // Varint appends a signed (zig-zag) varint.
 func (e *Enc) Varint(v int64) {
+	e.check()
 	if e.count {
 		e.n += uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
 		return
@@ -143,6 +214,55 @@ func (e *Enc) Strings(ss []string) {
 	}
 }
 
+// Raw appends b verbatim, with no length prefix — the splice point for a
+// unit body that was assembled elsewhere.
+func (e *Enc) Raw(b []byte) {
+	e.check()
+	if e.count {
+		e.n += len(b)
+		return
+	}
+	e.buf = append(e.buf, b...)
+}
+
+// Skip reserves n zero bytes and returns their offset, to be backfilled
+// with FillUint32 once the final value is known (stream-unit length
+// prefixes). On a counting Enc the bytes are tallied and the offset is
+// still meaningful.
+func (e *Enc) Skip(n int) int {
+	e.check()
+	off := e.Len()
+	if e.count {
+		e.n += n
+		return off
+	}
+	for i := 0; i < n; i++ {
+		e.buf = append(e.buf, 0)
+	}
+	return off
+}
+
+// FillUint32 overwrites 4 reserved bytes at off with the big-endian value
+// (no-op on a counting Enc).
+func (e *Enc) FillUint32(off int, v uint32) {
+	e.check()
+	if e.count {
+		return
+	}
+	binary.BigEndian.PutUint32(e.buf[off:off+4], v)
+}
+
+// Truncate discards everything appended after length n — the rollback for
+// a partially appended unit whose encoding failed.
+func (e *Enc) Truncate(n int) {
+	e.check()
+	if e.count {
+		e.n = n
+		return
+	}
+	e.buf = e.buf[:n]
+}
+
 // ErrTruncated reports a decode that ran off the end of the buffer — the
 // frame was cut short in flight or the codec and encoder disagree.
 var ErrTruncated = errors.New("wire: truncated frame")
@@ -150,14 +270,28 @@ var ErrTruncated = errors.New("wire: truncated frame")
 // Dec consumes primitive values from a buffer. The first failure latches
 // into the error state; every later read returns the zero value, so codecs
 // can decode unconditionally and check Err once at the end.
+//
+// A Dec built with NewDec copies every variable-length value out of the
+// buffer; NewDecShared borrows instead — see its contract.
 type Dec struct {
-	buf []byte
-	off int
-	err error
+	buf   []byte
+	off   int
+	err   error
+	share bool
 }
 
-// NewDec wraps a buffer for decoding.
+// NewDec wraps a buffer for decoding. Blob, String and Strings copy their
+// results out of b, so decoded values stay valid however the caller reuses
+// the buffer.
 func NewDec(b []byte) *Dec { return &Dec{buf: b} }
+
+// NewDecShared wraps a buffer for zero-copy decoding: Blob returns
+// sub-slices of b and String/Strings return views over b's bytes. The
+// caller promises b is never mutated and outlives every decoded value —
+// the TCP read path qualifies (each decode completes, and every retained
+// value is rebuilt by a payload codec, before the buffer is reused); the
+// in-memory transports keep the copying Dec.
+func NewDecShared(b []byte) *Dec { return &Dec{buf: b, share: true} }
 
 // Err returns the first decode error, or nil.
 func (d *Dec) Err() error { return d.err }
@@ -226,27 +360,43 @@ func (d *Dec) Float64() float64 {
 	return math.Float64frombits(bits.ReverseBytes64(d.Uvarint()))
 }
 
-// String reads a length-prefixed string.
+// String reads a length-prefixed string. On a shared Dec the result is a
+// view over the input buffer (no copy, no allocation).
 func (d *Dec) String() string {
 	n := d.Uvarint()
 	if d.err != nil || uint64(d.Remaining()) < n {
 		d.fail()
 		return ""
 	}
-	s := string(d.buf[d.off : d.off+int(n)])
+	b := d.buf[d.off : d.off+int(n)]
 	d.off += int(n)
-	return s
+	if d.share {
+		if len(b) == 0 {
+			return ""
+		}
+		// Safe under the NewDecShared contract: the buffer is immutable
+		// for the lifetime of the decoded values.
+		return unsafe.String(&b[0], len(b))
+	}
+	return string(b)
 }
 
-// Blob reads a length-prefixed byte slice (copied out of the buffer).
+// Blob reads a length-prefixed byte slice: a copy on a NewDec, a sub-slice
+// of the input buffer on a shared Dec.
 func (d *Dec) Blob() []byte {
 	n := d.Uvarint()
 	if d.err != nil || uint64(d.Remaining()) < n {
 		d.fail()
 		return nil
 	}
-	b := append([]byte(nil), d.buf[d.off:d.off+int(n)]...)
-	d.off += int(n)
+	end := d.off + int(n)
+	var b []byte
+	if d.share {
+		b = d.buf[d.off:end:end]
+	} else {
+		b = append([]byte(nil), d.buf[d.off:end]...)
+	}
+	d.off = end
 	return b
 }
 
@@ -298,33 +448,62 @@ func (f *Frame) appendHeader(e *Enc) {
 	e.Bool(f.HasPayload)
 }
 
-// Encode serializes the frame.
-func (f *Frame) Encode() []byte {
-	var e Enc
+// AppendTo appends the frame's encoding to dst and returns the extended
+// slice — the no-copy path for a frame whose payload bytes already exist:
+// the frame lands directly in the caller's (typically pooled) write buffer
+// with no intermediate Encode allocation.
+func (f *Frame) AppendTo(dst []byte) []byte {
+	e := Enc{buf: dst}
 	f.appendHeader(&e)
 	if f.HasPayload {
 		e.Blob(f.Payload)
 	}
-	return e.Bytes()
+	return e.buf
+}
+
+// Encode serializes the frame into a fresh buffer.
+func (f *Frame) Encode() []byte { return f.AppendTo(nil) }
+
+// AppendHeaderTo appends everything before the payload bytes for a payload
+// of encoded length payloadLen: the caller must then append exactly
+// payloadLen payload bytes through e (for a payload-less frame the frame is
+// already complete). This is the streaming half of AppendTo — a transport
+// runs the payload codec directly against a shared write buffer instead of
+// materializing Frame.Payload.
+func (f *Frame) AppendHeaderTo(e *Enc, payloadLen int) {
+	f.appendHeader(e)
+	if f.HasPayload {
+		e.Uvarint(uint64(payloadLen))
+	}
 }
 
 // SizeWithPayload returns the encoded frame length for a payload of the
 // given length without materializing any bytes — the byte-accounting path
 // of the in-memory transports, which must report exactly what Encode
-// would produce.
+// would produce. It allocates nothing: the counting encoder lives on the
+// stack and the payload contributes only its length.
 func (f *Frame) SizeWithPayload(payloadLen int) int {
-	e := NewCountEnc()
-	f.appendHeader(e)
+	e := Enc{count: true}
+	f.AppendHeaderTo(&e, payloadLen)
 	if f.HasPayload {
-		e.Uvarint(uint64(payloadLen))
 		e.n += payloadLen
 	}
 	return e.Len()
 }
 
-// DecodeFrame parses a frame encoded by Encode.
-func DecodeFrame(b []byte) (*Frame, error) {
-	d := NewDec(b)
+// DecodeFrame parses a frame encoded by Encode. The result owns its
+// memory: Type and Payload are copied out of b.
+func DecodeFrame(b []byte) (*Frame, error) { return decodeFrame(NewDec(b)) }
+
+// DecodeFrameShared parses a frame like DecodeFrame but borrows from b
+// under the NewDecShared contract: Frame.Payload aliases b, and Frame.Type
+// is resolved to the registry's permanent name (CanonicalType) so the
+// string survives buffer reuse. The caller must finish with the payload —
+// i.e. run the codec, whose Decode must not retain its input — before
+// reusing b.
+func DecodeFrameShared(b []byte) (*Frame, error) { return decodeFrame(NewDecShared(b)) }
+
+func decodeFrame(d *Dec) (*Frame, error) {
 	if v := d.Uint8(); d.Err() == nil && v != FrameVersion {
 		return nil, fmt.Errorf("wire: frame version %d, want %d", v, FrameVersion)
 	}
@@ -334,6 +513,9 @@ func DecodeFrame(b []byte) (*Frame, error) {
 		To:   d.Varint(),
 		TTL:  int(d.Varint()),
 		Hops: int(d.Varint()),
+	}
+	if d.share {
+		f.Type = CanonicalType(f.Type)
 	}
 	f.HasPayload = d.Bool()
 	if f.HasPayload {
@@ -348,8 +530,11 @@ func DecodeFrame(b []byte) (*Frame, error) {
 // PayloadCodec encodes and decodes one protocol payload type. Encode
 // receives the payload exactly as it was handed to Transport.Send and
 // appends its encoding to e — which may be a counting Enc, so Encode must
-// go through Enc's primitives only; Decode must return the same concrete
-// type handlers type-assert on.
+// go through Enc's primitives only, and must be deterministic: the
+// transports count a payload first and encode it second, trusting both
+// passes to produce the same length. Decode must return the same concrete
+// type handlers type-assert on, and must not retain data (or sub-slices of
+// it) after returning — transports decode out of reused read buffers.
 type PayloadCodec struct {
 	// Encode appends the payload's serialization to e.
 	Encode func(e *Enc, payload any) error
@@ -360,7 +545,25 @@ type PayloadCodec struct {
 var (
 	regMu    sync.RWMutex
 	registry = make(map[string]PayloadCodec)
+	// typeNames maps every registered name to its own permanent string, so
+	// a borrowed decode can swap a buffer-backed type name for one that
+	// survives buffer reuse without allocating.
+	typeNames = make(map[string]string)
 )
+
+// CanonicalType returns the registry's permanent copy of a message-type
+// name — the allocation-free intern step of a borrowed frame decode. An
+// unregistered name is cloned instead, so the result never aliases the
+// caller's buffer.
+func CanonicalType(s string) string {
+	regMu.RLock()
+	c, ok := typeNames[s]
+	regMu.RUnlock()
+	if ok {
+		return c
+	}
+	return strings.Clone(s)
+}
 
 // Register installs the codec for a message type. Protocol packages call
 // it from init; registering a type twice or with missing functions panics
@@ -375,6 +578,7 @@ func Register(msgType string, c PayloadCodec) {
 		panic(fmt.Sprintf("wire: message type %q registered twice", msgType))
 	}
 	registry[msgType] = c
+	typeNames[msgType] = msgType
 }
 
 // Lookup returns the codec registered for the message type.
