@@ -6,13 +6,14 @@
 //	experiments [-exp all|params|mapping|fig4|fig5|fig6|fig7|storage|
 //	             ablation-maintenance|ablation-routing|ablation-walks|
 //	             ablation-ttl|ablation-unavailable|ablation-arity|
-//	             ablation-locality|coverage|concurrency|churn]
+//	             ablation-locality|coverage|concurrency|churn|scale]
 //	            [-quick] [-seed N] [-parallel N] [-shards N] [-dispatchers N]
-//	            [-churn-out FILE]
+//	            [-churn-out FILE] [-scale-out FILE]
 //
 // Flags:
 //
 //	-exp          experiment to run; "all" runs every runner in order
+//	              except scale (100k-peer overlays; request it by name)
 //	-quick        down-scaled smoke configuration instead of Table 3 scale
 //	-seed         random seed driving every sweep point (default 42)
 //	-parallel     sweep worker goroutines (0 = one per CPU, 1 = sequential)
@@ -24,6 +25,9 @@
 //	              and ignore it
 //	-churn-out    file the churn experiment writes its coverage-over-time
 //	              series to as JSON (default BENCH_churn.json; empty
+//	              disables the file)
+//	-scale-out    file the scale experiment writes its size × region-count
+//	              sweep to as JSON (default BENCH_scale.json; empty
 //	              disables the file)
 //
 // The default full configuration mirrors Table 3 (domains up to 2000
@@ -49,13 +53,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, params, mapping, fig4, fig5, fig6, fig7, storage, ablation-maintenance, ablation-routing, ablation-walks, ablation-ttl, ablation-unavailable, ablation-arity, ablation-locality, coverage, concurrency, churn)")
+	exp := flag.String("exp", "all", "experiment to run (all, params, mapping, fig4, fig5, fig6, fig7, storage, ablation-maintenance, ablation-routing, ablation-walks, ablation-ttl, ablation-unavailable, ablation-arity, ablation-locality, coverage, concurrency, churn, scale)")
 	quick := flag.Bool("quick", false, "run the down-scaled smoke configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = sequential)")
 	shards := flag.Int("shards", 1, "global-summary store shards per simulated summary peer (1 = single tree)")
 	dispatchers := flag.Int("dispatchers", 0, "dispatcher-count cap of the concurrency experiment (0 = one per domain)")
 	churnOut := flag.String("churn-out", "BENCH_churn.json", "file for the churn experiment's JSON series (empty: no file)")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "file for the scale experiment's JSON series (empty: no file)")
 	flag.Parse()
 
 	cfg := p2psum.DefaultExperimentConfig()
@@ -127,12 +132,37 @@ func main() {
 			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 			return nil
 		}},
+		{"scale", func() error {
+			start := time.Now()
+			t, res, err := p2psum.RunScaleScenario(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			if *scaleOut != "" {
+				data, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*scaleOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("(series written to %s)\n", *scaleOut)
+			}
+			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+			return nil
+		}},
 	}
 
 	want := strings.ToLower(*exp)
 	ran := false
 	for _, r := range runners {
 		if want != "all" && want != r.name {
+			continue
+		}
+		// The full-config scale sweep runs 100k-peer overlays for minutes;
+		// it only runs when requested by name.
+		if want == "all" && r.name == "scale" {
 			continue
 		}
 		ran = true

@@ -8,7 +8,7 @@
 //	p2psim [-peers 1000] [-sps 10] [-alpha 0.3] [-hours 6] [-queries 50]
 //	       [-hit 0.10] [-graceful 0.8] [-mode balanced|precise|max-recall]
 //	       [-transport sim|channel] [-loss 0.0] [-shards 1] [-dispatchers 1]
-//	       [-seed 1] [-runs 1] [-parallel 0]
+//	       [-regions 1] [-seed 1] [-runs 1] [-parallel 0]
 //
 // Flags:
 //
@@ -32,6 +32,10 @@
 //	              transport only): domains map onto groups at construction,
 //	              so independent domains run their handlers concurrently;
 //	              1 = the single serialized dispatcher
+//	-regions      per-region event queues of the discrete-event engine (sim
+//	              transport only): domains map onto regions and intra-region
+//	              events run in parallel under conservative time windows,
+//	              bit-identical to the sequential engine; 1 = one heap
 //	-seed         random seed of the first replica
 //	-runs         independently seeded replicas (seed, seed+1, ...)
 //	-parallel     concurrent replicas (0 = one per CPU)
@@ -55,6 +59,7 @@ import (
 type options struct {
 	peers, sps, queries int
 	shards, dispatchers int
+	regions             int
 	alpha, hours        float64
 	hit, graceful, loss float64
 	mode                p2psum.RoutingMode
@@ -86,6 +91,7 @@ func runOne(o options) (*runResult, error) {
 		LossRate:     o.loss,
 		Shards:       o.shards,
 		Dispatchers:  o.dispatchers,
+		Regions:      o.regions,
 	})
 	if err != nil {
 		return nil, err
@@ -167,6 +173,7 @@ func main() {
 	loss := flag.Float64("loss", 0, "packet-loss probability (channel transport only)")
 	shards := flag.Int("shards", 1, "global-summary store shards per domain (data-level runs; 1 = single tree)")
 	dispatchers := flag.Int("dispatchers", 1, "dispatch groups of the channel transport (channel only; domains map onto groups, 1 = single dispatcher)")
+	regions := flag.Int("regions", 1, "per-region event queues of the discrete-event engine (sim only; bit-identical to the sequential engine, 1 = one heap)")
 	seed := flag.Int64("seed", 1, "random seed (first replica)")
 	runs := flag.Int("runs", 1, "independently seeded replicas (seed, seed+1, ...)")
 	parallel := flag.Int("parallel", 0, "concurrent replicas (0 = one per CPU)")
@@ -174,8 +181,8 @@ func main() {
 
 	o := options{
 		peers: *peers, sps: *sps, queries: *queries, shards: *shards,
-		dispatchers: *dispatchers,
-		alpha:       *alpha, hours: *hours,
+		dispatchers: *dispatchers, regions: *regions,
+		alpha: *alpha, hours: *hours,
 		hit: *hit, graceful: *graceful, loss: *loss,
 		seed: *seed,
 	}

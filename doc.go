@@ -48,7 +48,8 @@
 //	internal/saintetiq                    summary hierarchies (§3.2) over internal/cells,
 //	                                      internal/fuzzy, internal/bk, internal/data
 //	internal/p2p.Transport                overlay substrate interface
-//	├── p2p.Network                       deterministic, discrete-event (internal/sim)
+//	├── p2p.Network                       deterministic, discrete-event (internal/sim),
+//	                                      sequential or region-sharded (parallel windows)
 //	├── p2p.ChannelTransport              concurrent, real-time, sharded dispatch
 //	└── p2p.TCPTransport                  real sockets: one process hosts part of the
 //	                                      overlay, frames cross the wire (internal/wire)
@@ -258,6 +259,47 @@
 // (walk-accept inspecting another peer's domain pointer) go through
 // atomics, and protocol Stats go through a lock.
 //
+// # The parallel event horizon
+//
+// The discrete-event engine has two kernels. sim.Engine is the classic
+// sequential heap: one priority queue, one virtual clock, total order.
+// sim.Sharded scales one simulated domain network to 100k+ peers by
+// partitioning the overlay into regions — reusing the same
+// NearestSeeds domain partition the dispatcher groups use, so a domain
+// never straddles regions — and giving each region its own Engine,
+// advanced in conservative time windows. Every window spans
+// [T, T+lookahead) where the lookahead is the minimum latency of any
+// cross-region link: an event executing inside the window cannot cause
+// an effect in another region before the window closes, so the regions'
+// heaps drain the window in parallel (one worker per region with
+// pending events). Cross-region sends are staged in per-region inboxes
+// and drained at the window barrier in a deterministic order (timestamp
+// first, source region second), and after every run the region clocks
+// are equalized to the global maximum, so driver-scheduled work
+// observes one clock. The result is bit-identical to the sequential
+// engine at every region count — equivalence tests diff full protocol
+// fingerprints at 1/2/4/8 regions, and the scale experiment
+// (RunScaleScenario, BENCH_scale.json) enforces a report hash across
+// region counts while recording the wall-clock speedup.
+//
+// Three engine-level costs were flattened for that scale: event structs
+// are pooled per engine (a freelist reuses fired events, so the steady
+// state allocates nothing — CI benchgates BenchmarkEventDispatch at 0
+// allocs/op), Engine.Cancel is a lazy O(1) tombstone (the fired flag
+// flips and the pending map forgets the id; the heap pops tombstones
+// when they surface instead of re-heapifying on every retransmit-timer
+// cancel), and the topology graph compacts its adjacency and latency
+// rows into two flat backing arrays (topology.Graph.Compact), dropping
+// the per-edge map that dominated memory at 100k nodes.
+//
+// In sharded mode p2p.Network routes every After and delivery to the
+// owning region's engine and shards its message/byte accounting into
+// per-region books, merged on read. Two determinism caveats are part of
+// the contract (asserted or documented in internal/p2p/region.go):
+// periodic gossip stays rejected, and driver-context sends that
+// synchronously mutate other peers' state are only safe because the
+// partition is domain-aligned.
+//
 // # Which lock protects what
 //
 // The full concurrency inventory, top of the stack to the bottom:
@@ -326,6 +368,21 @@
 //	p2p.Network                NO locks of its own (the discrete-event
 //	                           engine is single-threaded); its liveness
 //	                           view locks as above.
+//	sim.Engine (per region)    NO lock: each region's heap, clock and
+//	                           event pool are owned by exactly one window
+//	                           worker while a window runs and by the idle
+//	                           driver between runs; only the clock mirror
+//	                           is atomic (Sharded.RegionNow), for
+//	                           cross-region latency reads mid-window.
+//	sim.Sharded inboxes        one mutex per region's staging inbox:
+//	                           cross-region Schedule appends under it,
+//	                           the window barrier swaps the slice out
+//	                           under it and sorts outside it.
+//	p2p regionBook.mu          one mutex per region in sharded-Network
+//	                           mode: the region's message/byte counters
+//	                           and message-ID allocation. Counter() and
+//	                           Bytes() merge the books into a snapshot on
+//	                           read, like the dispatch groups' shards.
 //	par.ForEach                owns its worker pool; results slots are
 //	                           index-addressed so workers never share.
 //

@@ -113,3 +113,15 @@ type ChurnScenarioResult = experiments.ChurnResult
 func RunChurnScenario(cfg ExperimentConfig) (*ResultTable, *ChurnScenarioResult, error) {
 	return experiments.ChurnExperiment(cfg)
 }
+
+// ScaleScenarioResult is the machine-readable outcome of the scale sweep
+// (cmd/experiments serializes it as BENCH_scale.json).
+type ScaleScenarioResult = experiments.ScaleResult
+
+// RunScaleScenario sweeps overlay size × region count over the
+// construct + reconcile workload on the region-sharded event kernel,
+// verifying bit-identical reports per size and recording wall-clock,
+// memory and per-peer message cost.
+func RunScaleScenario(cfg ExperimentConfig) (*ResultTable, *ScaleScenarioResult, error) {
+	return experiments.ScaleExperiment(cfg)
+}

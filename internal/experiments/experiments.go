@@ -58,6 +58,11 @@ type Config struct {
 	// experiment (0 = sweep up to one dispatcher per domain). The figure
 	// sweeps run on the single-threaded event engine and ignore it.
 	Dispatchers int
+	// ScalePeers is the overlay-size sweep of the scale experiment
+	// (construct + reconcile on the region-sharded event kernel).
+	ScalePeers []int
+	// ScaleRegions is the region-count sweep per scale point.
+	ScaleRegions []int
 }
 
 // Default returns the paper's Table 3 parameters.
@@ -72,6 +77,8 @@ func Default() Config {
 		SimHours:        12,
 		GracefulProb:    0.8,
 		Seed:            42,
+		ScalePeers:      []int{10000, 50000, 100000},
+		ScaleRegions:    []int{1, 2, 4, 8},
 	}
 }
 
@@ -87,6 +94,8 @@ func Quick() Config {
 		SimHours:        3,
 		GracefulProb:    0.8,
 		Seed:            42,
+		ScalePeers:      []int{1000},
+		ScaleRegions:    []int{1, 4},
 	}
 }
 

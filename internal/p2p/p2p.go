@@ -70,6 +70,12 @@ type Network struct {
 	// failures (§4.3: "a partner who has tried to send push or query
 	// messages to SP will detect its departure").
 	drop func(msg *Message)
+	// shard/books switch the network into parallel mode (see region.go):
+	// events run on a region-sharded kernel instead of engine, and
+	// traffic is charged to per-region books merged on read. Exactly one
+	// of engine and shard is non-nil.
+	shard *sim.Sharded
+	books []regionBook
 }
 
 // NewNetwork builds a network over the graph. All nodes start online.
@@ -87,7 +93,8 @@ func NewNetwork(engine *sim.Engine, graph *topology.Graph, seed int64) *Network 
 	return n
 }
 
-// Engine returns the underlying event engine.
+// Engine returns the underlying event engine (nil in sharded mode; use
+// Sharded then).
 func (n *Network) Engine() *sim.Engine { return n.engine }
 
 // Graph returns the overlay topology.
@@ -96,13 +103,24 @@ func (n *Network) Graph() *topology.Graph { return n.graph }
 // Len returns the number of nodes.
 func (n *Network) Len() int { return n.graph.Len() }
 
-// Counter exposes the per-type message counters.
-func (n *Network) Counter() *stats.Counter { return n.counter }
+// Counter exposes the per-type message counters. In sharded mode the
+// per-region books are merged into a fresh snapshot on every call.
+func (n *Network) Counter() *stats.Counter {
+	if n.books == nil {
+		return n.counter
+	}
+	return mergedBooks(n.books, func(b *regionBook) *stats.Counter { return b.counter })
+}
 
-// Bytes exposes the per-type traffic volume counters. Payloads implementing
-// Sizer are charged their wire size; everything else costs
-// BaseMessageBytes.
-func (n *Network) Bytes() *stats.Counter { return n.bytes }
+// Bytes exposes the per-type traffic volume counters (merged on read in
+// sharded mode, like Counter). Payloads implementing Sizer are charged
+// their wire size; everything else costs BaseMessageBytes.
+func (n *Network) Bytes() *stats.Counter {
+	if n.books == nil {
+		return n.bytes
+	}
+	return mergedBooks(n.books, func(b *regionBook) *stats.Counter { return b.bytes })
+}
 
 // Rand returns the network's deterministic random source.
 func (n *Network) Rand() *rand.Rand { return n.rng }
@@ -157,28 +175,50 @@ func (n *Network) HopsWithin(src NodeID, radius int) map[NodeID]int {
 	return out
 }
 
-// Exec runs fn immediately: the event engine is single-threaded, so
-// driver code is always serialized with handlers.
+// Exec runs fn immediately: the event kernel only executes between
+// Settle windows on the driver goroutine, so driver code is always
+// serialized with handlers (in sharded mode the region workers are
+// quiescent whenever the driver runs).
 func (n *Network) Exec(fn func()) { fn() }
 
-// After schedules fn on the event engine, delaySeconds of virtual time from
-// now. The engine is single-threaded, so fn is serialized with handlers
-// regardless of which node owns the timer; owner exists for the sharded
-// channel transport, which routes the callback to the owning node's
-// dispatch group.
+// After schedules fn delaySeconds of virtual time from now. In
+// sequential mode the engine is single-threaded, so fn is serialized
+// with handlers regardless of which node owns the timer; in sharded
+// mode the timer runs in the owner's region, at that region's clock.
 func (n *Network) After(owner NodeID, delaySeconds float64, fn func()) {
+	if n.shard != nil {
+		r := n.shard.RegionOf(int(owner))
+		at := n.shard.RegionNow(r) + sim.Seconds(delaySeconds)
+		n.shard.Schedule(int(owner), int(owner), at, fn)
+		return
+	}
 	n.engine.After(sim.Seconds(delaySeconds), fn)
 }
 
-// Settle runs the event engine to quiescence, delivering every in-flight
+// Settle runs the event kernel to quiescence, delivering every in-flight
 // message and everything sent while handling it.
-func (n *Network) Settle() { n.engine.Run() }
+func (n *Network) Settle() {
+	if n.shard != nil {
+		n.shard.Run()
+		return
+	}
+	n.engine.Run()
+}
+
+// Now returns the current virtual time (the global frontier in sharded
+// mode).
+func (n *Network) Now() sim.Time {
+	if n.shard != nil {
+		return n.shard.Now()
+	}
+	return n.engine.Now()
+}
 
 // latencyBetween picks the edge latency when adjacent, DirectLatency
 // otherwise.
 func (n *Network) latencyBetween(a, b NodeID) float64 {
-	if n.graph.HasEdge(int(a), int(b)) {
-		return n.graph.Latency(int(a), int(b))
+	if l, ok := n.graph.LatencyOK(int(a), int(b)); ok {
+		return l
 	}
 	return n.DirectLatency
 }
@@ -199,6 +239,10 @@ func (n *Network) Send(msg *Message) {
 	if msg.To < 0 || int(msg.To) >= n.graph.Len() {
 		panic(fmt.Sprintf("p2p: send to out-of-range node %d", msg.To))
 	}
+	if n.shard != nil {
+		n.sendSharded(msg)
+		return
+	}
 	n.nextMsg++
 	if msg.ID == 0 {
 		msg.ID = n.nextMsg
@@ -206,15 +250,19 @@ func (n *Network) Send(msg *Message) {
 	n.counter.Inc(msg.Type)
 	n.bytes.Add(msg.Type, messageWireSize(msg))
 	lat := n.latencyBetween(msg.From, msg.To)
-	n.engine.After(sim.Seconds(lat), func() {
-		if !n.view.Online(int(msg.To)) || n.handler[msg.To] == nil {
-			if n.drop != nil {
-				n.drop(msg)
-			}
-			return
+	n.engine.After(sim.Seconds(lat), func() { n.deliver(msg) })
+}
+
+// deliver hands msg to its destination handler, or to the drop callback
+// when the node is offline or handler-less.
+func (n *Network) deliver(msg *Message) {
+	if !n.view.Online(int(msg.To)) || n.handler[msg.To] == nil {
+		if n.drop != nil {
+			n.drop(msg)
 		}
-		n.handler[msg.To](msg)
-	})
+		return
+	}
+	n.handler[msg.To](msg)
 }
 
 // SendNew builds and sends a message.
@@ -226,7 +274,7 @@ func (n *Network) SendNew(typ string, from, to NodeID, ttl int, payload any) {
 // ttl hops using Gnutella-style constrained broadcast. It returns the nodes
 // reached and counts every transmission (§6.2.3).
 func (n *Network) Flood(typ string, src NodeID, ttl int, payload any, visit func(NodeID)) map[NodeID]bool {
-	return runFlood(n, typ, src, ttl, visit)
+	return runFlood(n.linkFor(src), typ, src, ttl, visit)
 }
 
 // WalkResult is the outcome of a walk.
@@ -244,12 +292,15 @@ type WalkResult struct {
 // neighbor until accept returns true or maxHops is exhausted. Ties break on
 // the lower node id; dead ends backtrack.
 func (n *Network) SelectiveWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult {
-	return runWalk(n, typ, src, maxHops, accept, selectiveChoice(n.Degree))
+	return runWalk(n.linkFor(src), typ, src, maxHops, accept, selectiveChoice(n.Degree))
 }
 
 // RandomWalk is the blind baseline: uniform random unvisited neighbor.
+// The choice draws from the network-wide rng, so in sharded mode it is
+// driver-context only (walks from concurrent region workers would race
+// on the source).
 func (n *Network) RandomWalk(typ string, src NodeID, maxHops int, accept func(NodeID) bool) WalkResult {
-	return runWalk(n, typ, src, maxHops, accept, func(cands []NodeID) NodeID {
+	return runWalk(n.linkFor(src), typ, src, maxHops, accept, func(cands []NodeID) NodeID {
 		return cands[n.rng.Intn(len(cands))]
 	})
 }

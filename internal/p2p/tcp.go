@@ -143,6 +143,18 @@ type TCPConfig struct {
 	// idle links, where no data frame would ever bounce (default 15s;
 	// negative disables probing).
 	KeepAlive time.Duration
+	// MaxBacklogBytes bounds the unflushed send backlog of one peer
+	// connection: when the batch a stalled writer is accumulating exceeds
+	// this many bytes, the connection is cut and its queued units
+	// discarded — senders fall into the §4.3 drop path instead of queueing
+	// without bound behind a peer that stopped reading (default 0:
+	// unbounded).
+	MaxBacklogBytes int
+	// MaxBacklogAge cuts a connection whose oldest unflushed unit has
+	// waited this long for the socket (checked on the keepalive tick) —
+	// the time-domain complement of MaxBacklogBytes for slow-but-not-
+	// stopped peers (default 0: no age bound).
+	MaxBacklogAge time.Duration
 }
 
 // Stream unit kinds.
@@ -189,12 +201,14 @@ type WireStats struct {
 // out and flushes it with one socket write (the throttled send-routine
 // idiom — coalescing amortizes syscalls and small-packet overhead), a
 // reader goroutine parses inbound units out of a reused read buffer. The
-// batch is unbounded on purpose: a dispatcher must never block on a peer's
-// socket backpressure, or two processes flooding each other could deadlock
-// in a cycle (dispatcher -> full send queue -> peer's reader -> peer's full
-// inbox -> peer's dispatcher -> ...). The production-grade refinement —
-// disconnect a peer whose backlog exceeds a budget — is a documented
-// follow-up; appending never blocks and never holds a lock across I/O.
+// batch never blocks senders on purpose: a dispatcher must never block on
+// a peer's socket backpressure, or two processes flooding each other could
+// deadlock in a cycle (dispatcher -> full send queue -> peer's reader ->
+// peer's full inbox -> peer's dispatcher -> ...). Backpressure is applied
+// by disconnection instead: the TCPConfig.MaxBacklogBytes/MaxBacklogAge
+// budgets cut a connection whose backlog grows past bounds, so a stalled
+// peer is dropped (§4.3 failure path), not waited on. Appending never
+// blocks and never holds a lock across I/O.
 type tcpConn struct {
 	c    net.Conn
 	dead atomic.Bool
@@ -214,6 +228,7 @@ type tcpConn struct {
 	lastRecv  atomic.Int64 // unix nanos of the last received unit
 	pingSent  atomic.Int64 // unix nanos of the outstanding ping (0: none)
 	lastRTT   atomic.Int64 // nanos of the last completed ping round trip
+	oldest    atomic.Int64 // unix nanos of the oldest unflushed unit (0: none)
 
 	mu   sync.Mutex
 	addr string // peer's listen address, learned from hello (dialed: preset)
@@ -259,6 +274,9 @@ func (c *tcpConn) appendUnit(kind byte, fill func(e *wire.Enc) bool) bool {
 	}
 	e.FillUint32(off, uint32(e.Len()-start-4))
 	c.pending++
+	if c.pending == 1 {
+		c.oldest.Store(time.Now().UnixNano())
+	}
 	c.qcond.Signal()
 	return true
 }
@@ -293,6 +311,7 @@ func (c *tcpConn) takeBatch(delay time.Duration, flushBytes int) (*wire.Enc, int
 	n := c.pending
 	c.batch = nil
 	c.pending = 0
+	c.oldest.Store(0)
 	c.qmu.Unlock()
 	return e, n, true
 }
@@ -307,6 +326,7 @@ func (c *tcpConn) shutdown() {
 			c.batch = nil
 		}
 		c.pending = 0
+		c.oldest.Store(0)
 		c.qcond.Broadcast()
 	}
 	c.qmu.Unlock()
@@ -385,7 +405,7 @@ func NewTCPTransport(graph *topology.Graph, cfg TCPConfig) (*TCPTransport, error
 	t.eng = newDispatchEngine(n, cfg.Dispatchers, cfg.GroupBy, t.deliver)
 	t.wg.Add(1)
 	go t.acceptLoop()
-	if cfg.KeepAlive > 0 {
+	if cfg.KeepAlive > 0 || cfg.MaxBacklogAge > 0 {
 		t.wg.Add(1)
 		go t.keepaliveLoop()
 	}
@@ -532,14 +552,33 @@ func (o *peerStatOrder) Swap(i, j int) {
 	o.conns[i], o.conns[j] = o.conns[j], o.conns[i]
 }
 
+// probeInterval picks the keepalive tick: half of the tightest active
+// bound (KeepAlive, MaxBacklogAge), floored at one millisecond.
+func (t *TCPTransport) probeInterval() time.Duration {
+	var iv time.Duration
+	if t.cfg.KeepAlive > 0 {
+		iv = t.cfg.KeepAlive / 2
+	}
+	if a := t.cfg.MaxBacklogAge / 2; a > 0 && (iv == 0 || a < iv) {
+		iv = a
+	}
+	if iv < time.Millisecond {
+		iv = time.Millisecond
+	}
+	return iv
+}
+
 // keepaliveLoop probes idle registered connections: a connection that has
 // received nothing for KeepAlive gets a ping (the pong carries the RTT
 // into PeerStats), and a ping unanswered for 2×KeepAlive tears the
 // connection down — the cheap liveness signal for idle links, which would
-// otherwise only notice a silently dead peer on the next data frame.
+// otherwise only notice a silently dead peer on the next data frame. The
+// same tick enforces MaxBacklogAge: a connection whose oldest unflushed
+// unit has waited out the budget is cut (its writer is stuck in a socket
+// write the peer refuses to drain).
 func (t *TCPTransport) keepaliveLoop() {
 	defer t.wg.Done()
-	tick := time.NewTicker(t.cfg.KeepAlive / 2)
+	tick := time.NewTicker(t.probeInterval())
 	defer tick.Stop()
 	for {
 		select {
@@ -553,6 +592,15 @@ func (t *TCPTransport) keepaliveLoop() {
 			}
 			t.connMu.Unlock()
 			for _, c := range conns {
+				if age := t.cfg.MaxBacklogAge; age > 0 {
+					if o := c.oldest.Load(); o != 0 && now.Sub(time.Unix(0, o)) > age {
+						t.connDead(c) // writer stalled: the backlog aged out
+						continue
+					}
+				}
+				if t.cfg.KeepAlive <= 0 {
+					continue
+				}
 				if ps := c.pingSent.Load(); ps != 0 {
 					if now.Sub(time.Unix(0, ps)) > 2*t.cfg.KeepAlive {
 						t.connDead(c) // peer hung: ping stayed unanswered
@@ -846,11 +894,36 @@ func (t *TCPTransport) connFor(addr string) (*tcpConn, bool) {
 	return conn, true
 }
 
+// backlogExceeded reports whether the connection's unflushed backlog is
+// over the byte budget. It takes and releases the queue lock itself —
+// callers must not hold it, because the teardown they trigger on a true
+// result (shutdown) locks the same mutex.
+func (t *TCPTransport) backlogExceeded(conn *tcpConn) bool {
+	if t.cfg.MaxBacklogBytes <= 0 {
+		return false
+	}
+	conn.qmu.Lock()
+	queued := 0
+	if conn.batch != nil {
+		queued = conn.batch.Len()
+	}
+	conn.qmu.Unlock()
+	return queued > t.cfg.MaxBacklogBytes
+}
+
 // enqueue hands one control unit to the peer's writer, dialing once on
-// demand. It reports false when the peer is unreachable.
+// demand. It reports false when the peer is unreachable or was cut for
+// exceeding its backlog budget.
 func (t *TCPTransport) enqueue(addr string, kind byte, body []byte) bool {
 	conn, ok := t.connFor(addr)
-	return ok && conn.sendRaw(kind, body)
+	if !ok || !conn.sendRaw(kind, body) {
+		return false
+	}
+	if t.backlogExceeded(conn) {
+		t.connDead(conn) // stalled peer: cut instead of queueing unboundedly
+		return false
+	}
+	return true
 }
 
 // enqueueFrame appends msg's frame as one unit of the given kind straight
@@ -863,7 +936,7 @@ func (t *TCPTransport) enqueueFrame(addr string, kind byte, msg *Message, size i
 	if !ok {
 		return false
 	}
-	return conn.appendUnit(kind, func(e *wire.Enc) bool {
+	ok = conn.appendUnit(kind, func(e *wire.Enc) bool {
 		start := e.Len()
 		if !appendFrame(e, msg) {
 			return false
@@ -874,6 +947,11 @@ func (t *TCPTransport) enqueueFrame(addr string, kind byte, msg *Message, size i
 		}
 		return true
 	})
+	if ok && t.backlogExceeded(conn) {
+		t.connDead(conn) // stalled peer: cut instead of queueing unboundedly
+		return false
+	}
+	return ok
 }
 
 // --- unit handling ---------------------------------------------------------

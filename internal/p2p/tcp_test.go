@@ -1,6 +1,8 @@
 package p2p
 
 import (
+	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -316,6 +318,147 @@ func TestTCPReconnectDisabled(t *testing.T) {
 	time.Sleep(300 * time.Millisecond)
 	if _, ok := a.liveConn(b.ListenAddr()); ok {
 		t.Fatal("connection re-registered although reconnection is disabled")
+	}
+}
+
+// stallListener accepts connections and never reads them, so a sender's
+// socket and batch buffer fill up — the stalled-peer scenario of the
+// backpressure budget.
+func stallListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var held []net.Conn
+	done := make(chan struct{})
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				close(done)
+				return
+			}
+			mu.Lock()
+			held = append(held, c)
+			mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		<-done
+		mu.Lock()
+		for _, c := range held {
+			c.Close()
+		}
+		mu.Unlock()
+	})
+	return ln.Addr().String()
+}
+
+// TestTCPBacklogBytesCutsStalledPeer floods a peer that accepts but never
+// reads: once the kernel buffers fill, the writer blocks mid-write, the
+// batch accumulates past MaxBacklogBytes and the budget cuts the
+// connection — the sender falls into the §4.3 drop path instead of
+// queueing memory without bound.
+func TestTCPBacklogBytesCutsStalledPeer(t *testing.T) {
+	addr := stallListener(t)
+	g := topology.NewGraph(2)
+	if err := g.AddEdge(0, 1, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 32 << 10
+	a, err := NewTCPTransport(g, TCPConfig{
+		Listen:            "127.0.0.1:0",
+		Local:             []NodeID{0},
+		Hosts:             map[NodeID]string{1: addr},
+		ReconnectAttempts: -1,
+		MaxBacklogBytes:   budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	var dropped atomic.Int64
+	a.SetDrop(func(msg *Message) {
+		if msg.To == 1 {
+			dropped.Add(1)
+		}
+	})
+	// 16 KiB frames: two are enough to trip the budget once the writer is
+	// stuck, and the kernel buffers hold at most a few MB before that.
+	payload := tcpTestPayload{Text: strings.Repeat("x", 16<<10)}
+	cut := false
+	for i := 0; i < 2000; i++ {
+		a.SendNew("tcp-test", 0, 1, 0, payload)
+		if _, ok := a.liveConn(addr); !ok {
+			cut = true
+			break
+		}
+	}
+	if !cut {
+		t.Fatal("stalled peer was never disconnected by the backlog budget")
+	}
+	// The send that tripped the budget was rerouted into the §4.3 drop
+	// path (its frame died with the cut batch). Drop callbacks run on the
+	// dispatcher, so settle before asserting.
+	a.Settle()
+	if dropped.Load() == 0 {
+		t.Fatal("no send classified as dropped despite the cut")
+	}
+}
+
+// TestTCPBacklogAgeCutsStalledPeer pins the time-domain budget: a unit
+// sitting unflushed past MaxBacklogAge gets the connection cut on the
+// keepalive tick even when the byte budget is never reached.
+func TestTCPBacklogAgeCutsStalledPeer(t *testing.T) {
+	addr := stallListener(t)
+	g := topology.NewGraph(2)
+	if err := g.AddEdge(0, 1, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewTCPTransport(g, TCPConfig{
+		Listen:            "127.0.0.1:0",
+		Local:             []NodeID{0},
+		Hosts:             map[NodeID]string{1: addr},
+		ReconnectAttempts: -1,
+		KeepAlive:         -1, // only the age budget runs the prober
+		MaxBacklogAge:     30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	a.SendNew("tcp-test", 0, 1, 0, tcpTestPayload{N: 1})
+	conn, ok := a.liveConn(addr)
+	if !ok {
+		t.Fatal("no registered connection after the first send")
+	}
+	// Pretend the oldest unit has been waiting for a while: the next tick
+	// must cut the connection. (Filling real kernel buffers to stall the
+	// writer takes megabytes; the bytes-budget test above covers that.)
+	// Wait out the first flush first, or the writer's takeBatch zeroes the
+	// fake timestamp from under us.
+	for deadline := time.Now().Add(3 * time.Second); conn.flushes.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("first unit never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	conn.oldest.Store(time.Now().Add(-time.Second).UnixNano())
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if conn.dead.Load() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("aged backlog never cut the connection")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := a.liveConn(addr); ok {
+		t.Fatal("cut connection still registered")
 	}
 }
 

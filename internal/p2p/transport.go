@@ -164,6 +164,7 @@ var (
 	_ Transport       = (*Network)(nil)
 	_ Transport       = (*ChannelTransport)(nil)
 	_ Transport       = (*TCPTransport)(nil)
+	_ DispatchGrouper = (*Network)(nil)
 	_ DispatchGrouper = (*ChannelTransport)(nil)
 	_ DispatchGrouper = (*TCPTransport)(nil)
 	_ Localizer       = (*TCPTransport)(nil)

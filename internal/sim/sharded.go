@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded is the parallel event kernel: the node set is partitioned into
+// regions, each region owns a sequential Engine (heap + clock), and the
+// kernel advances every region in lockstep time windows of width
+// lookahead — the conservative bound under which regions cannot affect
+// each other mid-window.
+//
+// The conservation argument: lookahead is chosen (by the caller, e.g.
+// p2p.Network.SetGroupBy) as the minimum latency of any cross-region
+// link. An event executing at time t >= windowStart that sends across
+// regions schedules the delivery at t + lat >= windowStart + lookahead
+// >= windowEnd — always a future window. So within one window the
+// regions share nothing, and intra-region events run in parallel across
+// region worker goroutines while keeping the sequential engine's exact
+// (time, seq) order inside each region.
+//
+// Cross-region handoff: Schedule routes same-region events straight onto
+// the owner's heap (only the owning worker, or the idle driver, touches
+// it) and stages cross-region events in the destination's mutex-guarded
+// inbox. At each window barrier the coordinator drains every inbox,
+// stable-sorts the staged entries by (time, source region) and pushes
+// them onto the target heap in that order — deterministic regardless of
+// which worker finished first, so runs are reproducible bit-for-bit.
+type Sharded struct {
+	regions   []*Engine
+	inboxes   []regionInbox
+	partition []int32
+	lookahead Time
+	started   bool
+	staged    atomic.Int64 // staged-but-undrained events (for Pending)
+}
+
+// stagedEvent is one cross-region handoff awaiting the window barrier.
+type stagedEvent struct {
+	at  Time
+	src int32 // sending region: part of the deterministic drain order
+	fn  func()
+}
+
+type regionInbox struct {
+	mu      sync.Mutex
+	entries []stagedEvent
+}
+
+// DefaultLookahead is the window width before SetPartition provides the
+// real minimum cross-region latency. With the initial single-region
+// partition no event ever crosses regions, so any positive value is
+// conservative.
+const DefaultLookahead Time = 0.1
+
+// NewSharded creates a parallel kernel for nodes 0..nodes-1 split into
+// the given number of regions. All nodes start in region 0; call
+// SetPartition before scheduling to spread them.
+func NewSharded(nodes, regions int) (*Sharded, error) {
+	if regions < 1 {
+		return nil, fmt.Errorf("sim: region count %d < 1", regions)
+	}
+	if nodes < 0 {
+		return nil, fmt.Errorf("sim: negative node count %d", nodes)
+	}
+	s := &Sharded{
+		regions:   make([]*Engine, regions),
+		inboxes:   make([]regionInbox, regions),
+		partition: make([]int32, nodes),
+		lookahead: DefaultLookahead,
+	}
+	for i := range s.regions {
+		e := New()
+		e.nowBits = new(atomic.Uint64)
+		s.regions[i] = e
+	}
+	return s, nil
+}
+
+// Regions returns the region count.
+func (s *Sharded) Regions() int { return len(s.regions) }
+
+// RegionOf returns the region owning a node.
+func (s *Sharded) RegionOf(node int) int { return int(s.partition[node]) }
+
+// Lookahead returns the current window width.
+func (s *Sharded) Lookahead() Time { return s.lookahead }
+
+// SetPartition installs a node→region mapping and the lookahead bound
+// (the minimum cross-region link latency). It must be called before any
+// event is scheduled: events already routed under the old mapping would
+// sit on the wrong heaps.
+func (s *Sharded) SetPartition(part []int, lookahead Time) error {
+	if len(part) != len(s.partition) {
+		return fmt.Errorf("sim: partition covers %d nodes, kernel has %d", len(part), len(s.partition))
+	}
+	if lookahead <= 0 {
+		return errors.New("sim: lookahead must be positive")
+	}
+	if s.started || s.Pending() > 0 {
+		return errors.New("sim: cannot repartition after events were scheduled")
+	}
+	for i, r := range part {
+		if r < 0 || r >= len(s.regions) {
+			return fmt.Errorf("sim: node %d mapped to region %d of %d", i, r, len(s.regions))
+		}
+		s.partition[i] = int32(r)
+	}
+	s.lookahead = lookahead
+	return nil
+}
+
+// RegionNow returns a region's clock. Safe from any goroutine (atomic
+// read), including cross-region reads while a window is executing.
+func (s *Sharded) RegionNow(r int) Time {
+	return Time(math.Float64frombits(s.regions[r].nowBits.Load()))
+}
+
+// Now returns the most advanced region clock — after Run/RunUntil all
+// regions agree and this matches the sequential engine's Now.
+func (s *Sharded) Now() Time {
+	var m Time
+	for r := range s.regions {
+		if t := s.RegionNow(r); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Executed returns the total events processed across regions.
+func (s *Sharded) Executed() uint64 {
+	var n uint64
+	for _, e := range s.regions {
+		n += e.events
+	}
+	return n
+}
+
+// Pending returns the scheduled, not-yet-fired events across all region
+// heaps plus staged cross-region handoffs.
+func (s *Sharded) Pending() int {
+	n := int(s.staged.Load())
+	for _, e := range s.regions {
+		n += len(e.pending)
+	}
+	return n
+}
+
+// Schedule routes an event owned by node dst, originating at node src,
+// to dst's region at absolute time at. Same-region events go straight
+// onto the owner's heap and return a handle usable with Cancel;
+// cross-region events are staged for the next window barrier and return
+// 0 (they cannot be cancelled).
+//
+// Callers must hold the conservative-execution contract: Schedule is
+// invoked either from an event executing in src's region worker, or from
+// the driver goroutine while no window is running.
+func (s *Sharded) Schedule(src, dst int, at Time, fn func()) uint64 {
+	rs, rd := s.partition[src], s.partition[dst]
+	if rs == rd {
+		e := s.regions[rd]
+		if at < e.now {
+			at = e.now
+		}
+		return e.At(at, fn)
+	}
+	ib := &s.inboxes[rd]
+	ib.mu.Lock()
+	ib.entries = append(ib.entries, stagedEvent{at: at, src: rs, fn: fn})
+	ib.mu.Unlock()
+	s.staged.Add(1)
+	return 0
+}
+
+// Cancel drops a same-region event by the handle Schedule returned.
+// Like Schedule, it may only be called from the owning region's worker
+// or from the idle driver.
+func (s *Sharded) Cancel(region int, id uint64) {
+	s.regions[region].Cancel(id)
+}
+
+// drainInboxes moves staged cross-region events onto their target heaps
+// in deterministic (time, source region) order. Runs on the coordinator
+// between windows, when all workers are idle.
+func (s *Sharded) drainInboxes() {
+	for d := range s.inboxes {
+		ib := &s.inboxes[d]
+		ib.mu.Lock()
+		entries := ib.entries
+		ib.entries = nil
+		ib.mu.Unlock()
+		if len(entries) == 0 {
+			continue
+		}
+		sort.SliceStable(entries, func(i, j int) bool {
+			if entries[i].at != entries[j].at {
+				return entries[i].at < entries[j].at
+			}
+			return entries[i].src < entries[j].src
+		})
+		e := s.regions[d]
+		for i := range entries {
+			at := entries[i].at
+			if at < e.now {
+				at = e.now
+			}
+			e.At(at, entries[i].fn)
+		}
+		s.staged.Add(int64(-len(entries)))
+	}
+}
+
+// minNext returns the earliest live event time across regions.
+func (s *Sharded) minNext() (Time, bool) {
+	var m Time
+	ok := false
+	for _, e := range s.regions {
+		if t, live := e.nextAt(); live && (!ok || t < m) {
+			m, ok = t, true
+		}
+	}
+	return m, ok
+}
+
+// window executes one lockstep window [.., end) across all regions that
+// have work in it. With at most one active region the window runs inline
+// on the coordinator; otherwise one worker goroutine per extra region.
+func (s *Sharded) window(end Time) {
+	var active []*Engine
+	for _, e := range s.regions {
+		if t, live := e.nextAt(); live && t < end {
+			active = append(active, e)
+		}
+	}
+	switch len(active) {
+	case 0:
+		return
+	case 1:
+		active[0].runWindow(end)
+	default:
+		var wg sync.WaitGroup
+		for _, e := range active[1:] {
+			wg.Add(1)
+			go func(e *Engine) {
+				defer wg.Done()
+				e.runWindow(end)
+			}(e)
+		}
+		active[0].runWindow(end)
+		wg.Wait()
+	}
+}
+
+// run is the coordinator loop: drain inboxes, jump to the earliest event
+// time, execute one window, repeat. The window start always snaps to the
+// earliest pending event, so idle stretches cost no empty windows.
+func (s *Sharded) run(horizon Time) {
+	s.started = true
+	// limit is the exclusive window bound that still admits events at
+	// exactly the horizon, matching the sequential RunUntil contract
+	// (execute events with at <= horizon).
+	limit := Time(math.Nextafter(float64(horizon), math.Inf(1)))
+	for {
+		s.drainInboxes()
+		min, ok := s.minNext()
+		if !ok || min > horizon {
+			break
+		}
+		end := min + s.lookahead
+		if end > limit {
+			end = limit
+		}
+		s.window(end)
+	}
+	// Equalize the clocks at the global frontier so driver-context
+	// scheduling after the run bases its delays on the same time a
+	// sequential engine would report.
+	m := s.Now()
+	for _, e := range s.regions {
+		e.advanceTo(m)
+	}
+}
+
+// Run executes every scheduled event to exhaustion, like Engine.Run.
+func (s *Sharded) Run() { s.run(End) }
+
+// RunUntil executes events up to and including the horizon, then
+// advances every region clock to it, like Engine.RunUntil.
+func (s *Sharded) RunUntil(horizon Time) {
+	s.run(horizon)
+	for _, e := range s.regions {
+		e.advanceTo(horizon)
+	}
+}

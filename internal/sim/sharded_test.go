@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The sharded kernel's contract: given the same event program — where
+// cross-region schedules respect the lookahead bound, as p2p.Network's
+// latency model guarantees — every region count produces the same
+// execution, bit-identical to the sequential Engine.
+
+// kernel abstracts Engine vs Sharded for the equivalence program.
+type kernel interface {
+	Schedule(src, dst int, at Time, fn func()) uint64
+	Run()
+}
+
+type seqKernel struct{ e *Engine }
+
+func (k seqKernel) Schedule(src, dst int, at Time, fn func()) uint64 { return k.e.At(at, fn) }
+func (k seqKernel) Run()                                             { k.e.Run() }
+
+type rec struct {
+	at   Time
+	node int
+}
+
+// runProgram drives a deterministic message cascade over 32 nodes in 8
+// virtual domains (node%8). Intra-domain hops use millisecond delays;
+// cross-domain hops use delays >= lookahead, so any partition that
+// keeps domains whole (region = domain % R) satisfies the conservative
+// contract.
+func runProgram(k kernel, lookahead Time) []rec {
+	const nodes = 32
+	const maxStep = 250
+	var mu sync.Mutex
+	var trace []rec
+	var hop func(node, step int, at Time) func()
+	hop = func(node, step int, at Time) func() {
+		return func() {
+			mu.Lock()
+			trace = append(trace, rec{at: at, node: node})
+			mu.Unlock()
+			if step >= maxStep {
+				return
+			}
+			h := uint64(node+1)*2654435761 + uint64(step+1)*0x9e3779b97f4a7c15
+			next := int(h % nodes)
+			var delay Time
+			if next%8 == node%8 {
+				delay = 0.001 + Time(h%47)/10000
+			} else {
+				delay = lookahead + Time(h%97)/1000
+			}
+			k.Schedule(node, next, at+delay, hop(next, step+1, at+delay))
+			if h%5 == 0 { // occasional terminal echo: extra cross traffic
+				n2 := int((h >> 17) % nodes)
+				d2 := lookahead + Time((h>>7)%89)/500
+				k.Schedule(node, n2, at+d2, hop(n2, maxStep, at+d2))
+			}
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		at := Time(i)*0.01 + 0.005
+		k.Schedule(i, i, at, hop(i, 0, at))
+	}
+	k.Run()
+	sort.Slice(trace, func(i, j int) bool {
+		if trace[i].at != trace[j].at {
+			return trace[i].at < trace[j].at
+		}
+		return trace[i].node < trace[j].node
+	})
+	return trace
+}
+
+func TestShardedMatchesSequential(t *testing.T) {
+	const lookahead = Time(0.05)
+	want := runProgram(seqKernel{New()}, lookahead)
+	if len(want) < 5000 {
+		t.Fatalf("program too small to be meaningful: %d events", len(want))
+	}
+	for _, regions := range []int{1, 2, 4, 8} {
+		s, err := NewSharded(32, regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part := make([]int, 32)
+		for i := range part {
+			part[i] = (i % 8) % regions
+		}
+		if err := s.SetPartition(part, lookahead); err != nil {
+			t.Fatal(err)
+		}
+		got := runProgram(s, lookahead)
+		if len(got) != len(want) {
+			t.Fatalf("regions=%d: %d events, sequential had %d", regions, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("regions=%d: event %d = %+v, sequential %+v", regions, i, got[i], want[i])
+			}
+		}
+		if got, want := s.Executed(), uint64(len(want)); got != want {
+			t.Fatalf("regions=%d: Executed=%d want %d", regions, got, want)
+		}
+	}
+}
+
+// TestShardedTieOrder: same-time events within one region keep their
+// scheduling (seq) order, exactly like the sequential engine.
+func TestShardedTieOrder(t *testing.T) {
+	s, err := NewSharded(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPartition([]int{0, 0, 1, 1}, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		node := (i % 2) * 2 // alternate regions, same timestamp
+		s.Schedule(node, node, 1.0, func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	s.Run()
+	// Within region 0 the even i's keep order; within region 1 the odd
+	// i's keep order. (Cross-region interleaving at identical times is
+	// not observable through the p2p layer: real latencies never
+	// collide exactly.)
+	var even, odd []int
+	for _, i := range order {
+		if i%2 == 0 {
+			even = append(even, i)
+		} else {
+			odd = append(odd, i)
+		}
+	}
+	for j := 1; j < len(even); j++ {
+		if even[j] < even[j-1] {
+			t.Fatalf("region 0 tie order violated: %v", even)
+		}
+	}
+	for j := 1; j < len(odd); j++ {
+		if odd[j] < odd[j-1] {
+			t.Fatalf("region 1 tie order violated: %v", odd)
+		}
+	}
+	if len(order) != 8 {
+		t.Fatalf("executed %d of 8", len(order))
+	}
+}
+
+func TestShardedRunUntilAdvancesClocks(t *testing.T) {
+	s, err := NewSharded(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPartition([]int{0, 1}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	s.Schedule(0, 0, 1.0, func() { ran++ })
+	s.Schedule(1, 1, 5.0, func() { ran++ }) // beyond horizon
+	s.RunUntil(2.0)
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1", ran)
+	}
+	for r := 0; r < 2; r++ {
+		if now := s.RegionNow(r); now != 2.0 {
+			t.Fatalf("region %d clock %v, want 2.0", r, now)
+		}
+	}
+	s.RunUntil(6.0)
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+}
+
+func TestShardedRepartitionRejectedAfterScheduling(t *testing.T) {
+	s, err := NewSharded(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule(0, 0, 1, func() {})
+	if err := s.SetPartition([]int{0, 1}, 0.1); err == nil {
+		t.Fatal("SetPartition accepted after events were scheduled")
+	}
+}
+
+// TestCancelLazyDelete: Cancel is O(1) — the pending entry disappears
+// immediately, the heap slot is reclaimed only when it surfaces.
+func TestCancelLazyDelete(t *testing.T) {
+	e := New()
+	ids := make([]uint64, 100)
+	for i := range ids {
+		ids[i] = e.After(Time(i+1), func() { t.Fatal("cancelled event ran") })
+	}
+	for _, id := range ids {
+		e.Cancel(id)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending=%d after cancelling all, want 0", got)
+	}
+	if len(e.queue) != 100 {
+		t.Fatalf("heap len %d, want 100 lazy tombstones", len(e.queue))
+	}
+	ran := false
+	e.After(200, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("live event did not run")
+	}
+	if len(e.queue) != 0 {
+		t.Fatalf("heap len %d after Run, want 0", len(e.queue))
+	}
+	// Cancel after fire is a no-op, and must not ghost-cancel a later
+	// event that reuses the pooled struct.
+	id := e.After(1, func() {})
+	e.Run()
+	e.Cancel(id)
+	ran = false
+	id2 := e.After(1, func() { ran = true })
+	_ = id2
+	e.Run()
+	if !ran {
+		t.Fatal("recycled event was ghost-cancelled")
+	}
+}
+
+// TestShardedConcurrentAfterCancelStress exercises concurrent per-region
+// schedule/cancel churn plus cross-region staging under the race
+// detector: every region runs an event chain that arms timers, cancels
+// most, and pings the next region at lookahead distance.
+func TestShardedConcurrentAfterCancelStress(t *testing.T) {
+	const regions = 4
+	const nodes = 16
+	const steps = 400
+	const lookahead = Time(0.05)
+	s, err := NewSharded(nodes, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := make([]int, nodes)
+	for i := range part {
+		part[i] = i % regions
+	}
+	if err := s.SetPartition(part, lookahead); err != nil {
+		t.Fatal(err)
+	}
+	var executed, leaked atomic.Int64
+	var chain func(node, step int, at Time) func()
+	chain = func(node, step int, at Time) func() {
+		return func() {
+			executed.Add(1)
+			// Arm a batch of retransmit-style timers on this node's
+			// region and cancel all but one — the reconciliation churn
+			// pattern.
+			region := part[node]
+			keep := s.Schedule(node, node, at+0.002, func() { executed.Add(1) })
+			for i := 0; i < 4; i++ {
+				id := s.Schedule(node, node, at+30, func() { leaked.Add(1) })
+				s.Cancel(region, id)
+			}
+			_ = keep
+			if step >= steps {
+				return
+			}
+			// Ping a node in the next region, conservatively.
+			peer := (node + 1) % nodes
+			d := lookahead + 0.001
+			s.Schedule(node, peer, at+d, chain(peer, step+1, at+d))
+		}
+	}
+	for n := 0; n < regions; n++ {
+		at := Time(0.001) * Time(n+1)
+		s.Schedule(n, n, at, chain(n, 0, at))
+	}
+	s.Run()
+	if leaked.Load() != 0 {
+		t.Fatalf("%d cancelled timers fired", leaked.Load())
+	}
+	want := int64(regions * (steps + 1) * 2) // chain event + kept timer each
+	if executed.Load() != want {
+		t.Fatalf("executed %d events, want %d", executed.Load(), want)
+	}
+}
+
+// BenchmarkEventDispatch is the hot-path gate: schedule + dispatch of
+// one event must not allocate once the freelist is warm (CI enforces
+// allocs/op == 0 via benchgate).
+func BenchmarkEventDispatch(b *testing.B) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.After(1, fn)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkCancelChurn models the reconciliation retransmit pattern: a
+// standing population of armed timers where nearly every timer is
+// cancelled (the ring completes) before it fires. Cancel must stay O(1)
+// amortized — no tombstone scans.
+func BenchmarkCancelChurn(b *testing.B) {
+	e := New()
+	fn := func() {}
+	const standing = 4096
+	ids := make([]uint64, 0, standing)
+	for i := 0; i < standing; i++ {
+		ids = append(ids, e.After(30, fn))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(ids[i%standing])
+		ids[i%standing] = e.After(30, fn)
+		if i%standing == standing-1 {
+			// Let the engine pop through the tombstone ridge so lazy
+			// deletion's amortized cost is inside the measurement.
+			e.After(0.0001, fn)
+			e.Step()
+		}
+	}
+}

@@ -1,18 +1,21 @@
 // Command benchgate fails when a benchmark's allocations exceed a bound —
-// the allocation-regression smoke test of the wire hot path, reimplemented
-// on the standard library so CI needs no third-party tool. It reads `go
-// test -bench -benchmem` output and asserts allocs/op for the named
-// benchmarks.
+// the allocation-regression smoke test of the hot paths, reimplemented on
+// the standard library so CI needs no third-party tool. It reads `go test
+// -bench -benchmem` output and asserts allocs/op for the named benchmarks.
 //
 // Usage:
 //
-//	go test -run='^$' -bench=BenchmarkFrameEncode -benchmem ./internal/wire/ | \
-//	    go run ./internal/tools/benchgate -bench BenchmarkFrameEncode -max-allocs 0
+//	go test -run='^$' -bench='FrameEncode|EventDispatch' -benchmem ./... | \
+//	    go run ./internal/tools/benchgate \
+//	        -gate BenchmarkFrameEncode=0 -gate BenchmarkEventDispatch=0
 //
-// The -bench flag is a substring match against the benchmark name (the
-// part before the parallelism suffix); every matching result line must
-// satisfy the bound, and at least one must be present — a benchmark that
-// silently stopped running is itself a failure.
+// Each -gate is NAME=MAX where NAME is a substring match against the
+// benchmark name (the part before the parallelism suffix) and MAX the
+// allowed allocs/op; the flag repeats for multiple gates. The legacy
+// single-gate form -bench NAME -max-allocs N is still accepted. Every
+// result line matching a gate must satisfy its bound, and every gate must
+// match at least one line — a benchmark that silently stopped running is
+// itself a failure.
 package main
 
 import (
@@ -24,43 +27,78 @@ import (
 	"strings"
 )
 
+// gate is one NAME=MAX allocation bound.
+type gate struct {
+	name      string
+	maxAllocs int64
+	matched   int
+	violated  int
+}
+
 func main() {
-	bench := flag.String("bench", "", "benchmark name substring to gate (required)")
-	maxAllocs := flag.Int64("max-allocs", 0, "maximum allowed allocs/op")
+	var gates []*gate
+	flag.Func("gate", "NAME=MAX allocation gate (repeatable)", func(s string) error {
+		name, max, ok := strings.Cut(s, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want NAME=MAX, got %q", s)
+		}
+		n, err := strconv.ParseInt(max, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad alloc bound in %q: %v", s, err)
+		}
+		gates = append(gates, &gate{name: name, maxAllocs: n})
+		return nil
+	})
+	bench := flag.String("bench", "", "benchmark name substring to gate (legacy single-gate form)")
+	maxAllocs := flag.Int64("max-allocs", 0, "maximum allowed allocs/op (with -bench)")
 	flag.Parse()
-	if *bench == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchgate -bench NAME [-max-allocs N] < bench-output")
+	if *bench != "" {
+		gates = append(gates, &gate{name: *bench, maxAllocs: *maxAllocs})
+	}
+	if len(gates) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -gate NAME=MAX [-gate NAME=MAX ...] < bench-output")
 		os.Exit(2)
 	}
 
-	matched, bad := 0, 0
+	bad := 0
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // pass the report through for the CI log
 		name, allocs, ok := parseBenchLine(line)
-		if !ok || !strings.Contains(name, *bench) {
+		if !ok {
 			continue
 		}
-		matched++
-		if allocs > *maxAllocs {
-			bad++
-			fmt.Fprintf(os.Stderr, "benchgate: %s allocates %d/op, want <= %d\n", name, allocs, *maxAllocs)
+		for _, g := range gates {
+			if !strings.Contains(name, g.name) {
+				continue
+			}
+			g.matched++
+			if allocs > g.maxAllocs {
+				bad++
+				g.violated++
+				fmt.Fprintf(os.Stderr, "benchgate: %s allocates %d/op, want <= %d\n", name, allocs, g.maxAllocs)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: reading input: %v\n", err)
 		os.Exit(2)
 	}
-	if matched == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: no benchmark matching %q in the input — did it run with -benchmem?\n", *bench)
-		os.Exit(1)
+	for _, g := range gates {
+		if g.matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: no benchmark matching %q in the input — did it run with -benchmem?\n", g.name)
+			bad++
+			continue
+		}
+		if g.violated == 0 {
+			fmt.Printf("benchgate: %d benchmark(s) matching %q within %d allocs/op\n", g.matched, g.name, g.maxAllocs)
+		}
 	}
 	if bad > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) matching %q within %d allocs/op\n", matched, *bench, *maxAllocs)
 }
 
 // parseBenchLine extracts the name and allocs/op from one `go test -bench

@@ -17,16 +17,22 @@ import (
 	"sort"
 )
 
-// Graph is an undirected overlay with per-edge latencies.
+// Graph is an undirected overlay with per-edge latencies. Latencies are
+// stored positionally: lat[u][i] is the latency of the edge to adj[u][i],
+// so a 100k-node graph costs two flat runs per node instead of a map
+// entry per edge (the map dominated memory at that scale). Generators
+// call Compact after construction to re-pack both runs into single
+// backing arrays (CSR layout).
 type Graph struct {
-	n       int
-	adj     [][]int
-	latency map[[2]int]float64
+	n     int
+	adj   [][]int
+	lat   [][]float64
+	edges int
 }
 
 // NewGraph creates an edgeless graph of n nodes.
 func NewGraph(n int) *Graph {
-	return &Graph{n: n, adj: make([][]int, n), latency: make(map[[2]int]float64)}
+	return &Graph{n: n, adj: make([][]int, n), lat: make([][]float64, n)}
 }
 
 // Len returns the number of nodes.
@@ -62,29 +68,66 @@ func (g *Graph) AddEdge(u, v int, latency float64) error {
 	}
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
-	g.latency[edgeKey(u, v)] = latency
+	g.lat[u] = append(g.lat[u], latency)
+	g.lat[v] = append(g.lat[v], latency)
+	g.edges++
 	return nil
 }
 
-func edgeKey(u, v int) [2]int {
-	if u > v {
-		u, v = v, u
-	}
-	return [2]int{u, v}
+// Latency returns the latency of edge (u, v), or 0 when absent.
+func (g *Graph) Latency(u, v int) float64 {
+	l, _ := g.LatencyOK(u, v)
+	return l
 }
 
-// Latency returns the latency of edge (u, v), or 0 when absent.
-func (g *Graph) Latency(u, v int) float64 { return g.latency[edgeKey(u, v)] }
+// LatencyAt returns the latency of the i-th edge in u's adjacency run
+// (positional companion to Neighbors, no scan).
+func (g *Graph) LatencyAt(u, i int) float64 { return g.lat[u][i] }
+
+// LatencyOK returns the latency of edge (u, v) and whether the edge
+// exists — one adjacency scan for the existence check and the lookup,
+// where HasEdge+Latency would scan twice.
+func (g *Graph) LatencyOK(u, v int) (float64, bool) {
+	for i, w := range g.adj[u] {
+		if w == v {
+			return g.lat[u][i], true
+		}
+	}
+	return 0, false
+}
 
 // EdgeCount returns the number of undirected edges.
-func (g *Graph) EdgeCount() int { return len(g.latency) }
+func (g *Graph) EdgeCount() int { return g.edges }
 
 // AvgDegree returns the mean node degree (2E/N).
 func (g *Graph) AvgDegree() float64 {
 	if g.n == 0 {
 		return 0
 	}
-	return 2 * float64(len(g.latency)) / float64(g.n)
+	return 2 * float64(g.edges) / float64(g.n)
+}
+
+// Compact re-packs every adjacency and latency run into one flat backing
+// array each (CSR layout): per-node slices become exact-length windows
+// into the shared arrays, eliminating the per-node append slack and
+// allocator headers that dominate memory on 100k-node graphs. Full-cap
+// subslicing keeps a later AddEdge safe — appending to a window
+// reallocates that node's run instead of clobbering its neighbor's.
+func (g *Graph) Compact() {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	flatA := make([]int, 0, total)
+	flatL := make([]float64, 0, total)
+	for u := range g.adj {
+		start := len(flatA)
+		flatA = append(flatA, g.adj[u]...)
+		flatL = append(flatL, g.lat[u]...)
+		end := len(flatA)
+		g.adj[u] = flatA[start:end:end]
+		g.lat[u] = flatL[start:end:end]
+	}
 }
 
 // MaxDegree returns the largest node degree.
@@ -165,6 +208,7 @@ func DisjointStars(clusters, size int, latency float64) (*Graph, []int) {
 			}
 		}
 	}
+	g.Compact()
 	return g, hubs
 }
 
@@ -302,6 +346,7 @@ func BarabasiAlbert(n, m int, lat LatencyModel, rng *rand.Rand) (*Graph, error) 
 			targets = append(targets, u, v)
 		}
 	}
+	g.Compact()
 	return g, nil
 }
 
@@ -345,6 +390,7 @@ func Waxman(n int, alpha, beta float64, lat LatencyModel, rng *rand.Rand) (*Grap
 			return nil, err
 		}
 	}
+	g.Compact()
 	return g, nil
 }
 
@@ -458,25 +504,29 @@ func WattsStrogatz(n, k int, beta float64, lat LatencyModel, rng *rand.Rand) (*G
 			return nil, err
 		}
 	}
+	g.Compact()
 	return g, nil
 }
 
 // removeEdge deletes an undirected edge (no-op when absent).
 func (g *Graph) removeEdge(u, v int) {
-	del := func(list []int, x int) []int {
-		for i, y := range list {
-			if y == x {
-				return append(list[:i], list[i+1:]...)
-			}
-		}
-		return list
-	}
 	if !g.HasEdge(u, v) {
 		return
 	}
-	g.adj[u] = del(g.adj[u], v)
-	g.adj[v] = del(g.adj[v], u)
-	delete(g.latency, edgeKey(u, v))
+	g.removeHalf(u, v)
+	g.removeHalf(v, u)
+	g.edges--
+}
+
+// removeHalf drops v from u's adjacency and latency runs in lockstep.
+func (g *Graph) removeHalf(u, v int) {
+	for i, w := range g.adj[u] {
+		if w == v {
+			g.adj[u] = append(g.adj[u][:i], g.adj[u][i+1:]...)
+			g.lat[u] = append(g.lat[u][:i], g.lat[u][i+1:]...)
+			return
+		}
+	}
 }
 
 // AvgPathLengthSample estimates the average shortest-path length by BFS
