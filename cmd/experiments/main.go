@@ -6,9 +6,9 @@
 //	experiments [-exp all|params|mapping|fig4|fig5|fig6|fig7|storage|
 //	             ablation-maintenance|ablation-routing|ablation-walks|
 //	             ablation-ttl|ablation-unavailable|ablation-arity|
-//	             ablation-locality|coverage|concurrency|churn|scale]
+//	             ablation-locality|coverage|concurrency|churn|faults|scale]
 //	            [-quick] [-seed N] [-parallel N] [-shards N] [-dispatchers N]
-//	            [-churn-out FILE] [-scale-out FILE]
+//	            [-churn-out FILE] [-faults-out FILE] [-scale-out FILE]
 //
 // Flags:
 //
@@ -26,6 +26,9 @@
 //	-churn-out    file the churn experiment writes its coverage-over-time
 //	              series to as JSON (default BENCH_churn.json; empty
 //	              disables the file)
+//	-faults-out   file the faults experiment writes its per-scenario
+//	              reconvergence points to as JSON (default
+//	              BENCH_faults.json; empty disables the file)
 //	-scale-out    file the scale experiment writes its size × region-count
 //	              sweep to as JSON (default BENCH_scale.json; empty
 //	              disables the file)
@@ -53,13 +56,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, params, mapping, fig4, fig5, fig6, fig7, storage, ablation-maintenance, ablation-routing, ablation-walks, ablation-ttl, ablation-unavailable, ablation-arity, ablation-locality, coverage, concurrency, churn, scale)")
+	exp := flag.String("exp", "all", "experiment to run (all, params, mapping, fig4, fig5, fig6, fig7, storage, ablation-maintenance, ablation-routing, ablation-walks, ablation-ttl, ablation-unavailable, ablation-arity, ablation-locality, coverage, concurrency, churn, faults, scale)")
 	quick := flag.Bool("quick", false, "run the down-scaled smoke configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = sequential)")
 	shards := flag.Int("shards", 1, "global-summary store shards per simulated summary peer (1 = single tree)")
 	dispatchers := flag.Int("dispatchers", 0, "dispatcher-count cap of the concurrency experiment (0 = one per domain)")
 	churnOut := flag.String("churn-out", "BENCH_churn.json", "file for the churn experiment's JSON series (empty: no file)")
+	faultsOut := flag.String("faults-out", "BENCH_faults.json", "file for the faults experiment's JSON points (empty: no file)")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "file for the scale experiment's JSON series (empty: no file)")
 	flag.Parse()
 
@@ -128,6 +132,26 @@ func main() {
 					return err
 				}
 				fmt.Printf("(series written to %s)\n", *churnOut)
+			}
+			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+			return nil
+		}},
+		{"faults", func() error {
+			start := time.Now()
+			t, res, err := p2psum.RunFaultsScenario(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			if *faultsOut != "" {
+				data, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*faultsOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("(points written to %s)\n", *faultsOut)
 			}
 			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 			return nil

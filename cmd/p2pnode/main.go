@@ -36,6 +36,18 @@
 //	               processes of the deployment converge on one membership
 //	               view; 0 disables gossip. Liveness transitions are logged.
 //	-linger        keep serving after the scripted phases (Ctrl-C exits)
+//	-sever         partition drill: comma-separated node ids to cut off
+//	               once the scripted phases finish (requires -linger).
+//	               The cut is a LinkFilter at this process's transport —
+//	               frames crossing the boundary between the listed set
+//	               and the rest are dropped with the drop callback
+//	               firing, exactly as a real partition surfaces. Every
+//	               process of the deployment should pass the same set.
+//	               Logs "partition: severed [...]" when installed.
+//	-sever-after   drill: delay between the scripted phases finishing and
+//	               the cut being installed (default 0)
+//	-heal-after    drill: lift the cut this long after severing and log
+//	               "partition: healed [...]"; 0 keeps the cut in place
 //
 // Every process must agree on -n, -sps, -alpha and -topology (the overlay
 // is shared knowledge); -local/-hosts partition the nodes across
@@ -84,6 +96,9 @@ func main() {
 		connectWait = flag.Duration("connect-wait", 30*time.Second, "budget for dialing peer processes")
 		gossip      = flag.Float64("gossip", 200, "liveness-gossip interval in virtual seconds (0 disables)")
 		linger      = flag.Bool("linger", false, "keep serving after the scripted phases")
+		sever       = flag.String("sever", "", "partition drill: node ids to cut off after the scripted phases (requires -linger)")
+		severAfter  = flag.Duration("sever-after", 0, "partition drill: delay before installing the -sever cut")
+		healAfter   = flag.Duration("heal-after", 0, "partition drill: lift the cut this long after severing (0 keeps it)")
 	)
 	flag.Parse()
 	if err := run(options{
@@ -91,6 +106,7 @@ func main() {
 		sps: *spsFlag, records: *records, alpha: *alpha, seed: *seed,
 		topo: *topo, query: *queryFlag, connectWait: *connectWait,
 		gossip: *gossip, linger: *linger,
+		sever: *sever, severAfter: *severAfter, healAfter: *healAfter,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "p2pnode:", err)
 		os.Exit(1)
@@ -104,6 +120,8 @@ type options struct {
 	seed                                   int64
 	connectWait                            time.Duration
 	linger                                 bool
+	sever                                  string
+	severAfter, healAfter                  time.Duration
 }
 
 // parseIDs parses "0,3,5".
@@ -196,6 +214,13 @@ func run(o options) error {
 	hosts, err := parseHosts(o.hosts)
 	if err != nil {
 		return err
+	}
+	severed, err := parseIDs(o.sever)
+	if err != nil {
+		return fmt.Errorf("parse -sever: %v", err)
+	}
+	if len(severed) > 0 && !o.linger {
+		return fmt.Errorf("-sever requires -linger (the drill runs after the scripted phases)")
 	}
 	g, err := buildGraph(o, sps)
 	if err != nil {
@@ -348,6 +373,32 @@ func run(o options) error {
 	logf("byte accounting exact: Bytes() total %d = sent %d + local %d + frameless %d",
 		bytes.Total(), ws.SentBytes, ws.LocalBytes, ws.ChargedBytes)
 	logf("done")
+
+	// The partition drill: once the scripted phases are over, cut the
+	// listed ids off behind a LinkFilter — frames crossing the boundary
+	// drop through the transport's drop callback, so suspicion, domain
+	// repair and (after the heal) refutation run exactly as they would
+	// under a real network split. The log lines are the grep targets of
+	// the CI partition-drill job.
+	if len(severed) > 0 {
+		cut := make(map[p2p.NodeID]bool, len(severed))
+		for _, id := range severed {
+			cut[id] = true
+		}
+		// A LinkFilter reports severed links: cut exactly the pairs that
+		// cross the boundary between the listed set and the rest.
+		filter := func(from, to p2p.NodeID) bool { return cut[from] != cut[to] }
+		time.AfterFunc(o.severAfter, func() {
+			tr.SetLinkFilter(filter)
+			logf("partition: severed %v", severed)
+			if o.healAfter > 0 {
+				time.AfterFunc(o.healAfter, func() {
+					tr.SetLinkFilter(nil)
+					logf("partition: healed %v", severed)
+				})
+			}
+		})
+	}
 
 	if o.linger {
 		logf("lingering; Ctrl-C to exit, SIGUSR1 dumps the liveness view")

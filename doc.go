@@ -214,6 +214,44 @@
 // livelock it. Deterministic experiments call System.GossipRound at
 // explicit virtual times instead (see the churn experiment, RunChurnScenario).
 //
+// # The fault-scenario engine
+//
+// internal/scenario scripts correlated fault events — partitions, flash
+// crowds, adversarial membership claims — against any transport, through
+// exactly two hooks plus the public membership API:
+//
+//   - Transport.SetLinkFilter is the partition hook. A scripted cut is an
+//     immutable filter closure reporting which directed links are severed;
+//     a message on a severed link is charged as sent but surfaces through
+//     the §4.3 drop callback, and Neighbors, walks and floods treat the
+//     link as gone. On TCP every process installs the same closure, so
+//     both sides degrade symmetrically without iptables (cmd/p2pnode's
+//     -sever/-heal-after flags run this drill on a live deployment).
+//
+//   - System.Leave/Join carry membership faults (Fail, Leave, FlashCrowd
+//     via workload.BurstArrivals); the engine records which nodes the
+//     script itself took down, and Heal uses that intent to refute false
+//     suspicions (nodes marked dead across a cut that never actually
+//     died) while leaving real deaths alone.
+//
+// The adversary (scenario.Adversary) needs no hook at all: it injects
+// forged gossip — obituaries at the current incarnation, conflicting
+// domain claims — through the regular codec-registered message path, and
+// the liveness layer's refutation (incarnation supersession plus
+// local-authority re-assert) must bounce it; the faults experiment
+// asserts no suspicion files and no election fires while forgeries flow.
+//
+// The engine holds no clocks and draws no randomness: on the
+// discrete-event Network a scripted run is bit-for-bit reproducible, and
+// RunFaultsScenario sweeps partition/flashcrowd/adversary severities into
+// time-to-reconverge, repair-traffic and coverage-dip series
+// (BENCH_faults.json). Proactive summary-peer re-election
+// (Config.ProactiveElection) rides the same machinery: a confirmed death
+// of a summary peer triggers a deterministic successor pick, proposed as
+// a codec-registered MsgElect and adopted domain-wide, so a domain
+// survives its summary peer without waiting for every member's push to
+// fail.
+//
 // # The dispatcher-group execution model
 //
 // The channel transport executes all protocol logic on dispatcher
@@ -344,6 +382,12 @@
 //	liveness.View.obsMu        the observer hook pointer; the hook itself
 //	                           runs outside both view locks and may be
 //	                           invoked concurrently.
+//	scenario.Engine.mu         leaf lock guarding the fault script's intent
+//	                           maps (current partition sides, nodes the
+//	                           script took down); never held across a
+//	                           transport or System call — the installed
+//	                           LinkFilter closes over immutable maps and
+//	                           takes no lock at all.
 //	p2p.ChannelTransport.mu    handler[], drop, rng (online state moved to
 //	                           the liveness view). Held only for short
 //	                           critical sections, never across a handler

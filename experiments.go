@@ -114,6 +114,18 @@ func RunChurnScenario(cfg ExperimentConfig) (*ResultTable, *ChurnScenarioResult,
 	return experiments.ChurnExperiment(cfg)
 }
 
+// FaultsScenarioResult is the machine-readable outcome of the faults
+// experiment (cmd/experiments serializes it as BENCH_faults.json).
+type FaultsScenarioResult = experiments.FaultsResult
+
+// RunFaultsScenario scripts the fault-scenario engine over the
+// discrete-event overlay — partitions, flash crowds, adversarial gossip —
+// at increasing severities and reports time-to-reconverge, repair traffic
+// and the query-coverage dip per point.
+func RunFaultsScenario(cfg ExperimentConfig) (*ResultTable, *FaultsScenarioResult, error) {
+	return experiments.FaultsExperiment(cfg)
+}
+
 // ScaleScenarioResult is the machine-readable outcome of the scale sweep
 // (cmd/experiments serializes it as BENCH_scale.json).
 type ScaleScenarioResult = experiments.ScaleResult

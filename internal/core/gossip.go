@@ -73,8 +73,11 @@ func (s *System) gossipEnabled() bool {
 // rejoined (higher incarnation) in the meantime. On the in-memory
 // transports the view is ground truth, so a drop already implies a
 // non-alive entry and this is a no-op; on TCP it is how a process learns
-// that a remote node (or a whole remote process) silently died.
-func (s *System) suspect(id p2p.NodeID) {
+// that a remote node (or a whole remote process) silently died. origin
+// names the node whose serialized context the caller executes in (the
+// dropped message's sender, or the departing node itself), so the
+// confirmation timer can be staged across dispatch regions.
+func (s *System) suspect(origin, id p2p.NodeID) {
 	if id < 0 || int(id) >= s.net.Len() {
 		return
 	}
@@ -90,7 +93,11 @@ func (s *System) suspect(id p2p.NodeID) {
 	if timeout == 0 {
 		timeout = DefaultSuspectTimeout
 	}
-	s.net.After(id, timeout, func() { view.Confirm(int(id), inc) })
+	s.afterFrom(origin, id, timeout, func() {
+		if view.Confirm(int(id), inc) {
+			s.onConfirmedDead(id)
+		}
+	})
 }
 
 // DefaultSuspectTimeout is the suspect -> dead confirmation delay (virtual
@@ -210,6 +217,14 @@ func (s *System) absorbTail(p *Peer, from p2p.NodeID, tail *GossipTail, mayReply
 		s.net.SendNew(MsgGossip, p.id, from, 0,
 			GossipPayload{Tail: s.tailFor(p, from), Reply: true})
 	}
+	// The merged tail may have brought the confirmed death of p's own
+	// summary peer: run the proactive election from the partner that just
+	// learned it (every precondition is re-checked inside).
+	if s.cfg.ProactiveElection && p.role == RoleClient {
+		if sp := p.curSP(); sp >= 0 && view.StateOf(int(sp)) == liveness.Dead {
+			s.electSuccessor(p, sp)
+		}
+	}
 }
 
 // onGossip handles one anti-entropy exchange at the receiving peer.
@@ -279,26 +294,52 @@ func (s *System) gossipFrom(p *Peer) {
 	s.net.SendNew(MsgGossip, p.id, target, 0, GossipPayload{Tail: s.tailFor(p, target)})
 }
 
+// gossipProbeEvery makes every Nth gossip pick a probe: candidates come
+// from the static topology (and the full known-SP list), ignoring the
+// liveness view. The two sides of a healed partition hold each other
+// dead-or-suspect, filter each other out of Neighbors, and would
+// otherwise never exchange the gossip whose refutations reconverge the
+// views — the probe is the keepalive that rediscovers them. A probe to a
+// genuinely dead (or still-severed) target just drops, which re-files
+// evidence the view already holds.
+const gossipProbeEvery = 4
+
 // nextGossipTarget picks the node's gossip partner: a deterministic round
 // robin over its online neighbors — plus the other online summary peers for
-// a summary peer, so liveness crosses domain borders. Determinism matters:
-// target choice must not consult a random source, or discrete-event runs
-// would stop being reproducible.
+// a summary peer, so liveness crosses domain borders — with every
+// gossipProbeEvery'th tick probing the static topology instead (see
+// gossipProbeEvery). Determinism matters: target choice must not consult
+// a random source, or discrete-event runs would stop being reproducible.
 func (s *System) nextGossipTarget(p *Peer) p2p.NodeID {
-	cands := s.net.Neighbors(p.id)
-	if p.role == RoleSummaryPeer {
-		for _, sp := range p.knownSPs {
-			if s.net.Online(sp) && !containsID(cands, sp) {
-				cands = append(cands, sp)
+	tick := p.gossipTick
+	p.gossipTick++
+	var cands []p2p.NodeID
+	gt, grouper := s.net.(p2p.DispatchGrouper)
+	if grouper && tick%gossipProbeEvery == gossipProbeEvery-1 {
+		for _, nb := range gt.Graph().Neighbors(int(p.id)) {
+			cands = append(cands, p2p.NodeID(nb))
+		}
+		if p.role == RoleSummaryPeer {
+			for _, sp := range p.knownSPs {
+				if !containsID(cands, sp) {
+					cands = append(cands, sp)
+				}
+			}
+		}
+	} else {
+		cands = s.net.Neighbors(p.id)
+		if p.role == RoleSummaryPeer {
+			for _, sp := range p.knownSPs {
+				if s.net.Online(sp) && !containsID(cands, sp) {
+					cands = append(cands, sp)
+				}
 			}
 		}
 	}
 	if len(cands) == 0 {
 		return -1
 	}
-	t := cands[p.gossipTick%len(cands)]
-	p.gossipTick++
-	return t
+	return cands[tick%len(cands)]
 }
 
 func containsID(ids []p2p.NodeID, id p2p.NodeID) bool {

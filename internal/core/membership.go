@@ -9,12 +9,20 @@ import (
 // summary-peer departures, and the failure-detection paths driven by
 // dropped messages.
 
-// onRelease reacts to a departing summary peer: find a new domain (§4.3).
+// onRelease reacts to a departing summary peer: elect a successor when
+// proactive re-election is on (the graceful goodbye marks the departing
+// peer Dead, so the election preconditions hold), find a new domain
+// otherwise (§4.3).
 func (p *Peer) onRelease(msg *p2p.Message) {
-	if p.curSP() == msg.From {
-		p.clearSP()
-		p.sys.findDomain(p)
+	if p.curSP() != msg.From {
+		return
 	}
+	if p.sys.cfg.ProactiveElection {
+		p.sys.electSuccessor(p, msg.From)
+		return
+	}
+	p.clearSP()
+	p.sys.findDomain(p)
 }
 
 // Leave disconnects a peer. A graceful client pushes its departure first
@@ -49,7 +57,7 @@ func (s *System) leave(id p2p.NodeID, graceful bool) {
 		// every protocol purpose), Dead once the confirmation timer fires,
 		// Alive again if the peer rejoins first.
 		s.addStat(func(st *Stats) { st.Failures++ })
-		s.suspect(id)
+		s.suspect(id, id)
 	}
 	if p.role == RoleClient {
 		p.clearSP()
@@ -105,7 +113,7 @@ func (s *System) onDrop(msg *p2p.Message) {
 	// remote node dead with no way back (the pre-liveness behavior —
 	// remote nodes online unless flipped locally — is kept otherwise).
 	if s.gossipEnabled() {
-		s.suspect(msg.To)
+		s.suspect(msg.From, msg.To)
 		// A gossip tail died with the message: rewind the link's optimistic
 		// watermark so the next tail re-covers what the drop lost.
 		s.regressGossip(msg)
@@ -113,11 +121,17 @@ func (s *System) onDrop(msg *p2p.Message) {
 	switch msg.Type {
 	case MsgPush, MsgLocalsum:
 		// The partner detects its summary peer's failure and searches for
-		// a new one.
+		// a new one — or, with proactive re-election on, elects a
+		// successor (a not-yet-confirmed suspicion makes the election a
+		// no-op; the confirmation timer re-runs it via onConfirmedDead).
 		p := s.peers[msg.From]
 		if p.role == RoleClient && s.net.Online(p.id) && p.curSP() == msg.To {
-			p.clearSP()
-			s.findDomain(p)
+			if s.cfg.ProactiveElection {
+				s.electSuccessor(p, msg.To)
+			} else {
+				p.clearSP()
+				s.findDomain(p)
+			}
 		}
 	case MsgReconcile:
 		pl := msg.Payload.(ReconcilePayload)
@@ -132,6 +146,13 @@ func (s *System) onDrop(msg *p2p.Message) {
 		// sender skips it and forwards to the rest of the ring.
 		sender := s.peers[msg.From]
 		sender.forwardReconcile(pl, pl.Remaining)
+	case MsgElect:
+		// A lost proposal clears the dedupe marker so the next trigger
+		// (another absorbed tail, the confirmation nudge) retries it.
+		p := s.peers[msg.From]
+		if pl, ok := msg.Payload.(ElectPayload); ok && p.electProposed == pl.Dead {
+			p.electProposed = -1
+		}
 	}
 }
 

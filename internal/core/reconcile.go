@@ -1,6 +1,9 @@
 package core
 
-import "p2psum/internal/p2p"
+import (
+	"p2psum/internal/liveness"
+	"p2psum/internal/p2p"
+)
 
 // Freshness maintenance (§4.2): push-based modification notification
 // (§4.2.1) and pull-based ring reconciliation gated by the threshold α
@@ -240,16 +243,20 @@ func (p *Peer) completeReconcile(pl ReconcilePayload) {
 	for _, id := range pl.Merged {
 		merged[id] = true
 	}
-	// Partners that did not participate because they are gone are omitted
-	// from the new version: their descriptions are gone, so their entries
-	// leave the cooperation list (§4.3 second alternative). Online
-	// partners that joined while the ring was in flight stay flagged for
-	// the next pull.
+	// Partners that did not participate because they are confirmed gone
+	// are omitted from the new version: their descriptions are gone, so
+	// their entries leave the cooperation list (§4.3 second alternative).
+	// A merely *suspected* partner keeps its seat as Stale — a partition
+	// is an unconfirmed suspicion, and evicting on it would sever the
+	// member for good (pushes from non-partners are ignored, so there
+	// would be no way back after the heal). If the suspicion confirms,
+	// the next ring evicts it then.
+	view := p.sys.net.Liveness()
 	for _, id := range p.cl.Partners() {
 		switch {
 		case merged[id]:
 			p.cl.Set(id, Fresh)
-		case p.sys.net.Online(id):
+		case p.sys.net.Online(id) || view.StateOf(int(id)) == liveness.Suspect:
 			p.cl.Set(id, Stale)
 		default:
 			p.cl.Remove(id)

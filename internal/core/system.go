@@ -28,6 +28,7 @@ const (
 	MsgPush      = "push"      // freshness notification (§4.2.1)
 	MsgReconcile = "reconcile" // ring reconciliation (§4.2.2)
 	MsgRelease   = "release"   // summary-peer departure notice (§4.3)
+	MsgElect     = "elect"     // proactive summary-peer re-election (§4.3 extension)
 )
 
 // Role distinguishes clients from summary peers.
@@ -102,6 +103,14 @@ type Config struct {
 	// Dead in the liveness view. 0 uses DefaultSuspectTimeout; negative
 	// leaves suspicions unconfirmed (the node still counts as offline).
 	SuspectTimeout float64
+	// ProactiveElection enables the §4.3 extension for summary-peer
+	// death: when the liveness view confirms a domain's summary peer
+	// Dead, the surviving partners elect a deterministic successor — the
+	// highest-degree online member of the orphaned domain, ties to the
+	// lower id — through a MsgElect propose/promote/announce exchange,
+	// instead of each partner independently walking for a new domain.
+	// Off by default: the paper's baseline reaction is the find walk.
+	ProactiveElection bool
 }
 
 // DefaultConfig returns the paper's settings: α=0.3, TTL=2, one-bit mode,
@@ -135,6 +144,15 @@ type Peer struct {
 	seenRounds map[sumpeerKey]bool
 	gossipTick int                        // round-robin cursor over the node's gossip targets
 	links      map[p2p.NodeID]*gossipLink // per-partner delta-gossip state (see gossipLink)
+	// electProposed is the dead summary peer a MsgElect proposal is in
+	// flight for (-1 none); it dedupes proposals while the successor's
+	// announcement travels, and a dropped proposal clears it for retry.
+	electProposed p2p.NodeID
+	// pendingElect parks a successor announcement that arrived before the
+	// gossip justifying it (the death, the successor's self-claim);
+	// electSuccessor re-validates it against the view once the death is
+	// known here. Nil when nothing is parked.
+	pendingElect *ElectPayload
 
 	// Summary-peer state.
 	gs           summarystore.Store
@@ -308,6 +326,9 @@ type Stats struct {
 	Failures             int
 	SPDepartures         int
 	FindWalks            int
+	// Elections counts proactive summary-peer promotions
+	// (Config.ProactiveElection).
+	Elections int
 }
 
 // System drives the summary-management protocol over any p2p.Transport —
@@ -334,6 +355,15 @@ type System struct {
 
 	statsMu sync.Mutex
 	stats   Stats
+
+	// electMu guards elected: dead summary peer -> successor this process
+	// promoted or learned from an announcement. The record is what keeps
+	// one death from minting several summary peers — once a successor
+	// resolved, later election triggers attach to it instead of
+	// re-evaluating (the promoted successor no longer claims the dead
+	// peer's domain, so a re-evaluation would crown the next member).
+	electMu sync.Mutex
+	elected map[p2p.NodeID]p2p.NodeID
 
 	// OnReconcile, if set, observes every completed reconciliation with
 	// the set of merged partners (experiments hook this). On a
@@ -369,7 +399,7 @@ func NewSystem(net p2p.Transport, cfg Config) (*System, error) {
 	s := &System{cfg: cfg, net: net}
 	s.peers = make([]*Peer, net.Len())
 	for i := range s.peers {
-		p := &Peer{sys: s, id: p2p.NodeID(i), seenRounds: make(map[sumpeerKey]bool)}
+		p := &Peer{sys: s, id: p2p.NodeID(i), seenRounds: make(map[sumpeerKey]bool), electProposed: -1}
 		p.clearSP()
 		s.peers[i] = p
 		net.SetHandler(p.id, p.handle)
@@ -452,6 +482,8 @@ func (p *Peer) handle(msg *p2p.Message) {
 		p.onReconcile(msg)
 	case MsgRelease:
 		p.onRelease(msg)
+	case MsgElect:
+		p.onElect(msg)
 	case MsgGossip:
 		p.onGossip(msg)
 	default:

@@ -27,6 +27,7 @@ func init() {
 	wire.Register(MsgPush, wire.PayloadCodec{Encode: encodePush, Decode: decodePush})
 	wire.Register(MsgReconcile, wire.PayloadCodec{Encode: encodeReconcile, Decode: decodeReconcile})
 	wire.Register(MsgGossip, wire.PayloadCodec{Encode: encodeGossip, Decode: decodeGossip})
+	wire.Register(MsgElect, wire.PayloadCodec{Encode: encodeElect, Decode: decodeElect})
 }
 
 // badPayload reports a payload whose concrete type does not match its
@@ -267,6 +268,25 @@ func decodeGossip(data []byte) (any, error) {
 	}
 	p := GossipPayload{Tail: tail}
 	p.Reply = d.Bool()
+	return p, d.Done()
+}
+
+func encodeElect(e *wire.Enc, payload any) error {
+	p, ok := payload.(ElectPayload)
+	if !ok {
+		return badPayload(MsgElect, payload)
+	}
+	e.Varint(int64(p.Dead))
+	e.Varint(int64(p.Successor))
+	return nil
+}
+
+func decodeElect(data []byte) (any, error) {
+	d := wire.NewDec(data)
+	p := ElectPayload{
+		Dead:      p2p.NodeID(d.Varint()),
+		Successor: p2p.NodeID(d.Varint()),
+	}
 	return p, d.Done()
 }
 

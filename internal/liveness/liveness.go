@@ -95,6 +95,16 @@ type View struct {
 	vers    []uint64          // per-entry: version at last effective change
 	local   func(id int) bool // nil: every node is local (in-memory transports)
 	version uint64
+	// susInc marks the open suspicion filing per node: inc+1 of the
+	// incarnation the suspicion was filed under, 0 when none is open. The
+	// filing survives a refutation re-assert (which bumps the entry's
+	// incarnation but not the outage it refers to), so the original
+	// confirmation timer still resolves it; only a fresh MarkAlive clears
+	// it. One incarnation files at most one suspicion — the dedupe that
+	// keeps the partition double-count (keepalive teardown plus §4.3 drop
+	// path reporting the same peer) out of the counters and timers.
+	susInc     []uint64
+	suspicions uint64
 
 	obsMu    sync.Mutex
 	observer func(id int, e Entry)
@@ -107,7 +117,7 @@ type View struct {
 // at version 1 with every entry stamped 1, so version 0 unambiguously
 // means "has never seen anything of this view" to a gossip partner.
 func NewView(n int, local func(id int) bool) *View {
-	v := &View{entries: make([]Entry, n), vers: make([]uint64, n), local: local, version: 1}
+	v := &View{entries: make([]Entry, n), vers: make([]uint64, n), susInc: make([]uint64, n), local: local, version: 1}
 	for i := range v.entries {
 		v.entries[i].SP = NoSP
 		v.vers[i] = 1
@@ -230,6 +240,7 @@ func (v *View) MarkAlive(id int) bool {
 	}
 	e.State = Alive
 	e.Inc++
+	v.susInc[id] = 0 // a fresh incarnation refutes any filed suspicion
 	v.bump(id)
 	out := *e
 	v.mu.Unlock()
@@ -260,7 +271,9 @@ func (v *View) MarkDead(id int) bool {
 // silent §4.3 departure): an Alive node turns Suspect at its current
 // incarnation. Dead and already-suspect entries are left alone. It returns
 // the incarnation the suspicion is filed under and whether the entry
-// changed — callers arm a confirmation timer with that incarnation.
+// changed — callers arm a confirmation timer with that incarnation. Each
+// incarnation files at most one suspicion: a second failure path reporting
+// the same outage neither re-files nor double-counts.
 func (v *View) MarkSuspect(id int) (inc uint64, changed bool) {
 	v.mu.Lock()
 	e := &v.entries[id]
@@ -270,6 +283,10 @@ func (v *View) MarkSuspect(id int) (inc uint64, changed bool) {
 		return inc, false
 	}
 	e.State = Suspect
+	if v.susInc[id] != e.Inc+1 {
+		v.susInc[id] = e.Inc + 1
+		v.suspicions++
+	}
 	v.bump(id)
 	out := *e
 	v.mu.Unlock()
@@ -277,14 +294,27 @@ func (v *View) MarkSuspect(id int) (inc uint64, changed bool) {
 	return out.Inc, true
 }
 
-// Confirm promotes a suspicion to Dead if the node is still Suspect at the
-// given incarnation — the suspicion-timeout path. A node that rejoined (or
-// was refuted) in the meantime carries a higher incarnation and is left
+// Suspicions returns the number of distinct suspicions ever filed in this
+// view, deduped by node and incarnation — one real outage counts once no
+// matter how many failure paths report it. Scenario harnesses read it.
+func (v *View) Suspicions() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.suspicions
+}
+
+// Confirm promotes a suspicion to Dead if the node is still Suspect and
+// the filing made at the given incarnation is still the open one — the
+// suspicion-timeout path. The filing, not the entry's incarnation, is
+// compared: a refutation re-assert (a partitioned far side's Dead claim
+// bounced off this authoritative view) bumps the entry's incarnation
+// without closing the outage, and the original timer must still resolve
+// it. A node that rejoined in the meantime cleared the filing and is left
 // alone. It reports whether the promotion happened.
 func (v *View) Confirm(id int, inc uint64) bool {
 	v.mu.Lock()
 	e := &v.entries[id]
-	if e.State != Suspect || e.Inc != inc {
+	if e.State != Suspect || v.susInc[id] != inc+1 {
 		v.mu.Unlock()
 		return false
 	}
@@ -409,6 +439,10 @@ func (v *View) MergeChanges(delta []Change) (changed []int, newerLocal bool) {
 func (v *View) mergeOne(id int, r Entry, notes *[]Change) (newerLocal bool) {
 	cur := &v.entries[id]
 	switch {
+	case r.State > Dead:
+		// Forged state value: never adopt it, and flag the entry so the
+		// reply gossip carries the truth back.
+		return true
 	case !r.Supersedes(*cur):
 		return cur.Supersedes(r)
 	case v.Local(id):

@@ -89,6 +89,10 @@ type ChannelTransport struct {
 	drop    func(*Message)
 	rng     *rand.Rand
 	nextMsg atomic.Uint64
+
+	// gate holds the partition hook (SetLinkFilter): severed links route
+	// deliveries to the drop callback and vanish from Neighbors.
+	gate linkGate
 }
 
 // NewChannelTransport builds a concurrent transport over the graph. All
@@ -158,7 +162,7 @@ func (t *ChannelTransport) deliver(g int, env envelope) {
 		t.eng.finishPending(g)
 		return
 	}
-	up := t.view.Online(int(msg.To))
+	up := t.view.Online(int(msg.To)) && !t.gate.severed(msg.From, msg.To)
 	t.mu.Lock()
 	h := t.handler[msg.To]
 	drop := t.drop
@@ -284,15 +288,19 @@ func (t *ChannelTransport) OnlineCount() int { return t.view.OnlineCount() }
 func (t *ChannelTransport) OnlineIDs() []NodeID { return onlineNodeIDs(t.view) }
 
 // Neighbors returns the online neighbors of a node, in ascending id order.
+// Links severed by the installed LinkFilter are not traversable.
 func (t *ChannelTransport) Neighbors(id NodeID) []NodeID {
 	var out []NodeID
 	for _, v := range t.graph.Neighbors(int(id)) {
-		if t.view.Online(v) {
+		if t.view.Online(v) && !t.gate.severed(id, NodeID(v)) {
 			out = append(out, NodeID(v))
 		}
 	}
 	return out
 }
+
+// SetLinkFilter installs the partition hook (see Transport.SetLinkFilter).
+func (t *ChannelTransport) SetLinkFilter(fn LinkFilter) { t.gate.set(fn) }
 
 // Degree returns the node's static overlay degree.
 func (t *ChannelTransport) Degree(id NodeID) int { return t.graph.Degree(int(id)) }

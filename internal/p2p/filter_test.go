@@ -1,0 +1,160 @@
+package p2p
+
+import (
+	"sync"
+	"testing"
+
+	"p2psum/internal/sim"
+)
+
+// The link-filter suite pins the partition hook on all three transports:
+// a severed link is counted as sent, surfaces through the §4.3 drop
+// callback instead of the handler, disappears from Neighbors, and heals
+// the moment the filter is removed.
+
+// cutAB severs the directed pair {a,b} in both directions.
+func cutAB(a, b NodeID) LinkFilter {
+	return func(from, to NodeID) bool {
+		return (from == a && to == b) || (from == b && to == a)
+	}
+}
+
+func TestLinkFilterNetwork(t *testing.T) {
+	eng := sim.New()
+	net := NewNetwork(eng, lineGraph(t, 3), 1)
+	var delivered, dropped []uint64
+	for id := 0; id < 3; id++ {
+		net.SetHandler(NodeID(id), func(msg *Message) {
+			delivered = append(delivered, msg.ID)
+		})
+	}
+	net.SetDrop(func(msg *Message) { dropped = append(dropped, msg.ID) })
+
+	net.SetLinkFilter(cutAB(0, 1))
+	if nbs := net.Neighbors(0); len(nbs) != 0 {
+		t.Fatalf("Neighbors(0) across the cut = %v, want none", nbs)
+	}
+	if nbs := net.Neighbors(1); len(nbs) != 1 || nbs[0] != 2 {
+		t.Fatalf("Neighbors(1) = %v, want [2]", nbs)
+	}
+	net.SendNew("x", 0, 1, 0, nil)
+	net.Settle()
+	if len(delivered) != 0 || len(dropped) != 1 {
+		t.Fatalf("severed send: delivered=%v dropped=%v, want the drop path", delivered, dropped)
+	}
+	if c := net.Counter().Get("x"); c != 1 {
+		t.Fatalf("severed send counted %d, want 1 (bytes hit the wire)", c)
+	}
+
+	net.SetLinkFilter(nil)
+	if nbs := net.Neighbors(0); len(nbs) != 1 || nbs[0] != 1 {
+		t.Fatalf("healed Neighbors(0) = %v, want [1]", nbs)
+	}
+	net.SendNew("x", 0, 1, 0, nil)
+	net.Settle()
+	if len(delivered) != 1 || len(dropped) != 1 {
+		t.Fatalf("healed send: delivered=%v dropped=%v, want one delivery", delivered, dropped)
+	}
+}
+
+func TestLinkFilterChannel(t *testing.T) {
+	tr := NewChannelTransport(lineGraph(t, 3), 1, DefaultChannelConfig())
+	defer tr.Close()
+	var mu sync.Mutex
+	var delivered, dropped int
+	for id := 0; id < 3; id++ {
+		tr.SetHandler(NodeID(id), func(*Message) {
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+		})
+	}
+	tr.SetDrop(func(*Message) {
+		mu.Lock()
+		dropped++
+		mu.Unlock()
+	})
+
+	tr.SetLinkFilter(cutAB(1, 2))
+	if nbs := tr.Neighbors(1); len(nbs) != 1 || nbs[0] != 0 {
+		t.Fatalf("Neighbors(1) = %v, want [0]", nbs)
+	}
+	tr.SendNew("x", 1, 2, 0, nil)
+	tr.Settle()
+	mu.Lock()
+	d, dr := delivered, dropped
+	mu.Unlock()
+	if d != 0 || dr != 1 {
+		t.Fatalf("severed send: delivered=%d dropped=%d, want the drop path", d, dr)
+	}
+
+	tr.SetLinkFilter(nil)
+	tr.SendNew("x", 1, 2, 0, nil)
+	tr.Settle()
+	mu.Lock()
+	d, dr = delivered, dropped
+	mu.Unlock()
+	if d != 1 || dr != 1 {
+		t.Fatalf("healed send: delivered=%d dropped=%d, want one delivery", d, dr)
+	}
+	if c := tr.Counter().Get("x"); c != 2 {
+		t.Fatalf("counted %d sends, want 2", c)
+	}
+}
+
+func TestLinkFilterTCP(t *testing.T) {
+	a, b := tcpPair(t, 2, 1)
+	var mu sync.Mutex
+	var delivered, dropped int
+	b.SetHandler(1, func(*Message) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	a.SetDrop(func(*Message) {
+		mu.Lock()
+		dropped++
+		mu.Unlock()
+	})
+
+	// Both processes install the same scripted cut, like a real drill.
+	a.SetLinkFilter(cutAB(0, 1))
+	b.SetLinkFilter(cutAB(0, 1))
+	if nbs := a.Neighbors(0); len(nbs) != 0 {
+		t.Fatalf("Neighbors(0) across the cut = %v, want none", nbs)
+	}
+	a.SendNew("tcp-test", 0, 1, 0, tcpTestPayload{N: 1, Text: "severed"})
+	a.Settle()
+	mu.Lock()
+	d, dr := delivered, dropped
+	mu.Unlock()
+	if d != 0 || dr != 1 {
+		t.Fatalf("severed send: delivered=%d dropped=%d, want the sender-side drop path", d, dr)
+	}
+	if c := a.Counter().Get("tcp-test"); c != 1 {
+		t.Fatalf("severed send counted %d, want 1", c)
+	}
+
+	// Receiver-side cut only: the frame crosses the socket and is dropped
+	// at delivery, echoing back to the sender's drop callback.
+	a.SetLinkFilter(nil)
+	a.SendNew("tcp-test", 0, 1, 0, tcpTestPayload{N: 2, Text: "receiver cut"})
+	a.Settle()
+	mu.Lock()
+	d, dr = delivered, dropped
+	mu.Unlock()
+	if d != 0 || dr != 2 {
+		t.Fatalf("receiver-side cut: delivered=%d dropped=%d, want a drop echo", d, dr)
+	}
+
+	// Heal: traffic flows again.
+	b.SetLinkFilter(nil)
+	a.SendNew("tcp-test", 0, 1, 0, tcpTestPayload{N: 3, Text: "healed"})
+	a.Settle()
+	mu.Lock()
+	d, dr = delivered, dropped
+	mu.Unlock()
+	if d != 1 || dr != 2 {
+		t.Fatalf("healed send: delivered=%d dropped=%d, want one delivery", d, dr)
+	}
+}

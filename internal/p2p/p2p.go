@@ -76,6 +76,11 @@ type Network struct {
 	// of engine and shard is non-nil.
 	shard *sim.Sharded
 	books []regionBook
+	// gate holds the partition hook (SetLinkFilter); severed links route
+	// deliveries to the drop callback and vanish from Neighbors. In
+	// sharded mode a cut is deterministic only when it is domain-aligned
+	// like every other cross-region interaction (see region.go).
+	gate linkGate
 }
 
 // NewNetwork builds a network over the graph. All nodes start online.
@@ -131,6 +136,9 @@ func (n *Network) SetHandler(id NodeID, h Handler) { n.handler[id] = h }
 // SetDrop installs the drop callback (§4.3 failure detection).
 func (n *Network) SetDrop(fn func(*Message)) { n.drop = fn }
 
+// SetLinkFilter installs the partition hook (see Transport.SetLinkFilter).
+func (n *Network) SetLinkFilter(fn LinkFilter) { n.gate.set(fn) }
+
 // Liveness returns the network's membership view — the ground truth of the
 // whole overlay on this in-memory transport.
 func (n *Network) Liveness() *liveness.View { return n.view }
@@ -155,7 +163,7 @@ func (n *Network) OnlineCount() int { return n.view.OnlineCount() }
 func (n *Network) Neighbors(id NodeID) []NodeID {
 	var out []NodeID
 	for _, v := range n.graph.Neighbors(int(id)) {
-		if n.view.Online(v) {
+		if n.view.Online(v) && !n.gate.severed(id, NodeID(v)) {
 			out = append(out, NodeID(v))
 		}
 	}
@@ -190,6 +198,20 @@ func (n *Network) After(owner NodeID, delaySeconds float64, fn func()) {
 		r := n.shard.RegionOf(int(owner))
 		at := n.shard.RegionNow(r) + sim.Seconds(delaySeconds)
 		n.shard.Schedule(int(owner), int(owner), at, fn)
+		return
+	}
+	n.engine.After(sim.Seconds(delaySeconds), fn)
+}
+
+// AfterFrom schedules fn in owner's region from code executing in
+// origin's region (OriginScheduler). In sharded mode a cross-region
+// timer is staged at the next window barrier like a cross-region
+// message, stamped with the origin region's clock; same-region (and
+// sequential mode) matches After.
+func (n *Network) AfterFrom(origin, owner NodeID, delaySeconds float64, fn func()) {
+	if n.shard != nil {
+		at := n.shard.RegionNow(n.shard.RegionOf(int(origin))) + sim.Seconds(delaySeconds)
+		n.shard.Schedule(int(origin), int(owner), at, fn)
 		return
 	}
 	n.engine.After(sim.Seconds(delaySeconds), fn)
@@ -254,9 +276,12 @@ func (n *Network) Send(msg *Message) {
 }
 
 // deliver hands msg to its destination handler, or to the drop callback
-// when the node is offline or handler-less.
+// when the node is offline or handler-less — or when the link filter
+// severs the link at delivery time (a message in flight when a partition
+// lands is lost to it, like a packet on a cut cable).
 func (n *Network) deliver(msg *Message) {
-	if !n.view.Online(int(msg.To)) || n.handler[msg.To] == nil {
+	if n.gate.severed(msg.From, msg.To) ||
+		!n.view.Online(int(msg.To)) || n.handler[msg.To] == nil {
 		if n.drop != nil {
 			n.drop(msg)
 		}

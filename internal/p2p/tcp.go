@@ -93,6 +93,12 @@ type TCPTransport struct {
 
 	nextMsg atomic.Uint64
 	wg      sync.WaitGroup
+
+	// gate holds the partition hook (SetLinkFilter): frames for severed
+	// links never reach the socket — they are charged as sent and routed
+	// to the §4.3 drop path in the sender's process, exactly like a frame
+	// for a dead connection.
+	gate linkGate
 }
 
 // TCPConfig configures a TCPTransport.
@@ -1129,7 +1135,7 @@ func (t *TCPTransport) deliver(g int, env envelope) {
 		t.eng.finishPending(g)
 		return
 	}
-	up := t.view.Online(int(msg.To))
+	up := t.view.Online(int(msg.To)) && !t.gate.severed(msg.From, msg.To)
 	t.mu.Lock()
 	h := t.handler[msg.To]
 	drop := t.drop
@@ -1237,15 +1243,24 @@ func (t *TCPTransport) OnlineCount() int { return t.view.OnlineCount() }
 func (t *TCPTransport) OnlineIDs() []NodeID { return onlineNodeIDs(t.view) }
 
 // Neighbors returns the online neighbors of a node, in ascending id order.
+// Links severed by the installed LinkFilter are not traversable.
 func (t *TCPTransport) Neighbors(id NodeID) []NodeID {
 	var out []NodeID
 	for _, v := range t.graph.Neighbors(int(id)) {
-		if t.view.Online(v) {
+		if t.view.Online(v) && !t.gate.severed(id, NodeID(v)) {
 			out = append(out, NodeID(v))
 		}
 	}
 	return out
 }
+
+// SetLinkFilter installs the partition hook (see Transport.SetLinkFilter).
+// On a TCP deployment every process installs the same scripted filter: an
+// outbound frame on a severed link is charged and dropped before the
+// socket, and a frame that slipped out before the cut is dropped (and
+// drop-echoed to its origin) at delivery time on the receiving side, so
+// both directions degrade even if installation is not simultaneous.
+func (t *TCPTransport) SetLinkFilter(fn LinkFilter) { t.gate.set(fn) }
 
 // Degree returns the node's static overlay degree.
 func (t *TCPTransport) Degree(id NodeID) int { return t.graph.Degree(int(id)) }
@@ -1353,6 +1368,14 @@ func (t *TCPTransport) Send(msg *Message) {
 		return
 	}
 	t.eng.chargeMessage(g, msg.Type, size)
+	if t.gate.severed(msg.From, msg.To) {
+		// Partitioned link: the frame is charged as sent but never reaches
+		// the socket — the sender observes the same §4.3 drop evidence a
+		// dead connection produces.
+		t.chargeFrameless(1, size)
+		t.dropToSender(msg)
+		return
+	}
 	if addr == "" || !t.enqueueFrame(addr, kData, msg, size) {
 		// Unmapped node or dead connection: the message was charged as
 		// sent (the bytes hit the wire as far as accounting is concerned)

@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"p2psum/internal/liveness"
 	"p2psum/internal/stats"
@@ -115,6 +116,64 @@ type Transport interface {
 	// while delivering it) has been handled. Protocol drivers call it to
 	// reach quiescence before reading protocol state.
 	Settle()
+
+	// SetLinkFilter installs (or, with nil, removes) the partition hook:
+	// a message whose directed link the filter reports severed is counted
+	// as sent (the bytes hit the wire) but never delivered — it surfaces
+	// through the drop callback exactly like a send to an offline node, so
+	// protocols observe a partition as the §4.3 failure evidence it is.
+	// Neighbors, walks and floods respect the filter too (a severed link
+	// is not traversable). The fault-scenario engine (internal/scenario)
+	// scripts partitions by swapping immutable filter closures in and out;
+	// on a TCP deployment every process installs the same scripted filter,
+	// so both sides of a cut degrade symmetrically without touching
+	// sockets or iptables. Installation is atomic and safe at any time.
+	SetLinkFilter(fn LinkFilter)
+}
+
+// LinkFilter reports whether the directed link from → to is currently
+// severed. Implementations must be pure reads of immutable state (the
+// hook runs on every delivery and neighbor scan, possibly from many
+// goroutines); to change a partition, build a new closure and install it
+// with SetLinkFilter.
+type LinkFilter func(from, to NodeID) bool
+
+// linkGate is the shared atomic holder for a transport's installed
+// LinkFilter. The zero value is an open gate (no filter, no overhead
+// beyond one atomic load).
+type linkGate struct {
+	fn atomic.Pointer[LinkFilter]
+}
+
+// set installs fn (nil removes the filter).
+func (g *linkGate) set(fn LinkFilter) {
+	if fn == nil {
+		g.fn.Store(nil)
+		return
+	}
+	g.fn.Store(&fn)
+}
+
+// severed reports whether the installed filter cuts from → to.
+func (g *linkGate) severed(from, to NodeID) bool {
+	p := g.fn.Load()
+	return p != nil && (*p)(from, to)
+}
+
+// OriginScheduler is the optional interface of transports whose After
+// needs to know the calling context. Transport.After(owner, ...) assumes
+// it is invoked from owner's own serialized context (or from the idle
+// driver); a handler or timer of node A scheduling work for node B's
+// group breaks that assumption on a region-sharded kernel, where it
+// would push onto another region's live heap. AfterFrom names the
+// origin: the node whose serialized context the caller is executing in
+// (the message's sender for a handler, the timer's owner for a timer).
+// The sharded Network stages cross-region work at the next window
+// barrier, exactly like a cross-region message from origin; transports
+// whose After is already safe from any goroutine simply do not implement
+// the interface, and callers fall back to After.
+type OriginScheduler interface {
+	AfterFrom(origin, owner NodeID, delaySeconds float64, fn func())
 }
 
 // DispatchGrouper is the optional interface of transports that shard
@@ -168,6 +227,7 @@ var (
 	_ DispatchGrouper = (*ChannelTransport)(nil)
 	_ DispatchGrouper = (*TCPTransport)(nil)
 	_ Localizer       = (*TCPTransport)(nil)
+	_ OriginScheduler = (*Network)(nil)
 )
 
 // frameOf builds the frame header for msg.

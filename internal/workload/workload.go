@@ -165,6 +165,30 @@ func (c *Churn) Plan(rng *rand.Rand, nPeers int, horizon sim.Time) []Session {
 	return out
 }
 
+// BurstArrivals shapes a flash crowd: n arrival offsets within
+// [0, spread], front-loaded — the bulk of the crowd lands in the first
+// fraction of the window and a thinning exponential tail of stragglers
+// fills the rest, the empirical shape of flash-crowd joins (a publicized
+// resource draws an immediate spike that decays). Offsets are returned
+// ascending; spread <= 0 degenerates to n simultaneous arrivals.
+func BurstArrivals(rng *rand.Rand, n int, spread sim.Time) []sim.Time {
+	out := make([]sim.Time, n)
+	if spread <= 0 {
+		return out
+	}
+	for i := range out {
+		// Exponential with mean spread/4, truncated at the window end:
+		// ~63% of arrivals in the first quarter, stragglers to the edge.
+		off := sim.Time(rng.ExpFloat64() * float64(spread) / 4)
+		if off > spread {
+			off = spread
+		}
+		out[i] = off
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // ModificationProcess models local-database update pressure: the probability
 // that, by the time a peer's freshness bit is stale, its database content
 // has actually changed relative to a given query (§6.2.2 uses this to turn
