@@ -6,9 +6,11 @@
 //	experiments [-exp all|params|mapping|fig4|fig5|fig6|fig7|storage|
 //	             ablation-maintenance|ablation-routing|ablation-walks|
 //	             ablation-ttl|ablation-unavailable|ablation-arity|
-//	             ablation-locality|coverage|concurrency|churn|faults|scale]
+//	             ablation-locality|coverage|concurrency|churn|faults|scale|
+//	             gateway]
 //	            [-quick] [-seed N] [-parallel N] [-shards N] [-dispatchers N]
 //	            [-churn-out FILE] [-faults-out FILE] [-scale-out FILE]
+//	            [-gateway-out FILE]
 //
 // Flags:
 //
@@ -32,6 +34,9 @@
 //	-scale-out    file the scale experiment writes its size × region-count
 //	              sweep to as JSON (default BENCH_scale.json; empty
 //	              disables the file)
+//	-gateway-out  file the gateway experiment writes its client-count sweep
+//	              to as JSON (default BENCH_gateway.json; empty disables
+//	              the file)
 //
 // The default full configuration mirrors Table 3 (domains up to 2000
 // peers, networks up to 5000, 200 queries); -quick runs a down-scaled
@@ -56,7 +61,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, params, mapping, fig4, fig5, fig6, fig7, storage, ablation-maintenance, ablation-routing, ablation-walks, ablation-ttl, ablation-unavailable, ablation-arity, ablation-locality, coverage, concurrency, churn, faults, scale)")
+	exp := flag.String("exp", "all", "experiment to run (all, params, mapping, fig4, fig5, fig6, fig7, storage, ablation-maintenance, ablation-routing, ablation-walks, ablation-ttl, ablation-unavailable, ablation-arity, ablation-locality, coverage, concurrency, churn, faults, scale, gateway)")
 	quick := flag.Bool("quick", false, "run the down-scaled smoke configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = sequential)")
@@ -65,6 +70,7 @@ func main() {
 	churnOut := flag.String("churn-out", "BENCH_churn.json", "file for the churn experiment's JSON series (empty: no file)")
 	faultsOut := flag.String("faults-out", "BENCH_faults.json", "file for the faults experiment's JSON points (empty: no file)")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "file for the scale experiment's JSON series (empty: no file)")
+	gatewayOut := flag.String("gateway-out", "BENCH_gateway.json", "file for the gateway experiment's JSON sweep (empty: no file)")
 	flag.Parse()
 
 	cfg := p2psum.DefaultExperimentConfig()
@@ -172,6 +178,26 @@ func main() {
 					return err
 				}
 				fmt.Printf("(series written to %s)\n", *scaleOut)
+			}
+			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+			return nil
+		}},
+		{"gateway", func() error {
+			start := time.Now()
+			t, res, err := p2psum.RunGatewayScenario(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			if *gatewayOut != "" {
+				data, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*gatewayOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("(sweep written to %s)\n", *gatewayOut)
 			}
 			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 			return nil

@@ -1,0 +1,184 @@
+// Command gateway is the load driver for the query gateway: it opens many
+// long-lived wire-protocol connections against a p2pnode -gateway frontend,
+// fires a duplicate-heavy query workload through them, and reports
+// throughput, cache hit rate and latency percentiles. With -min-hitrate or
+// -max-p99 set it exits non-zero when the serving edge misses the bound —
+// the CI loopback smoke job uses exactly that.
+//
+// Usage:
+//
+//	gateway -addr 127.0.0.1:7801 [-clients 8] [-queries 1000]
+//	        [-distinct 4] [-origin 1] [-seed 1]
+//	        [-min-hitrate 0.5] [-max-p99 250ms]
+//
+// Flags:
+//
+//	-addr         gateway wire address to dial (required)
+//	-clients      concurrent client connections, each its own admission
+//	              identity (default 8)
+//	-queries      total queries across all clients (default 1000)
+//	-distinct     distinct queries in the workload pool — small values make
+//	              the workload duplicate-heavy, the regime the gateway's
+//	              singleflight and freshness cache serve (default 4)
+//	-origin       overlay node the queries are posed at (default 1)
+//	-seed         workload shuffle seed (default 1)
+//	-min-hitrate  fail (exit 1) when the observed cache hit rate is below
+//	              this fraction; 0 disables the check
+//	-max-p99      fail (exit 1) when the observed p99 latency exceeds this
+//	              duration; 0 disables the check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2psum/internal/bk"
+	"p2psum/internal/gateway"
+	"p2psum/internal/p2p"
+	"p2psum/internal/query"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "gateway wire address (required)")
+		clients    = flag.Int("clients", 8, "concurrent client connections")
+		queries    = flag.Int("queries", 1000, "total queries across all clients")
+		distinct   = flag.Int("distinct", 4, "distinct queries in the pool")
+		origin     = flag.Int("origin", 1, "overlay node the queries are posed at")
+		seed       = flag.Int64("seed", 1, "workload shuffle seed")
+		minHitrate = flag.Float64("min-hitrate", 0, "fail below this cache hit rate (0: off)")
+		maxP99     = flag.Duration("max-p99", 0, "fail above this p99 latency (0: off)")
+	)
+	flag.Parse()
+	if err := run(*addr, *clients, *queries, *distinct, *origin, *seed, *minHitrate, *maxP99); err != nil {
+		fmt.Fprintln(os.Stderr, "gateway:", err)
+		os.Exit(1)
+	}
+}
+
+// pool builds the duplicate-heavy workload: one single-disease query per
+// distinct slot, cycling the medical vocabulary.
+func pool(distinct int) []query.Query {
+	diseases := bk.Medical().Attrs()[3].Labels()
+	out := make([]query.Query, distinct)
+	for i := range out {
+		out[i] = query.Query{
+			Select: []string{"age"},
+			Where:  []query.Clause{{Attr: "disease", Labels: []string{diseases[i%len(diseases)]}}},
+		}
+	}
+	return out
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func run(addr string, clients, queries, distinct, origin int, seed int64, minHitrate float64, maxP99 time.Duration) error {
+	if addr == "" {
+		return fmt.Errorf("-addr is required (see -h)")
+	}
+	if clients < 1 || queries < 1 || distinct < 1 {
+		return fmt.Errorf("-clients, -queries and -distinct must be positive")
+	}
+	qs := pool(distinct)
+
+	var hits, shed atomic.Int64
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		share := queries / clients
+		if w < queries%clients {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			wc, err := gateway.DialWire(addr, fmt.Sprintf("loadgen-%d", w))
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer wc.Close()
+			wc.Timeout = 30 * time.Second
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			lat := make([]time.Duration, 0, share)
+			for i := 0; i < share; i++ {
+				q := qs[rng.Intn(len(qs))]
+				t0 := time.Now()
+				_, hit, err := wc.Ask(p2p.NodeID(origin), q)
+				if err != nil {
+					// Admission shedding is load-driver business as usual;
+					// anything else fails the run.
+					if isAdmission(err) {
+						shed.Add(1)
+						continue
+					}
+					errs[w] = err
+					return
+				}
+				lat = append(lat, time.Since(t0))
+				if hit {
+					hits.Add(1)
+				}
+			}
+			lats[w] = lat
+		}(w, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	answered := len(all)
+	hitRate := 0.0
+	if answered > 0 {
+		hitRate = float64(hits.Load()) / float64(answered)
+	}
+	p50, p99 := percentile(all, 0.50), percentile(all, 0.99)
+	qps := float64(answered) / elapsed.Seconds()
+	fmt.Printf("gateway: clients=%d answered=%d shed=%d elapsed=%s qps=%.0f hitrate=%.3f p50=%s p99=%s\n",
+		clients, answered, shed.Load(), elapsed.Round(time.Millisecond), qps, hitRate, p50, p99)
+
+	if answered == 0 {
+		return fmt.Errorf("no query was answered")
+	}
+	if minHitrate > 0 && hitRate < minHitrate {
+		return fmt.Errorf("hit rate %.3f below bound %.3f", hitRate, minHitrate)
+	}
+	if maxP99 > 0 && p99 > maxP99 {
+		return fmt.Errorf("p99 %s above bound %s", p99, maxP99)
+	}
+	return nil
+}
+
+// isAdmission matches the gateway's admission errors as they arrive over
+// the wire (errors cross as strings).
+func isAdmission(err error) bool {
+	for _, adm := range []error{gateway.ErrThrottled, gateway.ErrOverloaded, gateway.ErrQueueTimeout} {
+		if err.Error() == adm.Error() {
+			return true
+		}
+	}
+	return false
+}

@@ -36,6 +36,14 @@
 //	               processes of the deployment converge on one membership
 //	               view; 0 disables gossip. Liveness transitions are logged.
 //	-linger        keep serving after the scripted phases (Ctrl-C exits)
+//	-gateway       serve the query gateway's wire protocol on this address
+//	               (e.g. 127.0.0.1:7801): long-lived client connections with
+//	               per-client admission, singleflight batching and the
+//	               generation-keyed freshness cache; cmd/gateway drives it
+//	-gateway-http  serve the gateway's HTTP/JSON adapter on this address
+//	               (POST /query, GET /stats)
+//	-gateway-rate  per-client admission rate for the gateway in queries/s
+//	               (default 100)
 //	-sever         partition drill: comma-separated node ids to cut off
 //	               once the scripted phases finish (requires -linger).
 //	               The cut is a LinkFilter at this process's transport —
@@ -54,16 +62,20 @@
 // processes. The scripted phases are aligned with transport barriers, so
 // the processes may be started in any order within -connect-wait.
 //
-// SIGUSR1 dumps the liveness view and the per-peer flow counters
+// SIGUSR1 dumps the liveness view, the per-peer flow counters
 // (bytes, units, EWMA rates, coalescing flushes, in-flight frames and
-// keepalive RTT per connection), and with -query set re-asks the query
-// locally — the probe the CI kill-one-process job uses to assert that the
-// survivor detected the failure and still answers.
+// keepalive RTT per connection) and — when a gateway frontend is up — the
+// gateway's serving counters (hits, misses, coalesced flights, shed,
+// invalidations), and with -query set re-asks the query locally — the
+// probe the CI kill-one-process job uses to assert that the survivor
+// detected the failure and still answers.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -75,6 +87,7 @@ import (
 	"p2psum"
 	"p2psum/internal/bk"
 	"p2psum/internal/core"
+	"p2psum/internal/gateway"
 	"p2psum/internal/liveness"
 	"p2psum/internal/p2p"
 	"p2psum/internal/routing"
@@ -96,6 +109,9 @@ func main() {
 		connectWait = flag.Duration("connect-wait", 30*time.Second, "budget for dialing peer processes")
 		gossip      = flag.Float64("gossip", 200, "liveness-gossip interval in virtual seconds (0 disables)")
 		linger      = flag.Bool("linger", false, "keep serving after the scripted phases")
+		gwAddr      = flag.String("gateway", "", "serve the gateway wire protocol on this address (empty: off)")
+		gwHTTP      = flag.String("gateway-http", "", "serve the gateway HTTP adapter on this address (empty: off)")
+		gwRate      = flag.Float64("gateway-rate", 100, "gateway per-client admission rate (queries/s)")
 		sever       = flag.String("sever", "", "partition drill: node ids to cut off after the scripted phases (requires -linger)")
 		severAfter  = flag.Duration("sever-after", 0, "partition drill: delay before installing the -sever cut")
 		healAfter   = flag.Duration("heal-after", 0, "partition drill: lift the cut this long after severing (0 keeps it)")
@@ -106,6 +122,7 @@ func main() {
 		sps: *spsFlag, records: *records, alpha: *alpha, seed: *seed,
 		topo: *topo, query: *queryFlag, connectWait: *connectWait,
 		gossip: *gossip, linger: *linger,
+		gwAddr: *gwAddr, gwHTTP: *gwHTTP, gwRate: *gwRate,
 		sever: *sever, severAfter: *severAfter, healAfter: *healAfter,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "p2pnode:", err)
@@ -120,6 +137,8 @@ type options struct {
 	seed                                   int64
 	connectWait                            time.Duration
 	linger                                 bool
+	gwAddr, gwHTTP                         string
+	gwRate                                 float64
 	sever                                  string
 	severAfter, healAfter                  time.Duration
 }
@@ -294,6 +313,33 @@ func run(o options) error {
 		return fmt.Errorf("construction left local nodes without a domain")
 	}
 
+	// The serving edge: once domains exist, expose the query machinery to
+	// external clients behind admission + singleflight + the
+	// generation-keyed cache. Installed reconciliation deltas invalidate
+	// affected entries through the System.OnInstall hook.
+	var gw *gateway.Gateway
+	if o.gwAddr != "" || o.gwHTTP != "" {
+		gw = gateway.NewForSystem(gateway.Config{Rate: o.gwRate}, sys, qs)
+		if o.gwAddr != "" {
+			ln, err := net.Listen("tcp", o.gwAddr)
+			if err != nil {
+				return fmt.Errorf("gateway listen: %w", err)
+			}
+			defer ln.Close()
+			go gw.ServeWire(ln)
+			logf("gateway: wire frontend on %s", ln.Addr())
+		}
+		if o.gwHTTP != "" {
+			ln, err := net.Listen("tcp", o.gwHTTP)
+			if err != nil {
+				return fmt.Errorf("gateway http listen: %w", err)
+			}
+			defer ln.Close()
+			go http.Serve(ln, gw.HTTPHandler())
+			logf("gateway: http frontend on %s", ln.Addr())
+		}
+	}
+
 	// Phase 2: every local client pushes a modification; the summary
 	// peer's α trigger launches the ring reconciliation across processes.
 	var clients []p2p.NodeID
@@ -418,6 +464,9 @@ func run(o options) error {
 					st.Addr, st.SentBytes, st.SentUnits, st.RecvBytes, st.RecvUnits,
 					st.SendRate, st.RecvRate, st.Flushes, st.QueuedUnits, st.QueuedBytes,
 					st.InFlight, st.RTT)
+			}
+			if gw != nil {
+				logf("gateway: %s", gw.Snapshot())
 			}
 			if o.query != "" {
 				if err := askQuery("requery"); err != nil {

@@ -34,10 +34,14 @@
 //
 // The code is layered so each package depends only on the layer below it:
 //
-//	cmd/{p2psim,experiments,sumql,p2pnode} CLIs (replica sweeps, figure sweeps, ad-hoc
-//	                                      querying, one process of a TCP deployment)
+//	cmd/{p2psim,experiments,sumql,       CLIs (replica sweeps, figure sweeps, ad-hoc
+//	     p2pnode,gateway}                 querying, one process of a TCP deployment,
+//	                                      the gateway load driver)
 //	p2psum (api, simulation, experiments) public facade, re-exports
 //	internal/experiments                  figure/ablation drivers + worker-pool sweeps
+//	internal/gateway                      serving edge: admission, singleflight,
+//	                                      generation-keyed freshness cache, wire/HTTP
+//	                                      frontends
 //	internal/routing                      SQ router, baselines (§5.2, §6.2.3), remote
 //	                                      query service (QueryService over MsgQuery)
 //	internal/core                         summary management (§4.1–§4.3)
@@ -252,6 +256,48 @@
 // survives its summary peer without waiting for every member's push to
 // fail.
 //
+// # The serving edge
+//
+// internal/gateway puts a query gateway in front of a summary peer: the
+// process that hosts a domain's global summary also serves it to many
+// long-lived clients, so the edge absorbs what the protocol stack should
+// never see. Clients speak either the wire codec (gw-hello/gw-query/
+// gw-result units over one TCP connection, pipelined — DialWire / ServeWire)
+// or a thin HTTP/JSON adapter (POST /query, GET /stats); cmd/p2pnode
+// -gateway serves both from the node process and cmd/gateway is the load
+// driver. Three mechanisms stack on the way in:
+//
+//   - Admission: every client session owns a token bucket (Config.Rate/
+//     Burst), and queries that pass it queue for a bounded number of
+//     upstream slots (Config.MaxConcurrent) in per-client FIFOs drained
+//     round-robin — one chatty client cannot starve the rest, and a full
+//     queue sheds with ErrOverloaded instead of growing.
+//
+//   - Singleflight: concurrent identical queries (same fingerprint —
+//     routing.HashQuery is label-order invariant, and the HTTP edge
+//     normalizes clause order first) coalesce onto one upstream
+//     execution; followers block on the leader's flight and share its
+//     answer object.
+//
+//   - Freshness cache: a hit replays the answer without touching the
+//     store — the wire path replays the pre-encoded result body at zero
+//     allocations (CI benchgates BenchmarkGatewayCacheHit at 0
+//     allocs/op). An entry is keyed on the per-shard generation counters
+//     of its candidate shards, captured BEFORE the upstream execution:
+//     the summary store bumps a shard's generation on every mutation, and
+//     completeReconcile's install hook (core.System.OnInstall) tells the
+//     gateway a delta landed. An entry whose shard generations moved is
+//     invalidated, never served — a reconciliation racing an execution
+//     can only make the new entry born-stale. Entries over shards the
+//     install did not swap keep serving (SwapFrom bumps only swapped
+//     shards). When the store is not readable the fallback TTL is α times
+//     the observed install cadence — the paper's freshness threshold
+//     applied to the edge.
+//
+// RunGatewayScenario (BENCH_gateway.json) sweeps the edge over client
+// counts and proves the invalidation contract mid-run; the system tests
+// do the same against channel and TCP transports.
+//
 // # The dispatcher-group execution model
 //
 // The channel transport executes all protocol logic on dispatcher
@@ -352,6 +398,23 @@
 //	                           group (handlers, routed timers) and by
 //	                           drivers under Transport.Exec; drivers read
 //	                           only after Settle.
+//	gateway.cache (16 stripes) one RWMutex per stripe of the freshness
+//	                           cache: hits take RLock on one stripe,
+//	                           insert/invalidate/scrub take Lock; the
+//	                           generation check inside a hit reads the
+//	                           store's atomic shard generations, no store
+//	                           lock taken.
+//	gateway.Gateway.fmu        the singleflight table: leaders insert a
+//	                           flight, followers look one up; never held
+//	                           across the upstream execution (followers
+//	                           wait on the flight's done channel outside
+//	                           it).
+//	gateway.fairQueue.mu       upstream slots + per-client waiter FIFOs +
+//	                           the round-robin ring; release hands a slot
+//	                           to the next waiter by closing its channel
+//	                           under the lock, the handoff itself happens
+//	                           outside.
+//	gateway.Client.mu          one session's token bucket (refill + take).
 //	summarystore.Single.mu     one RWMutex around the single tree: queries
 //	                           take RLock, Merge/SwapFrom take Lock.
 //	summarystore.Sharded       one RWMutex PER SHARD: merges lock only the

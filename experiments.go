@@ -137,3 +137,15 @@ type ScaleScenarioResult = experiments.ScaleResult
 func RunScaleScenario(cfg ExperimentConfig) (*ResultTable, *ScaleScenarioResult, error) {
 	return experiments.ScaleExperiment(cfg)
 }
+
+// GatewayScenarioResult is the machine-readable outcome of the gateway
+// experiment (cmd/experiments serializes it as BENCH_gateway.json).
+type GatewayScenarioResult = experiments.GatewayResult
+
+// RunGatewayScenario sweeps the query gateway — the serving edge with
+// admission control, singleflight batching and the generation-keyed
+// freshness cache — over client counts on one data-level domain, installing
+// a shard delta mid-run to prove entries are invalidated, never stale.
+func RunGatewayScenario(cfg ExperimentConfig) (*ResultTable, *GatewayScenarioResult, error) {
+	return experiments.GatewayExperiment(cfg)
+}

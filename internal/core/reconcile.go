@@ -237,7 +237,10 @@ func (p *Peer) completeReconcile(pl ReconcilePayload) {
 				_ = err
 			}
 		}
-		p.gs.SwapFrom(newGS)
+		swapped := p.gs.SwapFrom(newGS)
+		if p.sys.OnInstall != nil {
+			p.sys.OnInstall(p.id, swapped)
+		}
 	}
 	merged := make(map[p2p.NodeID]bool, len(pl.Merged))
 	for _, id := range pl.Merged {

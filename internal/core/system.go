@@ -371,6 +371,17 @@ type System struct {
 	// different dispatch groups; hooks must be safe for that.
 	OnReconcile func(sp p2p.NodeID, merged []p2p.NodeID)
 
+	// OnInstall, if set, observes every data-level reconciliation install
+	// at a summary peer with the number of store shards the install
+	// actually replaced (0 when the rebuilt version matched the current
+	// one shard for shard). It fires right after the store swap, before
+	// the freshness reset, on the summary peer's dispatch goroutine — the
+	// serving edge (internal/gateway) subscribes to it to scrub its
+	// generation-keyed cache proactively. Hooks must be fast,
+	// concurrency-safe across dispatch groups, and must not call
+	// Exec/Settle (they run inside the dispatch they would wait on).
+	OnInstall func(sp p2p.NodeID, shardsSwapped int)
+
 	// extension handles message types the core protocol does not own
 	// (SetExtension).
 	extension func(p *Peer, msg *p2p.Message)
@@ -434,6 +445,11 @@ func (s *System) addStat(f func(*Stats)) {
 
 // Peer returns the protocol state of a node.
 func (s *System) Peer(id p2p.NodeID) *Peer { return s.peers[id] }
+
+// HasPeer reports whether id names a peer of this system — the bounds
+// check for ids that arrive from outside the overlay (gateway clients,
+// HTTP requests), which must not be able to panic an accessor.
+func (s *System) HasPeer(id p2p.NodeID) bool { return id >= 0 && int(id) < len(s.peers) }
 
 // SummaryPeers returns the elected summary peers.
 func (s *System) SummaryPeers() []p2p.NodeID { return s.sps }

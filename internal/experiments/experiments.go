@@ -63,6 +63,9 @@ type Config struct {
 	ScalePeers []int
 	// ScaleRegions is the region-count sweep per scale point.
 	ScaleRegions []int
+	// GatewayClients is the client-count sweep of the gateway experiment
+	// (concurrent serving-edge sessions per point).
+	GatewayClients []int
 }
 
 // Default returns the paper's Table 3 parameters.
@@ -79,6 +82,7 @@ func Default() Config {
 		Seed:            42,
 		ScalePeers:      []int{10000, 50000, 100000},
 		ScaleRegions:    []int{1, 2, 4, 8},
+		GatewayClients:  []int{100, 1000, 10000},
 	}
 }
 
@@ -96,6 +100,7 @@ func Quick() Config {
 		Seed:            42,
 		ScalePeers:      []int{1000},
 		ScaleRegions:    []int{1, 4},
+		GatewayClients:  []int{50, 200},
 	}
 }
 

@@ -1,0 +1,56 @@
+package gateway
+
+import (
+	"testing"
+)
+
+// BenchmarkGatewayCacheHit is the serving hot path: admission, fingerprint,
+// generation-validated cache lookup. CI gates it at 0 allocs/op — the hit
+// path must stay allocation-free end to end.
+func BenchmarkGatewayCacheHit(b *testing.B) {
+	st := newShardedStore(b)
+	be := &fakeBackend{st: st}
+	g := New(Config{Rate: 1e18}, be)
+	c := g.Connect()
+	defer c.Close()
+	q := diseaseQuery("malaria")
+	if _, _, err := c.Query(3, q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, hit, err := c.Query(3, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hit {
+			b.Fatal("warm cache missed")
+		}
+	}
+}
+
+// BenchmarkGatewayWireReplay measures a hit served through the wire body
+// replay path (entry.encoded) — the per-hit cost once the body is built.
+func BenchmarkGatewayWireReplay(b *testing.B) {
+	st := newShardedStore(b)
+	be := &fakeBackend{st: st}
+	g := New(Config{Rate: 1e18}, be)
+	c := g.Connect()
+	defer c.Close()
+	q := diseaseQuery("malaria")
+	if _, _, err := c.Query(3, q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, hit, err := c.do(3, q)
+		if err != nil || !hit {
+			b.Fatal("warm cache missed")
+		}
+		if len(e.encoded()) == 0 {
+			b.Fatal("empty wire body")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// fairQueue hands out upstream execution slots with round-robin fairness
+// across clients. While free slots exist, acquire takes one immediately.
+// When all slots are busy, each client queues its waiters in its own FIFO
+// and release grants the freed slot to the next client in round-robin
+// order — a client with a thousand queued requests gets one turn per
+// cycle, same as a client with one, so heavy clients add latency to
+// themselves, not to everyone.
+type fairQueue struct {
+	mu      sync.Mutex
+	slots   int
+	maxWait int
+	// order is the round-robin ring of clients that have waiters; empty
+	// clients are dropped lazily as the grant scan meets them.
+	order []*Client
+	next  int
+}
+
+func (q *fairQueue) init(slots, maxWaitPerClient int) {
+	q.slots = slots
+	q.maxWait = maxWaitPerClient
+}
+
+// acquire obtains an upstream slot for c, waiting fairly up to timeout.
+// It returns ErrOverloaded when c already has maxWait queued requests and
+// ErrQueueTimeout when no slot frees up in time.
+func (q *fairQueue) acquire(c *Client, timeout time.Duration) error {
+	q.mu.Lock()
+	if q.slots > 0 {
+		q.slots--
+		q.mu.Unlock()
+		return nil
+	}
+	if len(c.waiters) >= q.maxWait {
+		q.mu.Unlock()
+		return ErrOverloaded
+	}
+	ch := make(chan struct{})
+	if len(c.waiters) == 0 {
+		q.order = append(q.order, c)
+	}
+	c.waiters = append(c.waiters, ch)
+	q.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	select {
+	case <-ch:
+		timer.Stop()
+		return nil
+	case <-timer.C:
+		q.mu.Lock()
+		removed := false
+		for i, w := range c.waiters {
+			if w == ch {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		q.mu.Unlock()
+		if !removed {
+			// release granted the slot concurrently with the timeout; the
+			// grant wins (the channel is closed), keep the slot.
+			<-ch
+			return nil
+		}
+		return ErrQueueTimeout
+	}
+}
+
+// release returns a slot: the next waiting client in round-robin order
+// inherits it directly (its oldest waiter is woken), otherwise the free
+// slot count grows.
+func (q *fairQueue) release() {
+	q.mu.Lock()
+	for len(q.order) > 0 {
+		if q.next >= len(q.order) {
+			q.next = 0
+		}
+		c := q.order[q.next]
+		if len(c.waiters) == 0 {
+			// Lazily drop a client whose waiters all timed out.
+			q.order = append(q.order[:q.next], q.order[q.next+1:]...)
+			continue
+		}
+		ch := c.waiters[0]
+		copy(c.waiters, c.waiters[1:])
+		c.waiters = c.waiters[:len(c.waiters)-1]
+		if len(c.waiters) == 0 {
+			q.order = append(q.order[:q.next], q.order[q.next+1:]...)
+		} else {
+			q.next++
+		}
+		q.mu.Unlock()
+		close(ch) // the slot transfers to this waiter
+		return
+	}
+	q.slots++
+	q.mu.Unlock()
+}

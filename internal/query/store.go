@@ -56,6 +56,21 @@ func candidateShards(st summarystore.Store, c *compiled) []int {
 	return out
 }
 
+// Candidates compiles q against the store's vocabulary and returns the
+// shards its evaluation can touch (ascending, deduplicated) — the same
+// pruning AnswerStore applies internally. A serving-edge cache uses it to
+// know which shard generations gate a cached result: an install that
+// leaves every candidate shard untouched cannot change the answer. The
+// error is the same vocabulary validation AnswerStore would report, so
+// callers get query validation for free before paying for an evaluation.
+func Candidates(st summarystore.Store, q Query) ([]int, error) {
+	c, err := compile(st.Vocab(), q)
+	if err != nil {
+		return nil, err
+	}
+	return candidateShards(st, c), nil
+}
+
 // SelectStore walks the store's candidate shards and returns the union of
 // the per-shard ZQ selections, in shard order. The returned nodes belong
 // to the live shard trees: do not retain them while writers (merges,

@@ -1,0 +1,167 @@
+package routing
+
+import (
+	"sort"
+
+	"p2psum/internal/query"
+)
+
+// Query fingerprints for the serving edge. A cache in front of
+// query.AnswerStore needs a key that is stable under the reorderings that
+// leave a flexible query's meaning unchanged: the WHERE part is a
+// conjunction of clauses (order-free) and each clause's label list is a
+// disjunction of descriptors (order-free). HashQuery folds those orderings
+// out by combining clause and label hashes commutatively; SameQuery is the
+// allocation-free semantic equality a cache runs to rule out hash
+// collisions before serving an entry; NormalizeQuery produces the
+// canonical sorted form for storage, logging and tests. SELECT order stays
+// significant everywhere — it is the projection order of the answer.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashString folds s into a running FNV-1a hash without allocating.
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// mix finalizes a raw hash (splitmix64) so that commutative sums of mixed
+// values still spread over the full word.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashQuery returns a 64-bit fingerprint of q that is identical for every
+// clause/label reordering of the same query and allocation-free (it runs
+// on the cache-hit fast path). Duplicate labels inside a clause do change
+// the hash — two spellings that differ only by duplicates cache under
+// separate keys, which costs a duplicate entry, never a wrong answer
+// (SameQuery guards every lookup).
+func HashQuery(q query.Query) uint64 {
+	h := uint64(fnvOffset)
+	for _, s := range q.Select {
+		h = hashString(h, s)
+		h = h*fnvPrime ^ 0x1f // separator: ("a","b") != ("ab")
+	}
+	var where uint64
+	for _, c := range q.Where {
+		var labels uint64
+		for _, l := range c.Labels {
+			labels += mix(hashString(fnvOffset, l))
+		}
+		where += mix(hashString(fnvOffset, c.Attr) + labels)
+	}
+	return mix(h ^ where)
+}
+
+// SameQuery reports whether a and b are the same flexible query up to
+// clause order and label order within a clause, without allocating. Beyond
+// 64 WHERE clauses the clause matching falls back to positional
+// comparison (labels still order-free) — far past any query this system
+// produces.
+func SameQuery(a, b query.Query) bool {
+	if len(a.Select) != len(b.Select) || len(a.Where) != len(b.Where) {
+		return false
+	}
+	for i := range a.Select {
+		if a.Select[i] != b.Select[i] {
+			return false
+		}
+	}
+	if len(a.Where) > 64 {
+		for i := range a.Where {
+			if !sameClause(a.Where[i], b.Where[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	var used uint64
+	for _, ca := range a.Where {
+		found := false
+		for j := range b.Where {
+			if used&(1<<j) != 0 {
+				continue
+			}
+			if sameClause(ca, b.Where[j]) {
+				used |= 1 << j
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// sameClause compares two clauses as (attr, label set) without allocating.
+func sameClause(a, b query.Clause) bool {
+	if a.Attr != b.Attr || len(a.Labels) != len(b.Labels) {
+		return false
+	}
+	return labelsSubset(a.Labels, b.Labels) && labelsSubset(b.Labels, a.Labels)
+}
+
+// labelsSubset reports whether every label of sub occurs in super.
+func labelsSubset(sub, super []string) bool {
+	for _, l := range sub {
+		ok := false
+		for _, m := range super {
+			if l == m {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalizeQuery returns a canonical copy of q: labels sorted and
+// deduplicated inside each clause, clauses sorted by attribute then label
+// list. Two queries equal under SameQuery normalize identically (after
+// label deduplication). It allocates — use it at the edges (HTTP adapter,
+// logs, tests), not on the hit path.
+func NormalizeQuery(q query.Query) query.Query {
+	out := query.Query{Select: append([]string(nil), q.Select...)}
+	out.Where = make([]query.Clause, len(q.Where))
+	for i, c := range q.Where {
+		labels := append([]string(nil), c.Labels...)
+		sort.Strings(labels)
+		dedup := labels[:0]
+		for _, l := range labels {
+			if len(dedup) == 0 || dedup[len(dedup)-1] != l {
+				dedup = append(dedup, l)
+			}
+		}
+		out.Where[i] = query.Clause{Attr: c.Attr, Labels: dedup}
+	}
+	sort.Slice(out.Where, func(i, j int) bool {
+		a, b := out.Where[i], out.Where[j]
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		for k := 0; k < len(a.Labels) && k < len(b.Labels); k++ {
+			if a.Labels[k] != b.Labels[k] {
+				return a.Labels[k] < b.Labels[k]
+			}
+		}
+		return len(a.Labels) < len(b.Labels)
+	})
+	return out
+}

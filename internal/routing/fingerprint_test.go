@@ -1,0 +1,72 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+
+	"p2psum/internal/query"
+)
+
+func fpQuery() query.Query {
+	return query.Query{
+		Select: []string{"age", "bmi"},
+		Where: []query.Clause{
+			{Attr: "disease", Labels: []string{"anorexia", "malaria"}},
+			{Attr: "sex", Labels: []string{"female"}},
+		},
+	}
+}
+
+// reordered is fpQuery with clauses and labels permuted — semantically the
+// same query.
+func reordered() query.Query {
+	return query.Query{
+		Select: []string{"age", "bmi"},
+		Where: []query.Clause{
+			{Attr: "sex", Labels: []string{"female"}},
+			{Attr: "disease", Labels: []string{"malaria", "anorexia"}},
+		},
+	}
+}
+
+func TestHashQueryOrderInvariance(t *testing.T) {
+	a, b := fpQuery(), reordered()
+	if HashQuery(a) != HashQuery(b) {
+		t.Fatalf("reordered query hashes differ: %x vs %x", HashQuery(a), HashQuery(b))
+	}
+	if !SameQuery(a, b) {
+		t.Fatal("SameQuery rejects a reordering of the same query")
+	}
+	if na, nb := NormalizeQuery(a), NormalizeQuery(b); fmt.Sprint(na) != fmt.Sprint(nb) {
+		t.Fatalf("normal forms differ:\n%v\n%v", na, nb)
+	}
+}
+
+func TestHashQuerySeparates(t *testing.T) {
+	base := fpQuery()
+	variants := []query.Query{
+		{Select: []string{"bmi", "age"}, Where: base.Where}, // select order is significant
+		{Select: []string{"agebmi"}, Where: base.Where},     // concatenation is not the same select
+		{Select: base.Select, Where: base.Where[:1]},        // dropped clause
+		{Select: base.Select, Where: []query.Clause{base.Where[0], {Attr: "sex", Labels: []string{"male"}}}},
+	}
+	for i, v := range variants {
+		if SameQuery(base, v) {
+			t.Errorf("variant %d compares equal to base", i)
+		}
+		if HashQuery(base) == HashQuery(v) {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+}
+
+func TestFingerprintAllocFree(t *testing.T) {
+	a, b := fpQuery(), reordered()
+	if n := testing.AllocsPerRun(100, func() {
+		if HashQuery(a) != HashQuery(b) || !SameQuery(a, b) {
+			t.Fatal("fingerprint mismatch")
+		}
+	}); n != 0 {
+		t.Fatalf("fingerprint path allocates %.1f per run, want 0", n)
+	}
+}

@@ -3,6 +3,7 @@ package routing
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -50,7 +51,9 @@ func init() {
 	wire.Register(MsgQueryResponse, wire.PayloadCodec{Encode: encodeQueryResponse, Decode: decodeQueryResponse})
 }
 
-func encodeFlexQuery(e *wire.Enc, q query.Query) {
+// EncodeFlexQuery appends a flexible query's wire form — shared by the
+// MsgQuery payload codec and the gateway's client framing.
+func EncodeFlexQuery(e *wire.Enc, q query.Query) {
 	e.Strings(q.Select)
 	e.Uvarint(uint64(len(q.Where)))
 	for _, c := range q.Where {
@@ -59,7 +62,9 @@ func encodeFlexQuery(e *wire.Enc, q query.Query) {
 	}
 }
 
-func decodeFlexQuery(d *wire.Dec) query.Query {
+// DecodeFlexQuery reads the form EncodeFlexQuery writes; on malformed
+// input it returns the zero query and leaves the error on d.
+func DecodeFlexQuery(d *wire.Dec) query.Query {
 	q := query.Query{Select: d.Strings()}
 	n := d.Uvarint()
 	for i := uint64(0); i < n; i++ {
@@ -77,25 +82,44 @@ func encodeQuery(e *wire.Enc, payload any) error {
 		return fmt.Errorf("routing: %s codec got %T", MsgQuery, payload)
 	}
 	e.Uvarint(p.QID)
-	encodeFlexQuery(e, p.Query)
+	EncodeFlexQuery(e, p.Query)
 	return nil
 }
 
 func decodeQuery(data []byte) (any, error) {
 	d := wire.NewDec(data)
-	p := QueryPayload{QID: d.Uvarint(), Query: decodeFlexQuery(d)}
+	p := QueryPayload{QID: d.Uvarint(), Query: DecodeFlexQuery(d)}
 	return p, d.Done()
 }
 
+// keyScratch pools the sorted-key scratch of the answer encoders. Response
+// encoding runs once per query answered (and once per cached gateway
+// entry), and the per-map key sort was the answer path's last
+// per-response allocation.
+var keyScratch = sync.Pool{New: func() any { s := make([]string, 0, 16); return &s }}
+
+// appendSortedKeys fills buf with m's keys in ascending order.
+func appendSortedKeys[V any](buf []string, m map[string]V) []string {
+	buf = buf[:0]
+	for k := range m {
+		buf = append(buf, k)
+	}
+	sort.Strings(buf)
+	return buf
+}
+
 // encodeLabelSets writes a map attr -> labels with sorted keys, so equal
-// payloads encode to equal bytes.
+// payloads encode to equal bytes. The key sort runs on pooled scratch.
 func encodeLabelSets(e *wire.Enc, m map[string][]string) {
-	keys := wire.SortedKeys(m)
+	sp := keyScratch.Get().(*[]string)
+	keys := appendSortedKeys(*sp, m)
 	e.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
 		e.String(k)
 		e.Strings(m[k])
 	}
+	*sp = keys[:0]
+	keyScratch.Put(sp)
 }
 
 func decodeLabelSets(d *wire.Dec) map[string][]string {
@@ -122,7 +146,7 @@ func encodeAnswer(e *wire.Enc, a *query.Answer) {
 		return
 	}
 	e.Bool(true)
-	encodeFlexQuery(e, a.Query)
+	EncodeFlexQuery(e, a.Query)
 	e.Uvarint(uint64(len(a.Classes)))
 	for _, c := range a.Classes {
 		encodeLabelSets(e, c.Interpretation)
@@ -132,7 +156,8 @@ func encodeAnswer(e *wire.Enc, a *query.Answer) {
 		for _, p := range c.Peers {
 			e.Varint(int64(p))
 		}
-		mkeys := wire.SortedKeys(c.Measures)
+		sp := keyScratch.Get().(*[]string)
+		mkeys := appendSortedKeys(*sp, c.Measures)
 		e.Uvarint(uint64(len(mkeys)))
 		for _, k := range mkeys {
 			m := c.Measures[k]
@@ -143,6 +168,8 @@ func encodeAnswer(e *wire.Enc, a *query.Answer) {
 			e.Float64(m.Sum)
 			e.Float64(m.SumSq)
 		}
+		*sp = mkeys[:0]
+		keyScratch.Put(sp)
 	}
 }
 
@@ -150,7 +177,7 @@ func decodeAnswer(d *wire.Dec) *query.Answer {
 	if !d.Bool() {
 		return nil
 	}
-	a := &query.Answer{Query: decodeFlexQuery(d)}
+	a := &query.Answer{Query: DecodeFlexQuery(d)}
 	n := d.Uvarint()
 	for i := uint64(0); i < n; i++ {
 		c := query.Class{
@@ -188,6 +215,34 @@ func decodeAnswer(d *wire.Dec) *query.Answer {
 		}
 	}
 	return a
+}
+
+// EncodeDataAnswer appends a DataAnswer's wire form — peers, visited
+// count, approximate answer — the same layout the MsgQueryResponse payload
+// carries after its QID and error fields. The gateway encodes a cached
+// entry once through this and replays the bytes on every hit.
+func EncodeDataAnswer(e *wire.Enc, a *DataAnswer) {
+	e.Uvarint(uint64(len(a.Peers)))
+	for _, id := range a.Peers {
+		e.Varint(int64(id))
+	}
+	e.Varint(int64(a.Visited))
+	encodeAnswer(e, a.Answer)
+}
+
+// DecodeDataAnswer reads the form EncodeDataAnswer writes.
+func DecodeDataAnswer(d *wire.Dec) (*DataAnswer, error) {
+	a := &DataAnswer{}
+	n := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		a.Peers = append(a.Peers, p2p.NodeID(d.Varint()))
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+	}
+	a.Visited = int(d.Varint())
+	a.Answer = decodeAnswer(d)
+	return a, d.Err()
 }
 
 func encodeQueryResponse(e *wire.Enc, payload any) error {
@@ -283,6 +338,13 @@ func (qs *QueryService) handle(p *core.Peer, msg *p2p.Message) {
 	}
 }
 
+// respChans pools the capacity-1 channels Ask correlates answers on: one
+// Get per query instead of one allocation per query. A channel returns to
+// the pool only when it is provably empty and unreachable from the
+// handler — after a successful receive, or after a timeout that found the
+// query still registered (so no handler ever claimed it).
+var respChans = sync.Pool{New: func() any { return make(chan QueryResponsePayload, 1) }}
+
 // Ask routes q from origin to its domain's summary peer as a protocol
 // message and blocks (driver-side; never call from a handler) until the
 // answer returns or the timeout elapses. When the summary peer is hosted
@@ -293,23 +355,36 @@ func (qs *QueryService) Ask(origin p2p.NodeID, q query.Query, timeout time.Durat
 	if sp < 0 {
 		return nil, fmt.Errorf("routing: origin %d has no domain", origin)
 	}
-	ch := make(chan QueryResponsePayload, 1)
+	ch := respChans.Get().(chan QueryResponsePayload)
 	qs.mu.Lock()
 	qs.nextQID++
 	qid := qs.nextQID
 	qs.pending[qid] = ch
 	qs.mu.Unlock()
 	qs.sys.Transport().SendNew(MsgQuery, origin, sp, 0, QueryPayload{QID: qid, Query: q})
+	timer := time.NewTimer(timeout)
 	select {
 	case resp := <-ch:
+		timer.Stop()
+		respChans.Put(ch)
 		if resp.Err != "" {
 			return nil, errors.New("routing: " + resp.Err)
 		}
 		return &DataAnswer{Peers: resp.Peers, Answer: resp.Answer, Visited: resp.Visited}, nil
-	case <-time.After(timeout):
+	case <-timer.C:
 		qs.mu.Lock()
+		_, unclaimed := qs.pending[qid]
 		delete(qs.pending, qid)
 		qs.mu.Unlock()
+		if unclaimed {
+			// The handler never saw the query: nothing can ever send on
+			// this channel, so it is safe to reuse.
+			respChans.Put(ch)
+		}
+		// Otherwise the handler claimed the channel concurrently with the
+		// timeout and a buffered send is (or soon will be) in flight; the
+		// channel is abandoned to the GC rather than pooled with a stale
+		// answer inside.
 		return nil, fmt.Errorf("routing: query %d to summary peer %d timed out after %v", qid, sp, timeout)
 	}
 }

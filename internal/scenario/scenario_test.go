@@ -493,21 +493,21 @@ func TestTCPElectionAcrossProcesses(t *testing.T) {
 
 	// Every spoke has static degree 3, so the deterministic successor is
 	// the lowest id: node 1, hosted by process A.
+	// promote fires on a dispatcher goroutine when the confirm timer
+	// lands, which can be between the poll's settles — so the domain
+	// reads run under each transport's Exec barrier, not bare.
 	waitTCP(t, a, b, "one successor elected and adopted everywhere", func() bool {
-		if a.sys.Stats().Elections != 1 {
+		ok := false
+		a.tr.Exec(func() {
+			ok = a.sys.Stats().Elections == 1 && a.sys.DomainOf(2) == 1
+		})
+		if !ok {
 			return false
 		}
-		for _, id := range []p2p.NodeID{2} {
-			if a.sys.DomainOf(id) != 1 {
-				return false
-			}
-		}
-		for _, id := range []p2p.NodeID{3, 4, 5} {
-			if b.sys.DomainOf(id) != 1 {
-				return false
-			}
-		}
-		return true
+		b.tr.Exec(func() {
+			ok = b.sys.DomainOf(3) == 1 && b.sys.DomainOf(4) == 1 && b.sys.DomainOf(5) == 1
+		})
+		return ok
 	})
 	if got := b.sys.Stats().Elections; got != 0 {
 		t.Fatalf("B promoted %d successors of its own, want 0 (the election is deterministic)", got)

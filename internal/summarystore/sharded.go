@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"p2psum/internal/bk"
 	"p2psum/internal/par"
@@ -28,9 +29,13 @@ type Sharded struct {
 }
 
 // shard is one independently lockable partition of the global summary.
+// gen advances on every content change (merge or swap), inside the write
+// lock, after the mutation — see Store.Generation for the freshness
+// contract this ordering buys.
 type shard struct {
 	mu   sync.RWMutex
 	tree *saintetiq.Tree
+	gen  atomic.Uint64
 }
 
 // NewSharded builds an empty sharded store over the background knowledge
@@ -101,7 +106,11 @@ func (s *Sharded) Merge(src *saintetiq.Tree) error {
 		sh := s.shards[affected[k]]
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
-		return sh.tree.MergeLeaves(src, buckets[affected[k]])
+		err := sh.tree.MergeLeaves(src, buckets[affected[k]])
+		if err == nil {
+			sh.gen.Add(1)
+		}
+		return err
 	})
 }
 
@@ -155,9 +164,10 @@ func (s *Sharded) SwapFrom(newGS *saintetiq.Tree) int {
 		sh.mu.Lock()
 		if sh.tree.LeavesEqual(part) {
 			sh.mu.Unlock()
-			continue // unchanged shard: keep the warm tree
+			continue // unchanged shard: keep the warm tree AND its generation
 		}
 		sh.tree = part
+		sh.gen.Add(1)
 		sh.mu.Unlock()
 		swapped++
 	}
@@ -206,6 +216,14 @@ func (s *Sharded) CandidateShards(attr int, labels []int) []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// Generation returns shard i's install generation. Unchanged shards keep
+// their generation across a reconciliation (SwapFrom skips them), so a
+// cache keyed on these counters invalidates per shard delta, never
+// globally.
+func (s *Sharded) Generation(i int) uint64 {
+	return s.shards[i].gen.Load()
 }
 
 // NodeCount returns the total number of summary nodes across shards (each

@@ -2,6 +2,7 @@ package summarystore
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"p2psum/internal/saintetiq"
 )
@@ -13,6 +14,7 @@ import (
 type Single struct {
 	mu   sync.RWMutex
 	tree *saintetiq.Tree
+	gen  atomic.Uint64
 }
 
 // NewSingle wraps an existing hierarchy. The caller must not keep mutating
@@ -34,11 +36,21 @@ func (s *Single) View(i int, fn func(*saintetiq.Tree)) {
 	fn(s.tree)
 }
 
-// Merge folds src into the tree under the write lock.
+// Merge folds src into the tree under the write lock. A non-empty merge
+// advances the store's generation (the bump happens inside the lock, after
+// the mutation, so a reader that captured the generation before the merge
+// always observes the advance).
 func (s *Single) Merge(src *saintetiq.Tree) error {
+	if src == nil || src.Empty() {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tree.Merge(src)
+	err := s.tree.Merge(src)
+	if err == nil {
+		s.gen.Add(1)
+	}
+	return err
 }
 
 // SwapFrom replaces the whole tree (the one update operation of §4.2.2).
@@ -51,6 +63,7 @@ func (s *Single) SwapFrom(newGS *saintetiq.Tree) int {
 	} else {
 		s.tree = newGS
 	}
+	s.gen.Add(1)
 	return 1
 }
 
@@ -70,6 +83,14 @@ func (s *Single) Vocab() *saintetiq.Tree {
 
 // CandidateShards returns nil: one shard, nothing to prune.
 func (s *Single) CandidateShards(int, []int) []int { return nil }
+
+// Generation returns the whole-tree install generation. i must be 0.
+func (s *Single) Generation(i int) uint64 {
+	if i != 0 {
+		panic("summarystore: Single has exactly one shard")
+	}
+	return s.gen.Load()
+}
 
 // NodeCount returns the number of summary nodes.
 func (s *Single) NodeCount() int {

@@ -74,6 +74,17 @@ type Store interface {
 	// restricts the fan-out to the owning shards. nil means "cannot
 	// prune on this attribute" (every shard is a candidate).
 	CandidateShards(attr int, labels []int) []int
+	// Generation returns shard i's install generation: a counter that
+	// advances every time the shard's content changes — a Merge routed
+	// leaves into it, or SwapFrom replaced its tree. A reconciliation that
+	// leaves a shard's leaves untouched does NOT advance that shard's
+	// generation, which is what lets a serving-edge cache invalidate
+	// exactly the entries whose shards changed instead of flushing
+	// globally. Reads are atomic and lock-free: cheap enough to revalidate
+	// on every cached query. The counter is monotone per shard; a cached
+	// result captured at generation g for every shard it read stays
+	// servable exactly while those generations still read g.
+	Generation(i int) uint64
 	// NodeCount returns the total number of summary nodes across shards.
 	NodeCount() int
 	// LeafCount returns the total number of grid-cell leaves.
