@@ -1,6 +1,7 @@
 package p2psum
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -269,14 +270,27 @@ func TestSimulationValidation(t *testing.T) {
 	if _, err := NewSimulation(SimOptions{Peers: 20, Regions: 4, Transport: TransportChannel}); err == nil {
 		t.Error("Regions on the channel transport accepted")
 	}
+	if _, err := NewSimulation(SimOptions{Peers: 20, Window: "sideways", Regions: 4}); err == nil {
+		t.Error("unknown window mode accepted")
+	}
+	if _, err := NewSimulation(SimOptions{Peers: 20, Window: "dynamic", Transport: TransportChannel}); err == nil {
+		t.Error("Window on the channel transport accepted")
+	}
+	if _, err := NewSimulation(SimOptions{Peers: 20, Speculate: true, Transport: TransportChannel}); err == nil {
+		t.Error("Speculate on the channel transport accepted")
+	}
 }
 
 // TestSimulationRegions runs the full lifecycle — construct, churn,
-// queries — on the sequential engine and on the region-sharded kernel and
-// requires bit-identical observable state.
+// queries — on the sequential engine and on the region-sharded kernel in
+// every window/speculation mode and requires bit-identical observable
+// state.
 func TestSimulationRegions(t *testing.T) {
-	run := func(regions int) (string, map[string]int64, float64) {
-		s, err := NewSimulation(SimOptions{Peers: 300, SummaryPeers: 6, Seed: 17, Regions: regions})
+	run := func(regions int, window string, speculate bool) (string, map[string]int64, float64) {
+		s, err := NewSimulation(SimOptions{
+			Peers: 300, SummaryPeers: 6, Seed: 17,
+			Regions: regions, Window: window, Speculate: speculate,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -288,20 +302,39 @@ func TestSimulationRegions(t *testing.T) {
 		if _, err := s.QueryProtocol(s.RandomClient(), oracle, 0); err != nil {
 			t.Fatal(err)
 		}
+		if regions > 1 {
+			ks, ok := s.KernelStats()
+			if !ok {
+				t.Errorf("%d regions: no kernel stats", regions)
+			} else if ks.Windows == 0 {
+				t.Errorf("%d regions: kernel ran no windows", regions)
+			}
+		} else if _, ok := s.KernelStats(); ok {
+			t.Error("sequential engine reported kernel stats")
+		}
 		return s.Describe(), s.MessageCounts(), s.Now()
 	}
-	baseDesc, baseCounts, baseNow := run(1)
-	for _, regions := range []int{2, 4} {
-		desc, counts, now := run(regions)
+	baseDesc, baseCounts, baseNow := run(1, "", false)
+	cases := []struct {
+		regions   int
+		window    string
+		speculate bool
+	}{
+		{2, "", false}, {4, "", false},
+		{4, "dynamic", false}, {4, "fixed", true}, {4, "dynamic", true},
+	}
+	for _, c := range cases {
+		name := fmt.Sprintf("%d regions window=%q speculate=%v", c.regions, c.window, c.speculate)
+		desc, counts, now := run(c.regions, c.window, c.speculate)
 		if desc != baseDesc {
-			t.Errorf("%d regions: Describe diverged:\n%s\nvs sequential:\n%s", regions, desc, baseDesc)
+			t.Errorf("%s: Describe diverged:\n%s\nvs sequential:\n%s", name, desc, baseDesc)
 		}
 		if now != baseNow {
-			t.Errorf("%d regions: Now %g != %g", regions, now, baseNow)
+			t.Errorf("%s: Now %g != %g", name, now, baseNow)
 		}
 		for k, v := range baseCounts {
 			if counts[k] != v {
-				t.Errorf("%d regions: %s = %d, sequential %d", regions, k, counts[k], v)
+				t.Errorf("%s: %s = %d, sequential %d", name, k, counts[k], v)
 			}
 		}
 	}

@@ -12,6 +12,7 @@ import (
 
 	"p2psum/internal/core"
 	"p2psum/internal/p2p"
+	"p2psum/internal/sim"
 	"p2psum/internal/stats"
 	"p2psum/internal/topology"
 )
@@ -28,11 +29,16 @@ import (
 // differences measure the kernel, not scheduler contention; cfg.Workers
 // is deliberately ignored.
 
-// ScaleRunResult is one (peers, regions) measurement.
+// ScaleRunResult is one (peers, regions, mode) measurement.
 type ScaleRunResult struct {
 	Peers   int `json:"peers"`
 	Domains int `json:"domains"`
 	Regions int `json:"regions"`
+	// Mode is the kernel configuration: "fixed" (conservative global
+	// lookahead), "dynamic" (per-region EOT/EIT window bounds) or "spec"
+	// (dynamic windows plus frontier-proven speculative overrun). All
+	// modes must reproduce the same ReportHash.
+	Mode string `json:"mode"`
 	// WallSec is the end-to-end wall-clock of construct + waves
 	// (graph generation and setup excluded).
 	WallSec float64 `json:"wall_sec"`
@@ -55,8 +61,19 @@ type ScaleRunResult struct {
 	MaxRSSKB int64 `json:"max_rss_kb"`
 	// ReportHash fingerprints every domain report plus the per-type
 	// message/byte counters and coverage; equal hashes across region
-	// counts prove the parallel kernel changed nothing observable.
+	// counts and kernel modes prove the parallel kernel changed nothing
+	// observable.
 	ReportHash string `json:"report_hash"`
+	// Kernel counters (see sim.ShardedStats): barrier-separated windows,
+	// windows the dynamic planner extended past the fixed bound, and
+	// events committed past a committed window end by the overrun proof.
+	Windows           uint64 `json:"windows"`
+	DynamicExtensions uint64 `json:"dynamic_extensions"`
+	SpecCommitted     uint64 `json:"spec_committed"`
+	// Violations counts cross-region handoffs the kernel clamped to the
+	// target's clock; zero in every mode on this workload (the hash
+	// identity would catch the drift a clamp implies).
+	Violations uint64 `json:"causality_violations"`
 }
 
 // ScaleResult is the machine-readable outcome (BENCH_scale.json).
@@ -93,13 +110,34 @@ func scaleHash(net *p2p.Network, sys *core.System) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// runScalePoint measures one (peers, regions) run over a pre-built graph.
-func runScalePoint(cfg Config, g *topology.Graph, peers, regions int) (ScaleRunResult, error) {
-	out := ScaleRunResult{Peers: peers, Domains: scaleDomains(peers), Regions: regions}
+// scaleMode is one kernel configuration of the mode sweep.
+type scaleMode struct {
+	name      string
+	window    sim.WindowMode
+	speculate bool
+}
+
+// scaleModes are the kernel configurations compared at every region
+// count above one: the PR 7 fixed conservative windows, dynamic EOT/EIT
+// window bounds, and dynamic windows plus frontier-proven speculative
+// overrun. With a single region the kernel is sequential and the modes
+// coincide, so only "fixed" runs there.
+var scaleModes = []scaleMode{
+	{name: "fixed", window: sim.WindowFixed},
+	{name: "dynamic", window: sim.WindowDynamic},
+	{name: "spec", window: sim.WindowDynamic, speculate: true},
+}
+
+// runScalePoint measures one (peers, regions, mode) run over a pre-built
+// graph.
+func runScalePoint(cfg Config, g *topology.Graph, peers, regions int, mode scaleMode) (ScaleRunResult, error) {
+	out := ScaleRunResult{Peers: peers, Domains: scaleDomains(peers), Regions: regions, Mode: mode.name}
 	net, err := p2p.NewShardedNetwork(g, cfg.Seed, regions)
 	if err != nil {
 		return out, err
 	}
+	net.SetWindowMode(mode.window)
+	net.SetSpeculation(mode.speculate)
 	sysCfg := core.DefaultConfig()
 	sysCfg.Alpha = cfg.Alphas[0]
 	sys, err := core.NewSystem(net, sysCfg)
@@ -138,6 +176,12 @@ func runScalePoint(cfg Config, g *topology.Graph, peers, regions int) (ScaleRunR
 	out.Bytes = net.Bytes().Total()
 	out.Reconciliations = sys.Stats().Reconciliations
 	out.ReportHash = scaleHash(net, sys)
+	if ks, ok := net.KernelStats(); ok {
+		out.Windows = ks.Windows
+		out.DynamicExtensions = ks.DynamicExtensions
+		out.SpecCommitted = ks.SpecCommitted
+		out.Violations = ks.CausalityViolations
+	}
 
 	runtime.GC()
 	var ms runtime.MemStats
@@ -150,11 +194,11 @@ func runScalePoint(cfg Config, g *topology.Graph, peers, regions int) (ScaleRunR
 	return out, nil
 }
 
-// ScaleExperiment sweeps overlay size × region count, verifying that
-// every region count reproduces the single-region reports bit-for-bit,
-// and reports wall-clock speedup, per-peer message cost and memory.
-// Sizes run ascending so each size's first run records a meaningful RSS
-// high-water mark.
+// ScaleExperiment sweeps overlay size × region count × kernel mode,
+// verifying that every run reproduces the single-region reports
+// bit-for-bit, and reports wall-clock speedup, per-peer message cost
+// and memory. Sizes run ascending so each size's first run records a
+// meaningful RSS high-water mark.
 func ScaleExperiment(cfg Config) (*stats.Table, *ScaleResult, error) {
 	sizes := append([]int(nil), cfg.ScalePeers...)
 	sort.Ints(sizes)
@@ -162,10 +206,28 @@ func ScaleExperiment(cfg Config) (*stats.Table, *ScaleResult, error) {
 	if len(sizes) == 0 || len(regionCounts) == 0 {
 		return nil, nil, fmt.Errorf("experiments: empty scale sweep (%v peers × %v regions)", sizes, regionCounts)
 	}
+	// One wall-clock series per (region count, kernel mode) column; a
+	// single region runs the sequential degenerate kernel where the modes
+	// coincide, so it gets one column.
+	modesFor := func(regions int) []scaleMode {
+		if regions <= 1 {
+			return scaleModes[:1]
+		}
+		return scaleModes
+	}
 	res := &ScaleResult{Seed: cfg.Seed}
-	series := make([]*stats.Series, len(regionCounts))
-	for i, r := range regionCounts {
-		series[i] = &stats.Series{Name: fmt.Sprintf("wall s @%dr", r)}
+	var series []*stats.Series
+	colOf := make(map[string]*stats.Series)
+	for _, r := range regionCounts {
+		for _, m := range modesFor(r) {
+			name := fmt.Sprintf("@%dr %s", r, m.name)
+			if r <= 1 {
+				name = fmt.Sprintf("@%dr", r)
+			}
+			s := &stats.Series{Name: name}
+			series = append(series, s)
+			colOf[fmt.Sprintf("%d/%s", r, m.name)] = s
+		}
 	}
 	msgSeries := &stats.Series{Name: "msgs/peer"}
 	var notes []string
@@ -175,33 +237,45 @@ func ScaleExperiment(cfg Config) (*stats.Table, *ScaleResult, error) {
 			return nil, nil, err
 		}
 		var base ScaleRunResult
-		for i, regions := range regionCounts {
-			run, err := runScalePoint(cfg, g, peers, regions)
-			if err != nil {
-				return nil, nil, err
-			}
-			if i == 0 {
-				base = run
-			} else if run.ReportHash != base.ReportHash {
-				return nil, nil, fmt.Errorf("experiments: %d peers: reports diverge between %d and %d regions (%s vs %s)",
-					peers, base.Regions, regions, base.ReportHash[:12], run.ReportHash[:12])
-			}
-			if base.WallSec > 0 {
-				run.Speedup = base.WallSec / run.WallSec
-			}
-			series[i].Add(float64(peers), run.WallSec)
-			res.Runs = append(res.Runs, run)
-			if regions == regionCounts[len(regionCounts)-1] {
-				msgSeries.Add(float64(peers), run.MsgsPerPeer)
-				notes = append(notes, fmt.Sprintf(
-					"%d peers / %d domains: %d events, %.1f msgs/peer, %d reconciliations, heap %.0f MB, rss %d MB, best speedup %.2fx",
-					peers, run.Domains, run.Events, run.MsgsPerPeer, run.Reconciliations,
-					run.HeapMB, run.MaxRSSKB/1024, bestSpeedup(res.Runs, peers)))
+		first := true
+		for _, regions := range regionCounts {
+			for _, mode := range modesFor(regions) {
+				run, err := runScalePoint(cfg, g, peers, regions, mode)
+				if err != nil {
+					return nil, nil, err
+				}
+				if first {
+					base = run
+					first = false
+				} else if run.ReportHash != base.ReportHash {
+					return nil, nil, fmt.Errorf("experiments: %d peers: reports diverge between %d regions/%s and %d regions/%s (%s vs %s)",
+						peers, base.Regions, base.Mode, regions, mode.name, base.ReportHash[:12], run.ReportHash[:12])
+				}
+				if base.WallSec > 0 {
+					run.Speedup = base.WallSec / run.WallSec
+				}
+				colOf[fmt.Sprintf("%d/%s", regions, mode.name)].Add(float64(peers), run.WallSec)
+				res.Runs = append(res.Runs, run)
+				last := regions == regionCounts[len(regionCounts)-1] &&
+					mode.name == modesFor(regions)[len(modesFor(regions))-1].name
+				if last {
+					msgSeries.Add(float64(peers), run.MsgsPerPeer)
+					notes = append(notes, fmt.Sprintf(
+						"%d peers / %d domains: %d events, %.1f msgs/peer, %d reconciliations, heap %.0f MB, rss %d MB, best speedup %.2fx",
+						peers, run.Domains, run.Events, run.MsgsPerPeer, run.Reconciliations,
+						run.HeapMB, run.MaxRSSKB/1024, bestSpeedup(res.Runs, peers)))
+					notes = append(notes, fmt.Sprintf(
+						"%d peers @%dr kernel: fixed %d windows; dynamic extended %d of %d; spec committed %d past-window events in %d windows",
+						peers, regions,
+						windowsOf(res.Runs, peers, regions, "fixed"),
+						dynExtOf(res.Runs, peers, regions), windowsOf(res.Runs, peers, regions, "dynamic"),
+						run.SpecCommitted, run.Windows))
+				}
 			}
 		}
 	}
 	t := stats.NewTable(
-		fmt.Sprintf("Scale: construct + 3 reconcile waves, regions %v (reports bit-identical per size)", regionCounts),
+		fmt.Sprintf("Scale: construct + 3 reconcile waves, regions %v x {fixed,dynamic,spec} windows (reports bit-identical per size)", regionCounts),
 		"peers", append(series, msgSeries)...)
 	t.Decimal = 2
 	for _, n := range notes {
@@ -209,6 +283,27 @@ func ScaleExperiment(cfg Config) (*stats.Table, *ScaleResult, error) {
 	}
 	t.AddNote("runs are sequential and single-process; rss is a process high-water mark (sizes sweep ascending)")
 	return t, res, nil
+}
+
+// windowsOf returns the window count of the (peers, regions, mode) run.
+func windowsOf(runs []ScaleRunResult, peers, regions int, mode string) uint64 {
+	for _, r := range runs {
+		if r.Peers == peers && r.Regions == regions && r.Mode == mode {
+			return r.Windows
+		}
+	}
+	return 0
+}
+
+// dynExtOf returns the dynamic-extension count of the (peers, regions,
+// "dynamic") run.
+func dynExtOf(runs []ScaleRunResult, peers, regions int) uint64 {
+	for _, r := range runs {
+		if r.Peers == peers && r.Regions == regions && r.Mode == "dynamic" {
+			return r.DynamicExtensions
+		}
+	}
+	return 0
 }
 
 // bestSpeedup returns the best measured speedup for a size.

@@ -11,18 +11,30 @@ import (
 
 // Sharded is the parallel event kernel: the node set is partitioned into
 // regions, each region owns a sequential Engine (heap + clock), and the
-// kernel advances every region in lockstep time windows of width
-// lookahead — the conservative bound under which regions cannot affect
-// each other mid-window.
+// kernel advances every region in barrier-separated time windows inside
+// which regions cannot affect each other.
 //
-// The conservation argument: lookahead is chosen (by the caller, e.g.
-// p2p.Network.SetGroupBy) as the minimum latency of any cross-region
-// link. An event executing at time t >= windowStart that sends across
-// regions schedules the delivery at t + lat >= windowStart + lookahead
-// >= windowEnd — always a future window. So within one window the
-// regions share nothing, and intra-region events run in parallel across
-// region worker goroutines while keeping the sequential engine's exact
-// (time, seq) order inside each region.
+// The window bound comes in two flavors (SetWindowMode):
+//
+//   - WindowFixed (PR 7): every window spans [min, min+lookahead), the
+//     global conservative bound — lookahead is the minimum latency of any
+//     cross-region link, so an event executing at t >= windowStart that
+//     sends across regions delivers at t+lat >= windowEnd.
+//   - WindowDynamic: at each barrier every region publishes an
+//     earliest-output-time bound EOT(s) = nextAt(s) + outBound(s) (its
+//     next pending event time plus the minimum latency of any link
+//     leaving its partition). Region r's window then ends at its
+//     earliest-input-time EIT(r) = min over s != r of
+//     nextAt(s) + max(outBound(s), inBound(r)) — so a region whose
+//     latency-close neighbors are quiet strides far past the static
+//     lookahead with zero rollback machinery.
+//
+// Speculate layers optimistic overrun on either mode: a region that
+// exhausts its committed window keeps executing while it can prove, from
+// the other regions' live frontier promises and its own staged-arrival
+// minimum, that no cross-region event can land below its clock; with a
+// RegionState client it may run even past that proof into a journal that
+// a straggler discards and replays (see spec.go).
 //
 // Cross-region handoff: Schedule routes same-region events straight onto
 // the owner's heap (only the owning worker, or the idle driver, touches
@@ -36,21 +48,102 @@ type Sharded struct {
 	inboxes   []regionInbox
 	partition []int32
 	lookahead Time
-	started   bool
-	staged    atomic.Int64 // staged-but-undrained events (for Pending)
+	// outBound/inBound are the per-region minimum latencies of links
+	// leaving/entering each region's partition (default: lookahead).
+	outBound []Time
+	inBound  []Time
+	mode     WindowMode
+	// spec/specState/specHorizon configure overrun (see Speculate).
+	spec        bool
+	specState   RegionState
+	specHorizon Time
+	started     bool
+	running     bool // inside run(): staging comes from worker context
+	staged      atomic.Int64
+	runs        []regionRun
+	// Coordinator scratch, reused across windows: the barrier allocates
+	// nothing in steady state (BenchmarkWindowBarrier gates allocs at 0).
+	eot      []Time
+	ends     []Time
+	act      []int
+	runLimit Time
+	workers  bool
+	wg       sync.WaitGroup
+	sorter   stagedSorter
+	stats    ShardedStats
+}
+
+// stagedSorter orders one inbox's drained entries by (time, source
+// region). It lives on the Sharded struct so the sort.Stable interface
+// conversion reuses one allocation for the life of the kernel — the
+// window barrier is a 0 allocs/op path (BenchmarkWindowBarrier).
+type stagedSorter struct{ entries []stagedEvent }
+
+func (d *stagedSorter) Len() int { return len(d.entries) }
+func (d *stagedSorter) Less(i, j int) bool {
+	if d.entries[i].at != d.entries[j].at {
+		return d.entries[i].at < d.entries[j].at
+	}
+	return d.entries[i].src < d.entries[j].src
+}
+func (d *stagedSorter) Swap(i, j int) {
+	d.entries[i], d.entries[j] = d.entries[j], d.entries[i]
+}
+
+// regionRun is one region's worker channel plus speculation state. The
+// frontier and specCommitted fields are written by the owning worker
+// (coordinator between windows); journal bookkeeping is worker-written
+// during a window and coordinator-consumed at the barrier.
+type regionRun struct {
+	// frontier is the region's earliest-output promise as float64 bits:
+	// nothing it emits from here on arrives anywhere below this time.
+	frontier atomic.Uint64
+	// echo is the region's self-echo cap as float64 bits (+Inf when it
+	// staged nothing this window): the minimum over its own in-window
+	// cross-region sends of arrival + outBound(target) — the earliest a
+	// cascade of its own output can re-enter any region. Both overrun
+	// tiers stop below it: the frontier/inbox proof covers everyone
+	// else's output, but a region's own sends land in inboxes it has
+	// already read, so a stale bound would let it outrun its own echo
+	// (the optimistic tier cannot rely on barrier validation either —
+	// the echo of a journal committed this window only materializes a
+	// window later, after the straggler check has passed).
+	echo atomic.Uint64
+	work chan Time
+	// committedEnd/specMax bound this window's committed run and
+	// optimistic overrun; specCommitted counts frontier-proven events.
+	committedEnd  Time
+	specMax       Time
+	specCommitted uint64
+	// specActive marks optimistic (journaled) execution; the journal
+	// holds popped-but-unvalidated events in execution order.
+	specActive bool
+	journal    []*event
+	snapSeq    uint64
+	snapID     uint64
+	snapEvents uint64
+	snapNow    Time
 }
 
 // stagedEvent is one cross-region handoff awaiting the window barrier.
 type stagedEvent struct {
-	at  Time
-	src int32 // sending region: part of the deterministic drain order
-	fn  func()
+	at    Time
+	src   int32 // sending region: part of the deterministic drain order
+	spec  bool  // staged by journaled execution: purged if the sender rolls back
+	inRun bool  // staged from worker context (causality accounting applies)
+	fn    func()
 }
 
 type regionInbox struct {
 	mu      sync.Mutex
 	entries []stagedEvent
+	spare   []stagedEvent // swap buffer: drain allocates nothing
+	// minBits mirrors the minimum staged arrival time (float64 bits,
+	// +Inf when empty) for lock-free overrun bound checks.
+	minBits atomic.Uint64
 }
+
+var infBits = math.Float64bits(math.Inf(1))
 
 // DefaultLookahead is the window width before SetPartition provides the
 // real minimum cross-region latency. With the initial single-region
@@ -73,11 +166,21 @@ func NewSharded(nodes, regions int) (*Sharded, error) {
 		inboxes:   make([]regionInbox, regions),
 		partition: make([]int32, nodes),
 		lookahead: DefaultLookahead,
+		outBound:  make([]Time, regions),
+		inBound:   make([]Time, regions),
+		runs:      make([]regionRun, regions),
+		eot:       make([]Time, regions),
+		ends:      make([]Time, regions),
+		act:       make([]int, 0, regions),
 	}
 	for i := range s.regions {
 		e := New()
 		e.nowBits = new(atomic.Uint64)
 		s.regions[i] = e
+		s.outBound[i] = DefaultLookahead
+		s.inBound[i] = DefaultLookahead
+		s.inboxes[i].minBits.Store(infBits)
+		s.runs[i].work = make(chan Time, 1)
 	}
 	return s, nil
 }
@@ -88,13 +191,14 @@ func (s *Sharded) Regions() int { return len(s.regions) }
 // RegionOf returns the region owning a node.
 func (s *Sharded) RegionOf(node int) int { return int(s.partition[node]) }
 
-// Lookahead returns the current window width.
+// Lookahead returns the fixed-mode window width.
 func (s *Sharded) Lookahead() Time { return s.lookahead }
 
 // SetPartition installs a node→region mapping and the lookahead bound
-// (the minimum cross-region link latency). It must be called before any
-// event is scheduled: events already routed under the old mapping would
-// sit on the wrong heaps.
+// (the minimum cross-region link latency), which also becomes the
+// default per-region in/out bound until SetBounds tightens it. It must
+// be called before any event is scheduled: events already routed under
+// the old mapping would sit on the wrong heaps.
 func (s *Sharded) SetPartition(part []int, lookahead Time) error {
 	if len(part) != len(s.partition) {
 		return fmt.Errorf("sim: partition covers %d nodes, kernel has %d", len(part), len(s.partition))
@@ -112,6 +216,11 @@ func (s *Sharded) SetPartition(part []int, lookahead Time) error {
 		s.partition[i] = int32(r)
 	}
 	s.lookahead = lookahead
+	for i := range s.outBound {
+		s.outBound[i] = lookahead
+		s.inBound[i] = lookahead
+		s.regions[i].outBound = lookahead
+	}
 	return nil
 }
 
@@ -172,9 +281,33 @@ func (s *Sharded) Schedule(src, dst int, at Time, fn func()) uint64 {
 	}
 	ib := &s.inboxes[rd]
 	ib.mu.Lock()
-	ib.entries = append(ib.entries, stagedEvent{at: at, src: rs, fn: fn})
+	ib.entries = append(ib.entries, stagedEvent{
+		at: at, src: rs,
+		spec:  s.running && s.runs[rs].specActive,
+		inRun: s.running,
+		fn:    fn,
+	})
+	if at < Time(math.Float64frombits(ib.minBits.Load())) {
+		ib.minBits.Store(math.Float64bits(float64(at)))
+	}
 	ib.mu.Unlock()
 	s.staged.Add(1)
+	if s.spec && s.running {
+		// Tighten the sender's self-echo cap: this send's cascade can
+		// re-enter a region no earlier than its arrival plus the
+		// target's cheapest outgoing link. Atomic min — the write is
+		// normally the sending worker's own, but the protocol stack's
+		// contract-bending paths may stage on behalf of a remote region.
+		echo := math.Float64bits(float64(at + s.outBound[rd]))
+		em := &s.runs[rs].echo
+		for {
+			old := em.Load()
+			if math.Float64frombits(old) <= math.Float64frombits(echo) ||
+				em.CompareAndSwap(old, echo) {
+				break
+			}
+		}
+	}
 	return 0
 }
 
@@ -187,30 +320,36 @@ func (s *Sharded) Cancel(region int, id uint64) {
 
 // drainInboxes moves staged cross-region events onto their target heaps
 // in deterministic (time, source region) order. Runs on the coordinator
-// between windows, when all workers are idle.
+// between windows, when all workers are idle. An in-run staged entry
+// landing below its target's committed clock is a causality violation
+// (the conservative contract was broken by the caller); it is clamped
+// like a driver-context past schedule and counted in Stats.
 func (s *Sharded) drainInboxes() {
 	for d := range s.inboxes {
 		ib := &s.inboxes[d]
 		ib.mu.Lock()
 		entries := ib.entries
-		ib.entries = nil
+		ib.entries = ib.spare[:0]
+		ib.spare = entries
+		ib.minBits.Store(infBits)
 		ib.mu.Unlock()
 		if len(entries) == 0 {
 			continue
 		}
-		sort.SliceStable(entries, func(i, j int) bool {
-			if entries[i].at != entries[j].at {
-				return entries[i].at < entries[j].at
-			}
-			return entries[i].src < entries[j].src
-		})
+		s.sorter.entries = entries
+		sort.Stable(&s.sorter)
+		s.sorter.entries = nil
 		e := s.regions[d]
 		for i := range entries {
 			at := entries[i].at
 			if at < e.now {
+				if entries[i].inRun {
+					s.stats.CausalityViolations++
+				}
 				at = e.now
 			}
 			e.At(at, entries[i].fn)
+			entries[i].fn = nil
 		}
 		s.staged.Add(int64(-len(entries)))
 	}
@@ -228,56 +367,31 @@ func (s *Sharded) minNext() (Time, bool) {
 	return m, ok
 }
 
-// window executes one lockstep window [.., end) across all regions that
-// have work in it. With at most one active region the window runs inline
-// on the coordinator; otherwise one worker goroutine per extra region.
-func (s *Sharded) window(end Time) {
-	var active []*Engine
-	for _, e := range s.regions {
-		if t, live := e.nextAt(); live && t < end {
-			active = append(active, e)
-		}
-	}
-	switch len(active) {
-	case 0:
-		return
-	case 1:
-		active[0].runWindow(end)
-	default:
-		var wg sync.WaitGroup
-		for _, e := range active[1:] {
-			wg.Add(1)
-			go func(e *Engine) {
-				defer wg.Done()
-				e.runWindow(end)
-			}(e)
-		}
-		active[0].runWindow(end)
-		wg.Wait()
-	}
-}
-
-// run is the coordinator loop: drain inboxes, jump to the earliest event
-// time, execute one window, repeat. The window start always snaps to the
-// earliest pending event, so idle stretches cost no empty windows.
+// run is the coordinator loop: drain inboxes, plan the next window from
+// the earliest event time, execute it across the participating regions,
+// validate/commit any speculation, repeat. The window start always
+// snaps to the earliest pending event, so idle stretches cost no empty
+// windows.
 func (s *Sharded) run(horizon Time) {
 	s.started = true
+	s.running = true
 	// limit is the exclusive window bound that still admits events at
 	// exactly the horizon, matching the sequential RunUntil contract
 	// (execute events with at <= horizon).
-	limit := Time(math.Nextafter(float64(horizon), math.Inf(1)))
+	s.runLimit = Time(math.Nextafter(float64(horizon), math.Inf(1)))
+	s.drainInboxes()
 	for {
-		s.drainInboxes()
 		min, ok := s.minNext()
 		if !ok || min > horizon {
 			break
 		}
-		end := min + s.lookahead
-		if end > limit {
-			end = limit
-		}
-		s.window(end)
+		s.planWindow(min)
+		s.window()
+		s.validateSpec()
+		s.drainInboxes()
 	}
+	s.stopWorkers()
+	s.running = false
 	// Equalize the clocks at the global frontier so driver-context
 	// scheduling after the run bases its delays on the same time a
 	// sequential engine would report.
